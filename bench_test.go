@@ -1,0 +1,334 @@
+// Benchmarks regenerating every figure of the paper's evaluation section,
+// plus micro-benchmarks of the hot paths and ablations of the design
+// choices called out in DESIGN.md.
+//
+// Figure benchmarks run the experiment at a reduced but shape-preserving
+// scale (experiments.QuickConfig) so `go test -bench=.` finishes in
+// minutes; `cmd/figures` runs the same code at full paper scale. Custom
+// metrics report the quantity the paper plots, so the benchmark output
+// doubles as the reproduction record.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ga"
+	"repro/internal/heuristics"
+	"repro/internal/sa"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func quickCfg() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Budget = 250 * time.Millisecond
+	return cfg
+}
+
+// --- one benchmark per paper figure ---
+
+// BenchmarkFig3aSelectionDecay regenerates Figure 3a: the number of
+// selected subtasks per SE iteration on a large, highly connected
+// workload. Reported metrics are the mean selection-set size over the
+// first and last 10% of iterations; the paper's claim is early ≫ late.
+func BenchmarkFig3aSelectionDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, _, err := experiments.Fig3(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		early, late := headTail(fig)
+		b.ReportMetric(early, "selected-early")
+		b.ReportMetric(late, "selected-late")
+	}
+}
+
+// BenchmarkFig3bScheduleLength regenerates Figure 3b: the current schedule
+// length per SE iteration of the same run.
+func BenchmarkFig3bScheduleLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, fig, err := experiments.Fig3(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := fig.Series[0].Points[0].Y
+		last := fig.Series[0].Last()
+		b.ReportMetric(first, "makespan-initial")
+		b.ReportMetric(last, "makespan-final")
+	}
+}
+
+// BenchmarkFig4aYLowHeterogeneity regenerates Figure 4a: the Y sweep under
+// low heterogeneity. One metric per Y value (final best schedule length);
+// the paper's claim is that larger Y wins.
+func BenchmarkFig4aYLowHeterogeneity(b *testing.B) {
+	benchmarkFig4(b, experiments.Fig4a)
+}
+
+// BenchmarkFig4bYHighHeterogeneity regenerates Figure 4b: the Y sweep
+// under high heterogeneity. The paper's claim is that a middle Y wins and
+// the largest Y regresses.
+func BenchmarkFig4bYHighHeterogeneity(b *testing.B) {
+	benchmarkFig4(b, experiments.Fig4b)
+}
+
+func benchmarkFig4(b *testing.B, gen func(experiments.Config) (experiments.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := gen(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			b.ReportMetric(s.Last(), "final-"+metricName(s.Name))
+		}
+	}
+}
+
+// BenchmarkFig5SEvsGAHighConnectivity regenerates Figure 5: the SE-vs-GA
+// wall-clock race on a high-connectivity workload. Metrics are final best
+// schedule lengths; the paper's claim is SE ≤ GA on this class.
+func BenchmarkFig5SEvsGAHighConnectivity(b *testing.B) {
+	benchmarkRace(b, experiments.Fig5)
+}
+
+// BenchmarkFig6SEvsGACCR1 regenerates Figure 6: the race on a CCR = 1
+// workload (heavily communicating subtasks). Paper claim: SE wins.
+func BenchmarkFig6SEvsGACCR1(b *testing.B) {
+	benchmarkRace(b, experiments.Fig6)
+}
+
+// BenchmarkFig7SEvsGALowEverything regenerates Figure 7: the race on a
+// low-connectivity, low-heterogeneity, CCR = 0.1 workload. Paper claim:
+// no clear winner.
+func BenchmarkFig7SEvsGALowEverything(b *testing.B) {
+	benchmarkRace(b, experiments.Fig7)
+}
+
+func benchmarkRace(b *testing.B, gen func(experiments.Config) (experiments.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := gen(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			b.ReportMetric(s.Last(), "final-"+metricName(s.Name))
+		}
+	}
+}
+
+func headTail(fig experiments.Figure) (early, late float64) {
+	pts := fig.Series[0].Points
+	k := len(pts) / 10
+	if k < 1 {
+		k = 1
+	}
+	for _, p := range pts[:k] {
+		early += p.Y
+	}
+	for _, p := range pts[len(pts)-k:] {
+		late += p.Y
+	}
+	return early / float64(k), late / float64(k)
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func benchWorkload(tasks, machines int) *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks:         tasks,
+		Machines:      machines,
+		Connectivity:  workload.HighConnectivity,
+		Heterogeneity: workload.MediumHeterogeneity,
+		CCR:           0.5,
+		Seed:          1,
+	})
+}
+
+// BenchmarkEvaluatorMakespan measures the single-pass schedule-length
+// evaluation (the inner loop of SE allocation and GA fitness) at the
+// paper's scale: 100 tasks, 20 machines, ~400 data items.
+func BenchmarkEvaluatorMakespan(b *testing.B) {
+	w := benchWorkload(100, 20)
+	e := schedule.NewEvaluator(w.Graph, w.System)
+	s := heuristics.Random(w.Graph, w.System, 1).Solution
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Makespan(s)
+	}
+}
+
+// BenchmarkSEIteration measures whole SE generations (evaluation,
+// selection, allocation) at paper scale.
+func BenchmarkSEIteration(b *testing.B) {
+	w := benchWorkload(100, 20)
+	res, err := core.Run(w.Graph, w.System, core.Options{
+		MaxIterations: b.N, Seed: 1, Y: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Evaluations)/float64(b.N), "evals/iter")
+}
+
+// BenchmarkGAGeneration measures whole GA generations at paper scale with
+// Wang et al.'s population size.
+func BenchmarkGAGeneration(b *testing.B) {
+	w := benchWorkload(100, 20)
+	_, err := ga.Run(w.Graph, w.System, ga.Options{
+		MaxGenerations: b.N, Seed: 1, PopulationSize: 200,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSAMove measures single simulated-annealing moves (propose +
+// evaluate + accept/reject).
+func BenchmarkSAMove(b *testing.B) {
+	w := benchWorkload(100, 20)
+	_, err := sa.Run(w.Graph, w.System, sa.Options{MaxMoves: b.N, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHeuristics measures the constructive baselines at paper scale.
+func BenchmarkHeuristics(b *testing.B) {
+	w := benchWorkload(100, 20)
+	b.Run("heft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			heuristics.HEFT(w.Graph, w.System)
+		}
+	})
+	b.Run("minmin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			heuristics.MinMin(w.Graph, w.System)
+		}
+	})
+	b.Run("mct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			heuristics.MCT(w.Graph, w.System)
+		}
+	})
+}
+
+// --- ablations of DESIGN.md design choices ---
+
+// BenchmarkAllocationWorkers ablates SE's parallel candidate evaluation:
+// identical search (bit-identical results, see core tests), different
+// wall-clock. Throughput is reported as iterations completed in a fixed
+// 300ms budget.
+func BenchmarkAllocationWorkers(b *testing.B) {
+	w := benchWorkload(100, 20)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(w.Graph, w.System, core.Options{
+					TimeBudget: 300 * time.Millisecond, Seed: 1, Y: 9, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Iterations
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "iters/300ms")
+		})
+	}
+}
+
+// BenchmarkSEBias ablates the selection bias B: negative bias selects more
+// tasks per iteration (thorough, slow), positive bias fewer (fast). The
+// metric is evaluations consumed per iteration.
+func BenchmarkSEBias(b *testing.B) {
+	w := benchWorkload(60, 12)
+	for _, tc := range []struct {
+		name string
+		bias float64
+	}{
+		{"negative-0.2", -0.2},
+		{"zero", 0},
+		{"positive-0.1", 0.1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			res, err := core.Run(w.Graph, w.System, core.Options{
+				MaxIterations: b.N, Seed: 1, Bias: tc.bias, Y: 5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Evaluations)/float64(b.N), "evals/iter")
+			b.ReportMetric(res.BestMakespan, "makespan")
+		})
+	}
+}
+
+// BenchmarkSEPerturbation ablates the iterated-local-search extension
+// (Options.PerturbAfter) against the paper's plain greedy SE at equal
+// iteration budgets on a small instance, where plain SE parks in the first
+// local optimum.
+func BenchmarkSEPerturbation(b *testing.B) {
+	w := benchWorkload(20, 4)
+	for _, tc := range []struct {
+		name string
+		pa   int
+	}{
+		{"plain", 0},
+		{"kick-25", 25},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(w.Graph, w.System, core.Options{
+					MaxIterations: 600, Bias: -0.2, Seed: 1, PerturbAfter: tc.pa,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.BestMakespan, "makespan")
+			}
+		})
+	}
+}
+
+// BenchmarkSEvsSA ablates SE's guided selection + constructive allocation
+// against simulated annealing over the identical move space, at equal
+// wall-clock budgets.
+func BenchmarkSEvsSA(b *testing.B) {
+	w := benchWorkload(60, 12)
+	budget := 200 * time.Millisecond
+	b.Run("se", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(w.Graph, w.System, core.Options{TimeBudget: budget, Seed: 1, Y: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.BestMakespan, "makespan")
+		}
+	})
+	b.Run("sa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sa.Run(w.Graph, w.System, sa.Options{TimeBudget: budget, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.BestMakespan, "makespan")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+// Command figures regenerates every figure of the paper's evaluation
+// section (Figures 3a, 3b, 4a, 4b, 5, 6 and 7) and renders each as an
+// ASCII chart with machine-checked notes about the paper's qualitative
+// claims. Series can also be exported as CSV for external plotting.
+//
+// Usage:
+//
+//	figures                 # all figures at paper scale (100 tasks, 20 machines)
+//	figures -quick          # down-scaled, finishes in seconds
+//	figures -fig 5 -csv out # only Figure 5, also writing out/fig5.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", `figure to regenerate: all | 3a | 3b | 4a | 4b | 5 | 6 | 7`)
+		quick    = flag.Bool("quick", false, "use the down-scaled quick configuration")
+		tasks    = flag.Int("tasks", 0, "override task count")
+		machines = flag.Int("machines", 0, "override machine count")
+		iters    = flag.Int("iters", 0, "override iteration budget (figures 3, 4)")
+		budget   = flag.Duration("budget", 0, "override wall-clock budget (figures 5–7)")
+		seed     = flag.Int64("seed", 0, "override seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		csvDir   = flag.String("csv", "", "directory to write one CSV per figure")
+		width    = flag.Int("width", 72, "chart width")
+		height   = flag.Int("height", 20, "chart height")
+	)
+	flag.Parse()
+
+	cfg := experiments.PaperConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *tasks > 0 {
+		cfg.Tasks = *tasks
+	}
+	if *machines > 0 {
+		cfg.Machines = *machines
+	}
+	if *iters > 0 {
+		cfg.Iterations = *iters
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Workers = *workers
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	fmt.Printf("configuration: %d tasks, %d machines, %d iterations, %v budget, seed %d, %d workers\n\n",
+		cfg.Tasks, cfg.Machines, cfg.Iterations, cfg.Budget, cfg.Seed, cfg.Workers)
+
+	var figs []experiments.Figure
+	if *fig == "all" {
+		all, err := experiments.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		figs = all
+	} else {
+		f, err := experiments.ByID(*fig, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		figs = []experiments.Figure{f}
+	}
+
+	for _, f := range figs {
+		fmt.Println(textplot.Render(f.Series, textplot.Options{
+			Title:  f.Title,
+			XLabel: f.XLabel,
+			YLabel: f.YLabel,
+			Width:  *width,
+			Height: *height,
+		}))
+		for _, n := range f.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, f); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  csv: %s\n", filepath.Join(*csvDir, "fig"+f.ID+".csv"))
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSV(dir string, f experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	out, err := os.Create(filepath.Join(dir, "fig"+f.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return experiments.WriteCSV(out, f, 100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,197 @@
+// Command mshc matches and schedules a workload onto a heterogeneous
+// machine suite using the paper's simulated evolution (se), the GA
+// baseline of Wang et al. (ga), simulated annealing (sa), the constructive
+// heuristics (heft, minmin, maxmin, mct, random), or all of them.
+//
+// Usage:
+//
+//	mshc -algo se -iters 1000 -workload w.json
+//	mshc -algo all -figure1
+//	mshc -algo ga -budget 5s -workload w.json -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/heuristics"
+	"repro/internal/sa"
+	"repro/internal/schedule"
+	"repro/internal/tabu"
+	"repro/internal/workload"
+)
+
+type result struct {
+	name     string
+	makespan float64
+	elapsed  time.Duration
+	solution schedule.String
+}
+
+func main() {
+	var (
+		path    = flag.String("workload", "", "workload JSON file (see wlgen)")
+		figure1 = flag.Bool("figure1", false, "use the paper's Figure-1 example workload")
+		algo    = flag.String("algo", "se", "algorithm: se | ga | sa | tabu | heft | cpop | minmin | maxmin | sufferage | mct | random | all")
+		iters   = flag.Int("iters", 1000, "iteration/generation/move budget")
+		budget  = flag.Duration("budget", 0, "wall-clock budget (overrides -iters when set)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		bias    = flag.Float64("bias", 0, "SE selection bias B (paper: -0.3…-0.1 small problems, 0…0.1 large)")
+		yParam  = flag.Int("y", 0, "SE Y parameter: candidate machines per task (0 = all)")
+		pop     = flag.Int("pop", 0, "GA population size (0 = default 50)")
+		workers = flag.Int("workers", 0, "parallel workers for SE allocation / GA fitness (0 = serial)")
+		verbose = flag.Bool("v", false, "print the full schedule")
+		gantt   = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
+	)
+	flag.Parse()
+
+	w, err := loadWorkload(*path, *figure1)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s\n", w)
+	fmt.Printf("lower bound (contention-free critical path): %.0f\n\n", schedule.LowerBound(w.Graph, w.System))
+
+	names := []string{*algo}
+	if *algo == "all" {
+		names = []string{"se", "ga", "sa", "tabu", "heft", "cpop", "minmin", "maxmin", "sufferage", "mct", "random"}
+	}
+	var results []result
+	for _, name := range names {
+		r, err := runOne(name, w, *iters, *budget, *seed, *bias, *yParam, *pop, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].makespan < results[j].makespan })
+
+	fmt.Printf("%-8s %14s %12s\n", "algo", "makespan", "time")
+	for _, r := range results {
+		fmt.Printf("%-8s %14.0f %12s\n", r.name, r.makespan, r.elapsed.Round(time.Millisecond))
+	}
+	if *verbose {
+		best := results[0]
+		fmt.Printf("\nbest (%s) schedule:\n", best.name)
+		printSchedule(w, best.solution)
+		fmt.Printf("\nanalysis:\n%s", schedule.Analyze(w.Graph, w.System, best.solution).Report())
+	}
+	if *gantt {
+		best := results[0]
+		fmt.Printf("\nbest (%s) Gantt chart:\n", best.name)
+		fmt.Print(schedule.Gantt(w.Graph, w.System, best.solution, 72))
+	}
+}
+
+func loadWorkload(path string, figure1 bool) (*workload.Workload, error) {
+	switch {
+	case figure1:
+		return workload.Figure1(), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.Decode(f)
+	default:
+		return nil, fmt.Errorf("provide -workload FILE or -figure1")
+	}
+}
+
+func runOne(name string, w *workload.Workload, iters int, budget time.Duration, seed int64, bias float64, y, pop, workers int) (result, error) {
+	start := time.Now()
+	switch name {
+	case "se":
+		opts := core.Options{Bias: bias, Y: y, Seed: seed, Workers: workers}
+		if budget > 0 {
+			opts.TimeBudget = budget
+		} else {
+			opts.MaxIterations = iters
+		}
+		res, err := core.Run(w.Graph, w.System, opts)
+		if err != nil {
+			return result{}, err
+		}
+		return result{"se", res.BestMakespan, time.Since(start), res.Best}, nil
+	case "ga":
+		opts := ga.Options{Seed: seed, Workers: workers, PopulationSize: pop}
+		if budget > 0 {
+			opts.TimeBudget = budget
+		} else {
+			opts.MaxGenerations = iters
+		}
+		res, err := ga.Run(w.Graph, w.System, opts)
+		if err != nil {
+			return result{}, err
+		}
+		return result{"ga", res.BestMakespan, time.Since(start), res.Best}, nil
+	case "sa":
+		opts := sa.Options{Seed: seed}
+		if budget > 0 {
+			opts.TimeBudget = budget
+		} else {
+			opts.MaxMoves = iters * w.Graph.NumTasks()
+		}
+		res, err := sa.Run(w.Graph, w.System, opts)
+		if err != nil {
+			return result{}, err
+		}
+		return result{"sa", res.BestMakespan, time.Since(start), res.Best}, nil
+	case "tabu":
+		opts := tabu.Options{Seed: seed}
+		if budget > 0 {
+			opts.TimeBudget = budget
+		} else {
+			opts.MaxIterations = iters
+		}
+		res, err := tabu.Run(w.Graph, w.System, opts)
+		if err != nil {
+			return result{}, err
+		}
+		return result{"tabu", res.BestMakespan, time.Since(start), res.Best}, nil
+	case "heft", "cpop", "minmin", "maxmin", "sufferage", "mct", "random":
+		var r heuristics.Result
+		switch name {
+		case "heft":
+			r = heuristics.HEFT(w.Graph, w.System)
+		case "cpop":
+			r = heuristics.CPOP(w.Graph, w.System)
+		case "minmin":
+			r = heuristics.MinMin(w.Graph, w.System)
+		case "maxmin":
+			r = heuristics.MaxMin(w.Graph, w.System)
+		case "sufferage":
+			r = heuristics.Sufferage(w.Graph, w.System)
+		case "mct":
+			r = heuristics.MCT(w.Graph, w.System)
+		case "random":
+			r = heuristics.Random(w.Graph, w.System, seed)
+		}
+		return result{r.Name, r.Makespan, time.Since(start), r.Solution}, nil
+	default:
+		return result{}, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func printSchedule(w *workload.Workload, s schedule.String) {
+	e := schedule.NewEvaluator(w.Graph, w.System)
+	startTimes, finishTimes := e.StartTimes(s)
+	for m, order := range s.MachineOrders(w.System.NumMachines()) {
+		fmt.Printf("  m%-3d:", m)
+		for _, t := range order {
+			fmt.Printf("  %s[%.0f→%.0f]", w.Graph.Name(t), startTimes[t], finishTimes[t])
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mshc:", err)
+	os.Exit(1)
+}

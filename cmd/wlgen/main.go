@@ -1,0 +1,81 @@
+// Command wlgen generates random MSHC workloads (DAG + execution-time
+// matrix E + transfer-time matrix Tr) in the repository's JSON format,
+// parameterized by the paper's three axes: connectivity, heterogeneity and
+// CCR.
+//
+// Usage:
+//
+//	wlgen -tasks 100 -machines 20 -connectivity 4 -het 16 -ccr 1 -seed 7 -o w.json
+//	wlgen -figure1 -o fig1.json   # the paper's worked example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		tasks        = flag.Int("tasks", 100, "number of subtasks")
+		machines     = flag.Int("machines", 20, "number of machines")
+		connectivity = flag.Float64("connectivity", 2.5, "average data items per subtask (paper: low ≈ 1.3, high ≈ 4)")
+		het          = flag.Float64("het", 4, "heterogeneity range factor (low ≈ 1.25, medium ≈ 4, high ≈ 16)")
+		ccr          = flag.Float64("ccr", 0.5, "communication-to-cost ratio (0.1 light, 1 heavy)")
+		layers       = flag.Int("layers", 0, "DAG depth (0 = about sqrt(tasks))")
+		seed         = flag.Int64("seed", 1, "random seed")
+		figure1      = flag.Bool("figure1", false, "emit the paper's Figure-1 worked example instead of a random workload")
+		out          = flag.String("o", "", "output file (default stdout)")
+		dot          = flag.Bool("dot", false, "emit the DAG as Graphviz DOT instead of workload JSON")
+	)
+	flag.Parse()
+
+	var w *workload.Workload
+	if *figure1 {
+		w = workload.Figure1()
+	} else {
+		var err error
+		w, err = workload.Generate(workload.Params{
+			Tasks:         *tasks,
+			Machines:      *machines,
+			Connectivity:  *connectivity,
+			Heterogeneity: *het,
+			CCR:           *ccr,
+			Layers:        *layers,
+			Seed:          *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		dst = f
+	}
+	if *dot {
+		if err := w.Graph.WriteDOT(dst, w.Name); err != nil {
+			fatal(err)
+		}
+	} else if err := workload.Encode(dst, w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", w)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlgen:", err)
+	os.Exit(1)
+}

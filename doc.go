@@ -1,0 +1,36 @@
+// Package repro is a Go reproduction of Barada, Sait & Baig, "Task
+// Matching and Scheduling in Heterogeneous Systems Using Simulated
+// Evolution" (IPPS 2001).
+//
+// The library implements the paper's simulated evolution (SE) scheduler
+// for matching and scheduling coarse-grained task DAGs onto heterogeneous
+// machine suites, together with every substrate the paper's evaluation
+// depends on: the HC workload model (DAG, execution-time matrix E,
+// transfer-time matrix Tr), a seeded workload generator parameterized by
+// connectivity, heterogeneity and CCR, the combined matching+scheduling
+// string encoding with an O(k+p) makespan evaluator, the genetic-algorithm
+// baseline of Wang et al. (JPDC 1997), classic constructive heuristics
+// (HEFT, Min-Min, Max-Min, MCT), a simulated-annealing extension, and a
+// figure-reproduction harness covering the paper's entire evaluation
+// section.
+//
+// Package layout:
+//
+//	internal/taskgraph   task DAGs and data items
+//	internal/platform    machines, E and Tr matrices
+//	internal/schedule    solution encoding + makespan evaluator
+//	internal/workload    workload generator + the paper's Figure-1 example
+//	internal/core        the SE scheduler (the paper's contribution)
+//	internal/ga          the Wang et al. GA baseline
+//	internal/heuristics  HEFT, Min-Min, Max-Min, MCT, random
+//	internal/sa          simulated-annealing extension
+//	internal/runner      wall-clock races and parallel trials
+//	internal/experiments one entry per paper figure
+//	cmd/mshc             schedule a workload from the command line
+//	cmd/wlgen            generate workloads
+//	cmd/figures          regenerate the paper's figures
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. Benchmarks reproducing
+// each figure live in bench_test.go.
+package repro

@@ -1,0 +1,74 @@
+// Race: the paper's §5.3 comparison as a live terminal experiment —
+// simulated evolution vs the Wang et al. genetic algorithm vs the
+// simulated-annealing extension, all given the same wall-clock budget on a
+// heavily communicating workload (CCR = 1, the paper's Figure 6 class),
+// rendered as an ASCII convergence chart.
+//
+//	go run ./examples/race
+//	go run ./examples/race -budget 10s -tasks 100 -machines 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/runner"
+	"repro/internal/sa"
+	"repro/internal/schedule"
+	"repro/internal/tabu"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		tasks    = flag.Int("tasks", 60, "subtasks")
+		machines = flag.Int("machines", 12, "machines")
+		budget   = flag.Duration("budget", 3*time.Second, "wall-clock budget per scheduler")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	w := workload.MustGenerate(workload.Params{
+		Tasks:         *tasks,
+		Machines:      *machines,
+		Connectivity:  2.5,
+		Heterogeneity: workload.MediumHeterogeneity,
+		CCR:           workload.HighCCR, // heavily communicating subtasks
+		Seed:          *seed,
+	})
+	fmt.Printf("workload: %s\n", w)
+	fmt.Printf("lower bound: %.0f\n", schedule.LowerBound(w.Graph, w.System))
+	fmt.Printf("budget: %v per scheduler\n\n", *budget)
+
+	series, err := runner.Race(*budget, []runner.Contender{
+		runner.SEContender("SE", w.Graph, w.System, core.Options{
+			Y:    (*machines + 1) / 2,
+			Seed: *seed,
+		}),
+		runner.GAContender("GA (Wang et al.)", w.Graph, w.System, ga.Options{
+			PopulationSize: 200,
+			CrossoverRate:  0.4,
+			MutationRate:   0.02,
+			Seed:           *seed,
+		}),
+		runner.SAContender("SA", w.Graph, w.System, sa.Options{Seed: *seed}),
+		runner.TabuContender("Tabu", w.Graph, w.System, tabu.Options{Seed: *seed}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(textplot.Render(series, textplot.Options{
+		Title:  "best schedule length vs time (CCR = 1)",
+		XLabel: "time (s)",
+		YLabel: "schedule length",
+	}))
+	for _, s := range series {
+		fmt.Printf("%-18s final %8.0f   (%d improvements recorded)\n", s.Name, s.Last(), len(s.Points))
+	}
+}

@@ -1,0 +1,132 @@
+// Package core implements the paper's primary contribution: the Simulated
+// Evolution (SE) heuristic for task matching and scheduling in
+// heterogeneous computing systems (MSHC) of Barada, Sait & Baig
+// (IPPS 2001).
+//
+// SE starts from a valid initial solution and repeats three steps until a
+// stopping criterion is met:
+//
+//   - Evaluation — each subtask sᵢ gets a goodness gᵢ = Oᵢ/Cᵢ, where Oᵢ is a
+//     precomputed estimate of sᵢ's optimal finish time and Cᵢ its finish
+//     time in the current solution (§4.3).
+//   - Selection — sᵢ is selected for relocation when a uniform random draw
+//     exceeds gᵢ + B, with B the selection bias; poorly placed tasks are
+//     selected with high probability, well placed ones rarely (§4.4).
+//   - Allocation — each selected task is constructively re-placed: every
+//     insertion position within its valid range is combined with each of
+//     its Y best-matching machines, and the combination yielding the best
+//     overall schedule length wins (§4.5).
+//
+// The solution encoding and its evaluation semantics live in package
+// schedule; workload models live in packages taskgraph, platform and
+// workload.
+package core
+
+import (
+	"time"
+
+	"repro/internal/schedule"
+)
+
+// Options configures one SE run. The zero value is not runnable: at least
+// one stopping criterion (MaxIterations, TimeBudget, NoImprovement or a
+// false-returning OnIteration) must be set.
+type Options struct {
+	// Bias is the selection bias B (§4.4). The paper uses negative values
+	// (−0.1 … −0.3) for small problems — selecting more tasks, searching
+	// more thoroughly — and small positive values (0 … 0.1) for large
+	// problems to keep iterations cheap.
+	Bias float64
+
+	// Y is the number of best-matching machines a task may be assigned to
+	// during allocation (§4.5, §5.2). 0 (or ≥ machine count) allows all
+	// machines.
+	Y int
+
+	// MaxIterations stops the run after this many generations (0 = no
+	// iteration limit).
+	MaxIterations int
+
+	// TimeBudget stops the run once wall-clock time is exhausted (0 = no
+	// time limit). Used by the paper's Figures 5–7 races against GA.
+	TimeBudget time.Duration
+
+	// NoImprovement stops the run after this many consecutive generations
+	// without improving the best schedule length (0 = disabled).
+	NoImprovement int
+
+	// Seed drives all randomness. Runs with equal Options and inputs are
+	// identical.
+	Seed int64
+
+	// InitialMoves perturbs the topologically sorted initial string with
+	// this many random valid-range moves (§4.2). 0 draws a random count in
+	// [0, 2k); use NoInitialMoves for none.
+	InitialMoves int
+
+	// Initial, when non-nil, is used (cloned) as the starting solution
+	// instead of generating one. It must be valid for the graph/system.
+	Initial schedule.String
+
+	// Workers > 1 evaluates allocation candidates on that many goroutines.
+	// Results are bit-identical to the serial path (deterministic
+	// reduction); only wall-clock time changes.
+	Workers int
+
+	// PerturbAfter, when > 0, kicks the search out of local optima: after
+	// this many consecutive non-improving generations the current solution
+	// is shuffled with random valid moves (the §4.2 perturbation) and the
+	// descent restarts, with the best solution kept aside. This iterated-
+	// local-search wrapper is an extension beyond the paper — its §4.5
+	// allocation "always chooses the best location", which converges to
+	// the first local optimum it reaches. 0 disables (the paper's
+	// behaviour).
+	PerturbAfter int
+
+	// RecordTrace stores per-iteration statistics in Result.Trace
+	// (Figures 3a/3b/4a/4b need them).
+	RecordTrace bool
+
+	// OnIteration, when non-nil, is called after each generation's
+	// selection with that generation's statistics. Returning false stops
+	// the run. The runner package uses it for time-stamped best-so-far
+	// sampling.
+	OnIteration func(IterationStats) bool
+}
+
+// NoInitialMoves disables initial-string perturbation when assigned to
+// Options.InitialMoves.
+const NoInitialMoves = -1
+
+// IterationStats describes one SE generation.
+type IterationStats struct {
+	// Iteration numbers generations from 0.
+	Iteration int
+	// Selected is the size of the selection set S this generation —
+	// the quantity plotted by the paper's Figure 3a.
+	Selected int
+	// CurrentMakespan is the schedule length of the current solution at
+	// the start of the generation — Figure 3b's quantity.
+	CurrentMakespan float64
+	// BestMakespan is the best schedule length seen so far.
+	BestMakespan float64
+	// Elapsed is wall-clock time since the run started.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of an SE run.
+type Result struct {
+	// Best is the best solution string found.
+	Best schedule.String
+	// BestMakespan is Best's schedule length.
+	BestMakespan float64
+	// Iterations is the number of generations executed.
+	Iterations int
+	// Evaluations counts full schedule evaluations across all goroutines.
+	Evaluations uint64
+	// Elapsed is the total wall-clock duration of the run.
+	Elapsed time.Duration
+	// Trace holds per-generation statistics when Options.RecordTrace is
+	// set.
+	Trace []IterationStats
+}

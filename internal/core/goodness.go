@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// OptimalFinishTimes computes Oᵢ for every subtask (paper §4.3): the finish
+// time of sᵢ under the estimator F that assigns sᵢ and all of its ancestors
+// to their individually best-matching machines (minimum execution time),
+// accounting for the communication between those machines but ignoring
+// resource contention. Oᵢ is independent of the current solution, so SE
+// computes it once during initialization.
+//
+// For the paper's Figure-1 example this yields O₄ = 1835: s4 on m1, its
+// ancestors s0 and s1 on m0, including the s1→s4 transfer.
+func OptimalFinishTimes(g *taskgraph.Graph, sys *platform.System) []float64 {
+	o := make([]float64, g.NumTasks())
+	for _, t := range g.TopoOrder() {
+		best := sys.BestMachine(t)
+		start := 0.0
+		for _, p := range g.Preds(t) {
+			arr := o[p.Task] + sys.TransferTime(sys.BestMachine(p.Task), best, p.Item)
+			if arr > start {
+				start = arr
+			}
+		}
+		o[t] = start + sys.ExecTime(best, t)
+	}
+	return o
+}
+
+// MaxGoodness caps gᵢ slightly below 1. Two of the paper's requirements
+// meet here: goodness must be "expressible in the range [0,1]" (§3), yet
+// "individuals with higher goodness values should have a non-zero
+// probability of being selected" (§3). Oᵢ pays communication between the
+// ancestors' best machines while an actual solution may co-locate tasks
+// and pay none, so on communication-heavy graphs Cᵢ < Oᵢ — a raw cap at
+// exactly 1 would freeze such tasks forever under a non-negative bias
+// (selection requires a uniform draw > gᵢ + B). The 0.98 cap keeps every
+// task selectable with probability ≥ 2% − B.
+const MaxGoodness = 0.98
+
+// Goodness fills dst with gᵢ = Oᵢ/Cᵢ clamped to [0, MaxGoodness].
+func Goodness(dst, opt, finish []float64) {
+	for i := range dst {
+		g := opt[i] / finish[i]
+		if g > MaxGoodness {
+			g = MaxGoodness
+		}
+		dst[i] = g
+	}
+}

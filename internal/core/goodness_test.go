@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+// TestOptimalFinishTimesFigure1 pins the paper's worked example: O₄ = 1835
+// for the Figure-1 workload — s4 on its best machine m1, ancestors s0 and
+// s1 on m0, including the s1→s4 communication (§4.3).
+func TestOptimalFinishTimesFigure1(t *testing.T) {
+	w := workload.Figure1()
+	o := core.OptimalFinishTimes(w.Graph, w.System)
+	if got := o[4]; got != 1835 {
+		t.Errorf("O4 = %v, want 1835 (paper §4.3)", got)
+	}
+}
+
+// TestGoodnessFigure1 reproduces the full §4.3 walkthrough: with the
+// Figure-2 solution current, g₄ = O₄/C₄ = 1835/3123.
+func TestGoodnessFigure1(t *testing.T) {
+	w := workload.Figure1()
+	o := core.OptimalFinishTimes(w.Graph, w.System)
+	e := schedule.NewEvaluator(w.Graph, w.System)
+	fin := make([]float64, 7)
+	e.FinishInto(workload.Figure2String(), fin)
+	g := make([]float64, 7)
+	core.Goodness(g, o, fin)
+	want := 1835.0 / 3123.0
+	if diff := g[4] - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("g4 = %v, want %v", g[4], want)
+	}
+}
+
+func TestOptimalFinishTimesSourceTask(t *testing.T) {
+	w := workload.Figure1()
+	o := core.OptimalFinishTimes(w.Graph, w.System)
+	// s0 has no predecessors: O0 = its minimum execution time (400 on m0).
+	if got := o[0]; got != 400 {
+		t.Errorf("O0 = %v, want 400", got)
+	}
+	// s1's ancestor s0 shares m0, so the d0 transfer is free:
+	// O1 = 400 + 600.
+	if got := o[1]; got != 1000 {
+		t.Errorf("O1 = %v, want 1000", got)
+	}
+}
+
+func TestOptimalFinishTimesCrossMachineComm(t *testing.T) {
+	// Chain a→b where a's best machine differs from b's: O_b must pay the
+	// transfer between the two best machines.
+	b := taskgraph.NewBuilder(2)
+	b.AddTasks(2)
+	b.AddItem(0, 1, 9)
+	g := b.MustBuild()
+	sys := platform.MustNew(2, 1, [][]float64{
+		{10, 50},
+		{90, 20},
+	}, [][]float64{{9}})
+	o := core.OptimalFinishTimes(g, sys)
+	if got := o[0]; got != 10 {
+		t.Errorf("O0 = %v, want 10", got)
+	}
+	if got := o[1]; got != 10+9+20 {
+		t.Errorf("O1 = %v, want 39 (10 on m0 + 9 transfer + 20 on m1)", got)
+	}
+}
+
+func TestGoodnessClampsAboveOne(t *testing.T) {
+	// On communication-heavy graphs Oᵢ can exceed Cᵢ; the cap keeps every
+	// task selectable (§3: "non-zero probability of being selected").
+	g := make([]float64, 3)
+	core.Goodness(g, []float64{100, 50, 100}, []float64{50, 100, 100})
+	if g[0] != core.MaxGoodness {
+		t.Errorf("goodness above 1 not capped: %v", g[0])
+	}
+	if g[1] != 0.5 {
+		t.Errorf("g[1] = %v, want 0.5", g[1])
+	}
+	if g[2] != core.MaxGoodness {
+		t.Errorf("goodness exactly 1 not capped: %v, want %v", g[2], core.MaxGoodness)
+	}
+}
+
+func TestGoodnessRange(t *testing.T) {
+	// Goodness of every task in a random workload must land in (0, 1].
+	w := workload.MustGenerate(workload.Params{
+		Tasks: 40, Machines: 6, Connectivity: 3, Heterogeneity: 8, CCR: 1, Seed: 5,
+	})
+	o := core.OptimalFinishTimes(w.Graph, w.System)
+	e := schedule.NewEvaluator(w.Graph, w.System)
+	assign := make([]taskgraph.MachineID, 40)
+	s := schedule.FromOrder(w.Graph.TopoOrder(), assign)
+	fin := make([]float64, 40)
+	e.FinishInto(s, fin)
+	g := make([]float64, 40)
+	core.Goodness(g, o, fin)
+	for i, v := range g {
+		if v <= 0 || v > 1 {
+			t.Errorf("goodness[%d] = %v, want in (0,1]", i, v)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// allocPool evaluates the candidate (position, machine) combinations of one
+// allocation step across a fixed set of worker goroutines, each owning a
+// private Evaluator and move buffer. Reduction uses the lexicographic key
+// (makespan, position, machine rank), which is exactly the order the serial
+// scan visits candidates in, so parallel runs pick bit-identical moves.
+type allocPool struct {
+	workers []*allocWorker
+}
+
+type allocWorker struct {
+	eval *schedule.Evaluator
+	buf  schedule.String
+}
+
+type moveKey struct {
+	ms    float64
+	total float64
+	q     int
+	mi    int
+}
+
+func (k moveKey) better(o moveKey) bool {
+	if k.ms != o.ms {
+		return k.ms < o.ms
+	}
+	if k.total != o.total {
+		return k.total < o.total
+	}
+	if k.q != o.q {
+		return k.q < o.q
+	}
+	return k.mi < o.mi
+}
+
+func newAllocPool(g *taskgraph.Graph, sys *platform.System, n int) *allocPool {
+	p := &allocPool{workers: make([]*allocWorker, n)}
+	for i := range p.workers {
+		p.workers[i] = &allocWorker{
+			eval: schedule.NewEvaluator(g, sys),
+			buf:  make(schedule.String, g.NumTasks()),
+		}
+	}
+	return p
+}
+
+// bestMove evaluates all candidates for moving the gene at idx of cur into
+// positions [lo, hi] on any of the given machines, fanned out over the
+// pool's workers, and returns the winning makespan, position and machine
+// index.
+func (p *allocPool) bestMove(cur schedule.String, idx, lo, hi int, machines []taskgraph.MachineID) (ms float64, q, mi int) {
+	total := (hi - lo + 1) * len(machines)
+	nw := len(p.workers)
+	if total < 2*nw {
+		// Too little work to amortize goroutine wakeups.
+		w := p.workers[0]
+		return bestMoveSerial(w.eval, cur, w.buf, idx, lo, hi, machines)
+	}
+	results := make([]moveKey, nw)
+	var wg sync.WaitGroup
+	chunk := (total + nw - 1) / nw
+	for wi := 0; wi < nw; wi++ {
+		start := wi * chunk
+		end := start + chunk
+		if end > total {
+			end = total
+		}
+		if start >= end {
+			results[wi] = moveKey{ms: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(wi, start, end int) {
+			defer wg.Done()
+			w := p.workers[wi]
+			best := moveKey{ms: -1}
+			for i := start; i < end; i++ {
+				qq := lo + i/len(machines)
+				mm := i % len(machines)
+				schedule.MoveInto(w.buf, cur, idx, qq, machines[mm])
+				c, total := w.eval.MakespanTotal(w.buf)
+				k := moveKey{ms: c, total: total, q: qq, mi: mm}
+				if best.ms < 0 || k.better(best) {
+					best = k
+				}
+			}
+			results[wi] = best
+		}(wi, start, end)
+	}
+	wg.Wait()
+	best := moveKey{ms: -1}
+	for _, k := range results {
+		if k.ms < 0 {
+			continue
+		}
+		if best.ms < 0 || k.better(best) {
+			best = k
+		}
+	}
+	return best.ms, best.q, best.mi
+}
+
+// evaluations sums full-evaluation counts over all workers.
+func (p *allocPool) evaluations() uint64 {
+	var n uint64
+	for _, w := range p.workers {
+		n += w.eval.Evaluations()
+	}
+	return n
+}

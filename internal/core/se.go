@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Run executes the SE heuristic on graph g over system sys and returns the
+// best solution found.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	e, err := newEngine(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(), nil
+}
+
+type engine struct {
+	g    *taskgraph.Graph
+	sys  *platform.System
+	opts Options
+	rng  *rand.Rand
+	eval *schedule.Evaluator
+
+	opt      []float64 // Oᵢ, fixed across generations
+	finish   []float64 // Cᵢ of the current solution
+	goodness []float64 // gᵢ = clamp(Oᵢ/Cᵢ)
+	levels   []int     // DAG levels, for selection-set ordering
+	pos      []int     // task → index scratch
+
+	cur      schedule.String
+	moveBuf  schedule.String // scratch for applying the winning move
+	selected []taskgraph.TaskID
+
+	pool *allocPool // nil when running serially
+}
+
+func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine, error) {
+	if g.NumTasks() != sys.NumTasks() {
+		return nil, fmt.Errorf("core: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
+	}
+	if g.NumItems() != sys.NumItems() {
+		return nil, fmt.Errorf("core: graph has %d items but system is sized for %d", g.NumItems(), sys.NumItems())
+	}
+	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
+		return nil, fmt.Errorf("core: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
+	}
+	if opts.MaxIterations < 0 {
+		return nil, fmt.Errorf("core: MaxIterations = %d, want >= 0", opts.MaxIterations)
+	}
+	if opts.Y < 0 {
+		return nil, fmt.Errorf("core: Y = %d, want >= 0", opts.Y)
+	}
+	n := g.NumTasks()
+	e := &engine{
+		g:        g,
+		sys:      sys,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		eval:     schedule.NewEvaluator(g, sys),
+		opt:      OptimalFinishTimes(g, sys),
+		finish:   make([]float64, n),
+		goodness: make([]float64, n),
+		levels:   g.Levels(),
+		pos:      make([]int, n),
+		moveBuf:  make(schedule.String, n),
+		selected: make([]taskgraph.TaskID, 0, n),
+	}
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("core: Options.Initial: %w", err)
+		}
+		e.cur = opts.Initial.Clone()
+	} else {
+		e.cur = e.initialSolution()
+	}
+	if opts.Workers > 1 {
+		e.pool = newAllocPool(g, sys, opts.Workers)
+	}
+	return e, nil
+}
+
+// initialSolution implements §4.2: random machine per task, tasks laid out
+// in (deterministic) topological order, then a random number of random
+// position moves within valid ranges. The perturbation moves positions
+// only — machines stay as initially drawn — matching the paper's wording.
+func (e *engine) initialSolution() schedule.String {
+	n := e.g.NumTasks()
+	assign := make([]taskgraph.MachineID, n)
+	for t := range assign {
+		assign[t] = taskgraph.MachineID(e.rng.Intn(e.sys.NumMachines()))
+	}
+	s := schedule.FromOrder(e.g.TopoOrder(), assign)
+
+	moves := e.opts.InitialMoves
+	switch {
+	case moves == NoInitialMoves:
+		moves = 0
+	case moves == 0:
+		moves = e.rng.Intn(2*n + 1)
+	}
+	mv := schedule.NewMover(e.g)
+	for i := 0; i < moves; i++ {
+		idx := e.rng.Intn(n)
+		lo, hi := mv.ValidRangeOf(s, idx)
+		q := lo + e.rng.Intn(hi-lo+1)
+		mv.Apply(s, idx, q, s[idx].Machine)
+	}
+	return s
+}
+
+func (e *engine) run() *Result {
+	start := time.Now()
+	res := &Result{}
+	best := e.cur.Clone()
+	bestMs := e.eval.Makespan(best)
+	sinceImproved := 0
+	var mover *schedule.Mover // lazily created for PerturbAfter kicks
+
+	iter := 0
+	for {
+		// Evaluation (§4.3): finish times of the current solution give Cᵢ.
+		curMs := e.eval.FinishInto(e.cur, e.finish)
+		if curMs < bestMs {
+			bestMs = curMs
+			copy(best, e.cur)
+			sinceImproved = 0
+		} else {
+			sinceImproved++
+		}
+		Goodness(e.goodness, e.opt, e.finish)
+
+		// Selection (§4.4).
+		e.selectTasks()
+
+		stats := IterationStats{
+			Iteration:       iter,
+			Selected:        len(e.selected),
+			CurrentMakespan: curMs,
+			BestMakespan:    bestMs,
+			Elapsed:         time.Since(start),
+		}
+		if e.opts.RecordTrace {
+			res.Trace = append(res.Trace, stats)
+		}
+		if e.opts.OnIteration != nil && !e.opts.OnIteration(stats) {
+			iter++
+			break
+		}
+
+		// Allocation (§4.5).
+		e.allocate()
+
+		iter++
+		if e.opts.MaxIterations > 0 && iter >= e.opts.MaxIterations {
+			break
+		}
+		if e.opts.TimeBudget > 0 && time.Since(start) >= e.opts.TimeBudget {
+			break
+		}
+		if e.opts.NoImprovement > 0 && sinceImproved >= e.opts.NoImprovement {
+			break
+		}
+		if e.opts.PerturbAfter > 0 && sinceImproved > 0 && sinceImproved%e.opts.PerturbAfter == 0 {
+			// Iterated-local-search kick (extension, see Options): shuffle
+			// the stagnated solution and let the next generations descend
+			// into a new basin. The best solution is already kept aside.
+			if mover == nil {
+				mover = schedule.NewMover(e.g)
+			}
+			mover.Shuffle(e.rng, e.cur, e.sys.NumMachines(), e.g.NumTasks())
+		}
+	}
+
+	// The final generation's allocation may have improved on the last
+	// recorded best.
+	finalMs := e.eval.Makespan(e.cur)
+	if finalMs < bestMs {
+		bestMs = finalMs
+		copy(best, e.cur)
+	}
+
+	res.Best = best
+	res.BestMakespan = bestMs
+	res.Iterations = iter
+	res.Elapsed = time.Since(start)
+	res.Evaluations = e.eval.Evaluations()
+	if e.pool != nil {
+		res.Evaluations += e.pool.evaluations()
+	}
+	return res
+}
+
+// selectTasks fills e.selected with the selection set S: task sᵢ is selected
+// when a uniform draw in [0,1) is greater than gᵢ + B. The set is then
+// ordered by ascending DAG level (ties by task ID), the order in which
+// allocation will reconsider the tasks.
+func (e *engine) selectTasks() {
+	e.selected = e.selected[:0]
+	for t := 0; t < e.g.NumTasks(); t++ {
+		if e.rng.Float64() > e.goodness[t]+e.opts.Bias {
+			e.selected = append(e.selected, taskgraph.TaskID(t))
+		}
+	}
+	lv := e.levels
+	sort.SliceStable(e.selected, func(i, j int) bool {
+		a, b := e.selected[i], e.selected[j]
+		if lv[a] != lv[b] {
+			return lv[a] < lv[b]
+		}
+		return a < b
+	})
+}
+
+// allocate constructively re-places every selected task: all insertion
+// positions in the task's valid range are combined with each of its Y
+// best-matching machines; the combination with the smallest overall
+// schedule length is applied before moving on to the next selected task.
+func (e *engine) allocate() {
+	for _, t := range e.selected {
+		e.cur.Positions(e.pos)
+		idx := e.pos[t]
+		lo, hi := schedule.ValidRange(e.g, e.cur, e.pos, idx)
+		machines := e.sys.TopMachines(t, e.opts.Y)
+
+		var bestQ, bestMI int
+		if e.pool != nil {
+			_, bestQ, bestMI = e.pool.bestMove(e.cur, idx, lo, hi, machines)
+		} else {
+			_, bestQ, bestMI = bestMoveSerial(e.eval, e.cur, e.moveBuf, idx, lo, hi, machines)
+		}
+		schedule.MoveInto(e.moveBuf, e.cur, idx, bestQ, machines[bestMI])
+		copy(e.cur, e.moveBuf)
+	}
+}
+
+// bestMoveSerial scans all (position, machine) combinations in ascending
+// (q, machine-rank) order and returns the first combination minimizing
+// (makespan, total finish time): candidates off the critical path tie on
+// makespan, and the secondary total-finish criterion keeps such moves
+// compacting the schedule instead of parking at the first tie. The
+// parallel pool reduces with the same key, so both paths pick identical
+// moves.
+func bestMoveSerial(eval *schedule.Evaluator, cur, buf schedule.String, idx, lo, hi int, machines []taskgraph.MachineID) (ms float64, q, mi int) {
+	best := moveKey{ms: -1}
+	for qq := lo; qq <= hi; qq++ {
+		for mm, m := range machines {
+			schedule.MoveInto(buf, cur, idx, qq, m)
+			c, total := eval.MakespanTotal(buf)
+			k := moveKey{ms: c, total: total, q: qq, mi: mm}
+			if best.ms < 0 || k.better(best) {
+				best = k
+			}
+		}
+	}
+	return best.ms, best.q, best.mi
+}

@@ -1,0 +1,338 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+func taskID(i int) taskgraph.TaskID { return taskgraph.TaskID(i) }
+
+func smallWorkload() *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks: 20, Machines: 4,
+		Connectivity:  2,
+		Heterogeneity: 6,
+		CCR:           0.5,
+		Seed:          42,
+	})
+}
+
+func TestRunReturnsValidSolution(t *testing.T) {
+	w := smallWorkload()
+	res, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("SE returned invalid solution: %v", err)
+	}
+	if res.Iterations != 50 {
+		t.Errorf("Iterations = %d, want 50", res.Iterations)
+	}
+	if res.Evaluations == 0 {
+		t.Error("Evaluations = 0")
+	}
+}
+
+func TestRunImprovesOverInitial(t *testing.T) {
+	w := smallWorkload()
+	e := schedule.NewEvaluator(w.Graph, w.System)
+
+	// A deliberately poor but valid initial solution: everything on
+	// machine 0 in deterministic topological order.
+	initial := make(schedule.String, 20)
+	for i, tk := range w.Graph.TopoOrder() {
+		initial[i] = schedule.Gene{Task: tk, Machine: 0}
+	}
+	initMs := e.Makespan(initial)
+
+	res, err := core.Run(w.Graph, w.System, core.Options{
+		MaxIterations: 100, Seed: 1, Initial: initial,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestMakespan >= initMs {
+		t.Errorf("SE did not improve: best %v, initial %v", res.BestMakespan, initMs)
+	}
+}
+
+func TestRunRespectsLowerBound(t *testing.T) {
+	w := smallWorkload()
+	lb := schedule.LowerBound(w.Graph, w.System)
+	res, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestMakespan < lb-1e-9 {
+		t.Errorf("best makespan %v below lower bound %v", res.BestMakespan, lb)
+	}
+	if got := schedule.NewEvaluator(w.Graph, w.System).Makespan(res.Best); got != res.BestMakespan {
+		t.Errorf("reported best %v but re-evaluation gives %v", res.BestMakespan, got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := smallWorkload()
+	opts := core.Options{MaxIterations: 60, Seed: 7, Y: 2, Bias: -0.1}
+	a, err := core.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := core.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.BestMakespan != b.BestMakespan {
+		t.Errorf("same seed, different best: %v vs %v", a.BestMakespan, b.BestMakespan)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatalf("same seed, different solutions at gene %d", i)
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	w := smallWorkload()
+	a, _ := core.Run(w.Graph, w.System, core.Options{MaxIterations: 30, Seed: 1})
+	b, _ := core.Run(w.Graph, w.System, core.Options{MaxIterations: 30, Seed: 2})
+	same := true
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds walked identical search paths")
+	}
+}
+
+// TestRunParallelMatchesSerial checks the documented guarantee that the
+// worker pool changes wall-clock time only: same seed → bit-identical
+// solutions.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	w := workload.MustGenerate(workload.Params{
+		Tasks: 30, Machines: 6, Connectivity: 3, Heterogeneity: 8, CCR: 1, Seed: 9,
+	})
+	serial, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 40, Seed: 5})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 40, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.BestMakespan != parallel.BestMakespan {
+		t.Errorf("serial best %v != parallel best %v", serial.BestMakespan, parallel.BestMakespan)
+	}
+	for i := range serial.Best {
+		if serial.Best[i] != parallel.Best[i] {
+			t.Fatalf("solutions diverge at gene %d: %v vs %v", i, serial.Best[i], parallel.Best[i])
+		}
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	w := smallWorkload()
+	res, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 25, Seed: 1, RecordTrace: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Trace) != 25 {
+		t.Fatalf("Trace length = %d, want 25", len(res.Trace))
+	}
+	for i, st := range res.Trace {
+		if st.Iteration != i {
+			t.Errorf("Trace[%d].Iteration = %d", i, st.Iteration)
+		}
+		if st.Selected < 0 || st.Selected > 20 {
+			t.Errorf("Trace[%d].Selected = %d out of range", i, st.Selected)
+		}
+		if st.BestMakespan > st.CurrentMakespan+1e-9 && i == 0 {
+			t.Errorf("iteration 0: best %v > current %v", st.BestMakespan, st.CurrentMakespan)
+		}
+	}
+	// Best-so-far must be monotone non-increasing.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].BestMakespan > res.Trace[i-1].BestMakespan+1e-9 {
+			t.Errorf("best-so-far increased at iteration %d", i)
+		}
+	}
+}
+
+func TestBiasControlsSelectionSize(t *testing.T) {
+	w := smallWorkload()
+	mean := func(bias float64) float64 {
+		res, err := core.Run(w.Graph, w.System, core.Options{
+			MaxIterations: 40, Seed: 11, Bias: bias, RecordTrace: true,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		total := 0
+		for _, st := range res.Trace {
+			total += st.Selected
+		}
+		return float64(total) / float64(len(res.Trace))
+	}
+	negative := mean(-0.3) // paper: negative bias → more selected
+	positive := mean(0.3)  // positive bias → fewer selected
+	if negative <= positive {
+		t.Errorf("mean selected: bias -0.3 → %.1f, bias +0.3 → %.1f; want more with negative bias", negative, positive)
+	}
+}
+
+func TestOnIterationStopsRun(t *testing.T) {
+	w := smallWorkload()
+	calls := 0
+	res, err := core.Run(w.Graph, w.System, core.Options{
+		Seed: 1,
+		OnIteration: func(st core.IterationStats) bool {
+			calls++
+			return calls < 5
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 5 {
+		t.Errorf("OnIteration called %d times, want 5", calls)
+	}
+	if res.Iterations != 5 {
+		t.Errorf("Iterations = %d, want 5", res.Iterations)
+	}
+}
+
+func TestTimeBudgetStopsRun(t *testing.T) {
+	w := smallWorkload()
+	budget := 50 * time.Millisecond
+	start := time.Now()
+	_, err := core.Run(w.Graph, w.System, core.Options{TimeBudget: budget, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*budget {
+		t.Errorf("run took %v with a %v budget", elapsed, budget)
+	}
+}
+
+func TestNoImprovementStopsRun(t *testing.T) {
+	w := smallWorkload()
+	res, err := core.Run(w.Graph, w.System, core.Options{NoImprovement: 10, Seed: 1, MaxIterations: 100000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Iterations >= 100000 {
+		t.Error("NoImprovement did not stop the run")
+	}
+}
+
+func TestYRestrictsMachines(t *testing.T) {
+	w := smallWorkload()
+	res, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 60, Seed: 2, Y: 1, InitialMoves: core.NoInitialMoves})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// With Y=1 every relocated task lands on its best-matching machine;
+	// over enough iterations nearly all tasks end up there. At minimum the
+	// result must stay valid and the run must complete.
+	if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("invalid solution with Y=1: %v", err)
+	}
+}
+
+func TestInitialSolutionUsed(t *testing.T) {
+	w := smallWorkload()
+	initial := make(schedule.String, 20)
+	for i, tk := range w.Graph.TopoOrder() {
+		initial[i] = schedule.Gene{Task: tk, Machine: 1}
+	}
+	res, err := core.Run(w.Graph, w.System, core.Options{
+		MaxIterations: 1, Seed: 1, Initial: initial, Bias: 2, // bias 2: select nothing
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantMs := schedule.NewEvaluator(w.Graph, w.System).Makespan(initial)
+	if res.Trace[0].CurrentMakespan != wantMs {
+		t.Errorf("iteration 0 makespan = %v, want initial's %v", res.Trace[0].CurrentMakespan, wantMs)
+	}
+	if res.Trace[0].Selected != 0 {
+		t.Errorf("bias 2 selected %d tasks, want 0", res.Trace[0].Selected)
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	w := smallWorkload()
+	cases := []struct {
+		name string
+		opts core.Options
+		want string
+	}{
+		{"no stop", core.Options{}, "stopping criterion"},
+		{"negative Y", core.Options{MaxIterations: 1, Y: -1}, "Y"},
+		{"bad initial", core.Options{MaxIterations: 1, Initial: schedule.String{{Task: 0, Machine: 0}}}, "Initial"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := core.Run(w.Graph, w.System, tc.opts)
+			if err == nil {
+				t.Fatal("Run accepted invalid options")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMismatchedGraphSystem(t *testing.T) {
+	w := smallWorkload()
+	other := workload.Figure1()
+	_, err := core.Run(w.Graph, other.System, core.Options{MaxIterations: 1})
+	if err == nil {
+		t.Fatal("Run accepted mismatched graph and system")
+	}
+}
+
+func TestFigure1SEFindsGoodSchedule(t *testing.T) {
+	w := workload.Figure1()
+	res, err := core.Run(w.Graph, w.System, core.Options{
+		MaxIterations: 200, Seed: 1, Bias: -0.2, // small problem: thorough search
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The Figure-2 example solution scores 3123; SE must at least match a
+	// solution the paper presents as merely "valid".
+	if res.BestMakespan > 3123 {
+		t.Errorf("SE best %v worse than the paper's example solution 3123", res.BestMakespan)
+	}
+}
+
+func TestSingleMachineWorkload(t *testing.T) {
+	w := workload.MustGenerate(workload.Params{
+		Tasks: 10, Machines: 1, Connectivity: 1.5, Heterogeneity: 1, CCR: 0.5, Seed: 4,
+	})
+	res, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// One machine: makespan is the serial sum regardless of order.
+	sum := 0.0
+	for tk := 0; tk < 10; tk++ {
+		sum += w.System.MeanExecTime(taskID(tk))
+	}
+	if diff := res.BestMakespan - sum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("single-machine makespan = %v, want serial sum %v", res.BestMakespan, sum)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// WriteCSV emits a figure's series resampled on a common x grid of
+// gridSize+1 points (step interpolation), one column per series, ready for
+// external plotting. gridSize ≤ 0 selects 100.
+func WriteCSV(w io.Writer, fig Figure, gridSize int) error {
+	if gridSize <= 0 {
+		gridSize = 100
+	}
+	cw := csv.NewWriter(w)
+	header := []string{fig.XLabel}
+	maxX := 0.0
+	for _, s := range fig.Series {
+		header = append(header, s.Name)
+		if s.MaxX() > maxX {
+			maxX = s.MaxX()
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range stats.Grid(maxX, gridSize) {
+		row := []string{formatNum(x)}
+		for _, s := range fig.Series {
+			row = append(row, formatNum(s.At(x)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatNum(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,168 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§5). Each FigNN function regenerates one figure's data as named series
+// plus machine-checked notes on the qualitative claim the paper makes
+// about that figure. cmd/figures renders them; bench_test.go wraps them as
+// benchmarks; EXPERIMENTS.md records paper-vs-measured outcomes.
+//
+// The paper reports no absolute numbers (its evaluation is seven plots on
+// unpublished random workloads), so reproduction here means matching the
+// shape: selection decay, convergence, the Y trade-off, and who wins the
+// SE-vs-GA races on which workload class.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. PaperConfig matches the paper's stated
+// sizes; QuickConfig is a laptop-second variant for tests and benchmarks.
+type Config struct {
+	// Tasks and Machines size the workloads (the paper's §5.3 uses 100
+	// tasks and 20 machines).
+	Tasks    int
+	Machines int
+	// Iterations bounds the iteration-indexed experiments (Figures 3, 4).
+	Iterations int
+	// Budget bounds the wall-clock races (Figures 5–7).
+	Budget time.Duration
+	// Seed drives workload generation and every algorithm.
+	Seed int64
+	// Workers parallelizes SE allocation and GA fitness evaluation
+	// (0/1 = serial).
+	Workers int
+}
+
+// PaperConfig returns the configuration matching the paper's experiment
+// scale.
+func PaperConfig() Config {
+	return Config{
+		Tasks:      100,
+		Machines:   20,
+		Iterations: 1000,
+		Budget:     10 * time.Second,
+		Seed:       1,
+	}
+}
+
+// QuickConfig returns a down-scaled configuration that finishes in
+// seconds, preserving every workload characteristic ratio.
+func QuickConfig() Config {
+	return Config{
+		Tasks:      40,
+		Machines:   8,
+		Iterations: 120,
+		Budget:     400 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Figure is one reproduced plot.
+type Figure struct {
+	// ID is the paper's figure number ("3a" … "7").
+	ID string
+	// Title restates what the paper's figure shows.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the plotted curves.
+	Series []stats.Series
+	// Notes are machine-generated findings checking the paper's
+	// qualitative claim on this run's data.
+	Notes []string
+}
+
+// IDs lists all reproducible figures in paper order.
+func IDs() []string { return []string{"3a", "3b", "4a", "4b", "5", "6", "7"} }
+
+// ByID regenerates one figure. Unknown IDs return an error.
+func ByID(id string, cfg Config) (Figure, error) {
+	switch id {
+	case "3a":
+		f, _, err := Fig3(cfg)
+		return f, err
+	case "3b":
+		_, f, err := Fig3(cfg)
+		return f, err
+	case "4a":
+		return Fig4a(cfg)
+	case "4b":
+		return Fig4b(cfg)
+	case "5":
+		return Fig5(cfg)
+	case "6":
+		return Fig6(cfg)
+	case "7":
+		return Fig7(cfg)
+	default:
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q (want one of %v)", id, IDs())
+	}
+}
+
+// All regenerates every figure (sharing the Figure-3 run between 3a and
+// 3b).
+func All(cfg Config) ([]Figure, error) {
+	f3a, f3b, err := Fig3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	figs := []Figure{f3a, f3b}
+	for _, gen := range []func(Config) (Figure, error){Fig4a, Fig4b, Fig5, Fig6, Fig7} {
+		f, err := gen(cfg)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}
+
+// Workload-class constructors shared by the figures. Parameters not named
+// by the paper for a figure sit at middle values.
+
+func highConnectivityWorkload(cfg Config) *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks:         cfg.Tasks,
+		Machines:      cfg.Machines,
+		Connectivity:  workload.HighConnectivity,
+		Heterogeneity: workload.MediumHeterogeneity,
+		CCR:           0.5,
+		Seed:          cfg.Seed,
+	})
+}
+
+func heterogeneityWorkload(cfg Config, het float64) *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks:         cfg.Tasks,
+		Machines:      cfg.Machines,
+		Connectivity:  2.5,
+		Heterogeneity: het,
+		CCR:           0.5,
+		Seed:          cfg.Seed,
+	})
+}
+
+func ccr1Workload(cfg Config) *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks:         cfg.Tasks,
+		Machines:      cfg.Machines,
+		Connectivity:  2.5,
+		Heterogeneity: workload.MediumHeterogeneity,
+		CCR:           workload.HighCCR,
+		Seed:          cfg.Seed,
+	})
+}
+
+func lowEverythingWorkload(cfg Config) *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks:         cfg.Tasks,
+		Machines:      cfg.Machines,
+		Connectivity:  workload.LowConnectivity,
+		Heterogeneity: workload.LowHeterogeneity,
+		CCR:           workload.LowCCR,
+		Seed:          cfg.Seed,
+	})
+}

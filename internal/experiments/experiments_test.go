@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps the full-pipeline tests fast.
+func tinyConfig() Config {
+	return Config{
+		Tasks:      20,
+		Machines:   6,
+		Iterations: 40,
+		Budget:     120 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+func TestFig3ProducesBothFigures(t *testing.T) {
+	a, b, err := Fig3(tinyConfig())
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	if a.ID != "3a" || b.ID != "3b" {
+		t.Errorf("IDs = %q, %q", a.ID, b.ID)
+	}
+	if len(a.Series) != 1 || len(a.Series[0].Points) != 40 {
+		t.Errorf("fig3a series malformed: %d series", len(a.Series))
+	}
+	if len(b.Series) != 1 || len(b.Series[0].Points) != 40 {
+		t.Errorf("fig3b series malformed")
+	}
+	// Selected counts must be within [0, tasks].
+	for _, p := range a.Series[0].Points {
+		if p.Y < 0 || p.Y > 20 {
+			t.Errorf("selected count %v out of range", p.Y)
+		}
+	}
+}
+
+func TestFig4aSeriesPerY(t *testing.T) {
+	cfg := tinyConfig()
+	f, err := Fig4a(cfg)
+	if err != nil {
+		t.Fatalf("Fig4a: %v", err)
+	}
+	ys := yValues(cfg.Machines)
+	if len(f.Series) != len(ys) {
+		t.Fatalf("series = %d, want %d (one per Y)", len(f.Series), len(ys))
+	}
+	for i, s := range f.Series {
+		if !strings.Contains(s.Name, "Y =") {
+			t.Errorf("series %d name = %q", i, s.Name)
+		}
+		// Best-so-far curves are monotone non-increasing.
+		for j := 1; j < len(s.Points); j++ {
+			if s.Points[j].Y > s.Points[j-1].Y+1e-9 {
+				t.Errorf("series %q increased at %d", s.Name, j)
+			}
+		}
+	}
+}
+
+func TestFig4bNotes(t *testing.T) {
+	f, err := Fig4b(tinyConfig())
+	if err != nil {
+		t.Fatalf("Fig4b: %v", err)
+	}
+	found := false
+	for _, n := range f.Notes {
+		if strings.Contains(n, "paper claim") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no claim note in %v", f.Notes)
+	}
+}
+
+func TestRaceFiguresProduceSEandGA(t *testing.T) {
+	for _, id := range []string{"5", "6", "7"} {
+		f, err := ByID(id, tinyConfig())
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		if len(f.Series) != 2 {
+			t.Fatalf("fig %s: %d series, want SE and GA", id, len(f.Series))
+		}
+		if f.Series[0].Name != "SE" || f.Series[1].Name != "GA" {
+			t.Errorf("fig %s series names = %q, %q", id, f.Series[0].Name, f.Series[1].Name)
+		}
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				t.Errorf("fig %s: series %s empty", id, s.Name)
+			}
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	_, err := ByID("99", tinyConfig())
+	if err == nil {
+		t.Fatal("ByID accepted unknown figure")
+	}
+}
+
+func TestIDsCoverAllFigures(t *testing.T) {
+	want := []string{"3a", "3b", "4a", "4b", "5", "6", "7"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllSharesFig3Run(t *testing.T) {
+	figs, err := All(tinyConfig())
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(figs) != 7 {
+		t.Fatalf("All returned %d figures, want 7", len(figs))
+	}
+	for i, id := range IDs() {
+		if figs[i].ID != id {
+			t.Errorf("figs[%d].ID = %q, want %q", i, figs[i].ID, id)
+		}
+	}
+}
+
+func TestYValuesScaling(t *testing.T) {
+	ys := yValues(20)
+	want := []int{5, 9, 12}
+	if len(ys) != 3 {
+		t.Fatalf("yValues(20) = %v", ys)
+	}
+	for i := range want {
+		if ys[i] != want[i] {
+			t.Errorf("yValues(20) = %v, want %v (the paper's values)", ys, want)
+		}
+	}
+	// Small machine counts must deduplicate.
+	ys = yValues(2)
+	for i := 1; i < len(ys); i++ {
+		if ys[i] == ys[i-1] {
+			t.Errorf("yValues(2) = %v has duplicates", ys)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f, err := Fig4a(tinyConfig())
+	if err != nil {
+		t.Fatalf("Fig4a: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, f, 10); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 12 { // header + 11 grid rows
+		t.Fatalf("CSV rows = %d, want 12:\n%s", len(lines), buf.String())
+	}
+	cols := strings.Split(lines[0], ",")
+	if cols[0] != "iteration" {
+		t.Errorf("header = %v", cols)
+	}
+	if len(cols) != 1+len(f.Series) {
+		t.Errorf("header has %d columns, want %d", len(cols), 1+len(f.Series))
+	}
+}
+
+func TestQuickAndPaperConfigsDiffer(t *testing.T) {
+	q, p := QuickConfig(), PaperConfig()
+	if q.Tasks >= p.Tasks || q.Budget >= p.Budget {
+		t.Errorf("quick config not smaller: %+v vs %+v", q, p)
+	}
+	if p.Tasks != 100 || p.Machines != 20 {
+		t.Errorf("paper config = %+v, want the paper's 100 tasks / 20 machines", p)
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig5 reproduces Figure 5 (§5.3): best schedule found by SE and GA as
+// wall-clock time increases, on a workload of HIGH connectivity (100
+// tasks, 20 machines at paper scale). Paper claim: SE produces better
+// solutions than GA with less time.
+func Fig5(cfg Config) (Figure, error) {
+	return raceFigure(cfg, "5", "high connectivity", highConnectivityWorkload(cfg))
+}
+
+// Fig6 reproduces Figure 6 (§5.3): the same race on a workload with
+// CCR = 1 (heavily communicating subtasks). Paper claim: SE wins.
+func Fig6(cfg Config) (Figure, error) {
+	return raceFigure(cfg, "6", "CCR = 1", ccr1Workload(cfg))
+}
+
+// Fig7 reproduces Figure 7 (§5.3): the race on a workload of LOW
+// connectivity, LOW heterogeneity and CCR = 0.1. Paper claim: the outcome
+// is not clear-cut; GA often reaches good solutions faster than SE on this
+// class.
+func Fig7(cfg Config) (Figure, error) {
+	return raceFigure(cfg, "7", "low connectivity, low heterogeneity, CCR = 0.1", lowEverythingWorkload(cfg))
+}
+
+func raceFigure(cfg Config, id, class string, w *workload.Workload) (Figure, error) {
+	seOpts := core.Options{
+		// Zero bias: at this scale the per-iteration cost is already low,
+		// and the paper's positive-bias advice trades quality for speed.
+		Bias: 0,
+		// The paper's preferred middle Y (9 of 20 machines, §5.2).
+		Y:       yMid(cfg.Machines),
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+	}
+	// Wang et al.'s large-population configuration (the GA the paper
+	// compares against): population 200, crossover 0.4, low mutation.
+	gaOpts := ga.Options{
+		PopulationSize: 200,
+		CrossoverRate:  0.4,
+		MutationRate:   0.02,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+	}
+	series, err := runner.Race(cfg.Budget, []runner.Contender{
+		runner.SEContender("SE", w.Graph, w.System, seOpts),
+		runner.GAContender("GA", w.Graph, w.System, gaOpts),
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
+	se, gaS := series[0], series[1]
+	seFinal, gaFinal := se.Last(), gaS.Last()
+	half := cfg.Budget.Seconds() / 2
+	quarter := cfg.Budget.Seconds() / 4
+
+	fig := Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Fig %s — SE vs GA, %s", id, class),
+		XLabel: "time (s)",
+		YLabel: "best schedule length",
+		Series: series,
+		Notes: []string{
+			fmt.Sprintf("workload: %s", w),
+			fmt.Sprintf("budget %v; SE final %.0f, GA final %.0f (SE/GA = %.3f)", cfg.Budget, seFinal, gaFinal, seFinal/gaFinal),
+			fmt.Sprintf("leader at 25%% budget: %s; at 50%% budget: %s; final: %s",
+				leader(se, gaS, quarter), leader(se, gaS, half), leaderFinal(seFinal, gaFinal)),
+		},
+	}
+	switch id {
+	case "5", "6":
+		fig.Notes = append(fig.Notes, fmt.Sprintf("paper claim (SE better than GA on this class): %v", seFinal <= gaFinal))
+	case "7":
+		ratio := seFinal / gaFinal
+		close := ratio > 0.95 && ratio < 1.05
+		fig.Notes = append(fig.Notes,
+			"paper claim: no clear winner on this class; GA often reaches good solutions faster",
+			fmt.Sprintf("finals within 5%% (no clear winner): %v; GA led at 25%% budget: %v",
+				close, leader(se, gaS, quarter) == "GA"))
+	}
+	return fig, nil
+}
+
+// yMid scales the paper's preferred middle Y (9 of 20 machines) to the
+// configured machine count.
+func yMid(machines int) int {
+	y := int(math.Round(9.0 / 20 * float64(machines)))
+	if y < 2 {
+		y = 2
+	}
+	if y > machines {
+		y = machines
+	}
+	return y
+}
+
+func leader(a, b stats.Series, x float64) string {
+	av, bv := a.At(x), b.At(x)
+	switch {
+	case av < bv:
+		return "SE"
+	case bv < av:
+		return "GA"
+	default:
+		return "tie"
+	}
+}
+
+func leaderFinal(a, b float64) string {
+	switch {
+	case a < b:
+		return "SE"
+	case b < a:
+		return "GA"
+	default:
+		return "tie"
+	}
+}

@@ -1,0 +1,288 @@
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Run executes the GA on graph g over system sys and returns the best
+// solution found.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	e, err := newEngine(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(), nil
+}
+
+// chromosome is Wang et al.'s two-string representation.
+type chromosome struct {
+	order  []taskgraph.TaskID    // scheduling string: a topological order
+	assign []taskgraph.MachineID // matching string: task → machine
+	cost   float64               // schedule length; set by evaluate
+}
+
+func (c *chromosome) clone() *chromosome {
+	return &chromosome{
+		order:  append([]taskgraph.TaskID(nil), c.order...),
+		assign: append([]taskgraph.MachineID(nil), c.assign...),
+		cost:   c.cost,
+	}
+}
+
+type engine struct {
+	g    *taskgraph.Graph
+	sys  *platform.System
+	opts Options
+	rng  *rand.Rand
+
+	pop  []*chromosome
+	next []*chromosome
+
+	evals   []*schedule.Evaluator // one per worker (index 0 = serial path)
+	bufs    []schedule.String
+	posBuf  []int
+	fitness []float64
+}
+
+func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine, error) {
+	if g.NumTasks() != sys.NumTasks() {
+		return nil, fmt.Errorf("ga: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
+	}
+	if opts.MaxGenerations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnGeneration == nil {
+		return nil, fmt.Errorf("ga: no stopping criterion set (MaxGenerations, TimeBudget, NoImprovement or OnGeneration)")
+	}
+	opts = opts.withDefaults()
+	if opts.PopulationSize < 2 {
+		return nil, fmt.Errorf("ga: PopulationSize = %d, want >= 2", opts.PopulationSize)
+	}
+	if opts.Elitism < 0 || opts.Elitism >= opts.PopulationSize {
+		return nil, fmt.Errorf("ga: Elitism = %d, want in [0, PopulationSize)", opts.Elitism)
+	}
+	if opts.CrossoverRate < 0 || opts.CrossoverRate > 1 {
+		return nil, fmt.Errorf("ga: CrossoverRate = %v, want in [0,1]", opts.CrossoverRate)
+	}
+	if opts.MutationRate < 0 || opts.MutationRate > 1 {
+		return nil, fmt.Errorf("ga: MutationRate = %v, want in [0,1]", opts.MutationRate)
+	}
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("ga: Options.Initial: %w", err)
+		}
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e := &engine{
+		g:       g,
+		sys:     sys,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		posBuf:  make([]int, g.NumTasks()),
+		fitness: make([]float64, opts.PopulationSize),
+	}
+	for i := 0; i < workers; i++ {
+		e.evals = append(e.evals, schedule.NewEvaluator(g, sys))
+		e.bufs = append(e.bufs, make(schedule.String, g.NumTasks()))
+	}
+	e.pop = e.initialPopulation()
+	e.next = make([]*chromosome, 0, opts.PopulationSize)
+	return e, nil
+}
+
+// initialPopulation draws random matchings and uniformly random topological
+// orders; when Options.Initial is set, chromosome 0 carries that solution
+// (Wang et al. seed the population with a baseline heuristic).
+func (e *engine) initialPopulation() []*chromosome {
+	pop := make([]*chromosome, e.opts.PopulationSize)
+	for i := range pop {
+		n := e.g.NumTasks()
+		c := &chromosome{
+			order:  e.g.RandomTopoOrder(e.rng),
+			assign: make([]taskgraph.MachineID, n),
+		}
+		for t := range c.assign {
+			c.assign[t] = taskgraph.MachineID(e.rng.Intn(e.sys.NumMachines()))
+		}
+		pop[i] = c
+	}
+	if e.opts.Initial != nil {
+		pop[0] = &chromosome{
+			order:  e.opts.Initial.Order(),
+			assign: e.opts.Initial.Assignment(),
+		}
+	}
+	return pop
+}
+
+func (e *engine) run() *Result {
+	start := time.Now()
+	res := &Result{}
+	var best *chromosome
+	sinceImproved := 0
+
+	gen := 0
+	for {
+		genBest, genMean := e.evaluate()
+		if best == nil || genBest.cost < best.cost {
+			best = genBest.clone()
+			sinceImproved = 0
+		} else {
+			sinceImproved++
+		}
+
+		stats := GenerationStats{
+			Generation:     gen,
+			BestMakespan:   best.cost,
+			GenerationBest: genBest.cost,
+			GenerationMean: genMean,
+			Elapsed:        time.Since(start),
+		}
+		if e.opts.RecordTrace {
+			res.Trace = append(res.Trace, stats)
+		}
+		if e.opts.OnGeneration != nil && !e.opts.OnGeneration(stats) {
+			gen++
+			break
+		}
+
+		e.evolve()
+
+		gen++
+		if e.opts.MaxGenerations > 0 && gen >= e.opts.MaxGenerations {
+			break
+		}
+		if e.opts.TimeBudget > 0 && time.Since(start) >= e.opts.TimeBudget {
+			break
+		}
+		if e.opts.NoImprovement > 0 && sinceImproved >= e.opts.NoImprovement {
+			break
+		}
+	}
+
+	res.Best = schedule.FromOrder(best.order, best.assign)
+	res.BestMakespan = best.cost
+	res.Generations = gen
+	res.Elapsed = time.Since(start)
+	for _, ev := range e.evals {
+		res.Evaluations += ev.Evaluations()
+	}
+	return res
+}
+
+// evaluate computes every chromosome's schedule length, optionally fanned
+// out over the worker evaluators, and returns the generation's best
+// chromosome and mean cost.
+func (e *engine) evaluate() (genBest *chromosome, genMean float64) {
+	nw := len(e.evals)
+	if nw > 1 && len(e.pop) >= 2*nw {
+		var wg sync.WaitGroup
+		chunk := (len(e.pop) + nw - 1) / nw
+		for wi := 0; wi < nw; wi++ {
+			lo, hi := wi*chunk, (wi+1)*chunk
+			if hi > len(e.pop) {
+				hi = len(e.pop)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					e.pop[i].cost = e.costOf(e.pop[i], wi)
+				}
+			}(wi, lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for _, c := range e.pop {
+			c.cost = e.costOf(c, 0)
+		}
+	}
+	sum := 0.0
+	for _, c := range e.pop {
+		sum += c.cost
+		if genBest == nil || c.cost < genBest.cost {
+			genBest = c
+		}
+	}
+	return genBest, sum / float64(len(e.pop))
+}
+
+func (e *engine) costOf(c *chromosome, worker int) float64 {
+	buf := e.bufs[worker]
+	for i, t := range c.order {
+		buf[i] = schedule.Gene{Task: t, Machine: c.assign[t]}
+	}
+	return e.evals[worker].Makespan(buf)
+}
+
+// evolve produces the next generation: elitism, roulette-wheel selection on
+// fitness = (worst cost − cost), crossover, mutation.
+func (e *engine) evolve() {
+	e.next = e.next[:0]
+
+	// Elitism: carry the best chromosomes over unchanged.
+	byCost := make([]*chromosome, len(e.pop))
+	copy(byCost, e.pop)
+	sort.SliceStable(byCost, func(i, j int) bool { return byCost[i].cost < byCost[j].cost })
+	for i := 0; i < e.opts.Elitism; i++ {
+		e.next = append(e.next, byCost[i].clone())
+	}
+
+	// Roulette wheel: fitness is the cost headroom below the generation's
+	// worst. A uniform wheel results when all costs are equal.
+	worst := byCost[len(byCost)-1].cost
+	totalFit := 0.0
+	for i, c := range e.pop {
+		f := worst - c.cost
+		e.fitness[i] = f
+		totalFit += f
+	}
+
+	for len(e.next) < e.opts.PopulationSize {
+		p1 := e.spin(totalFit)
+		p2 := e.spin(totalFit)
+		c1, c2 := p1.clone(), p2.clone()
+		if e.rng.Float64() < e.opts.CrossoverRate {
+			e.orderCrossover(c1, c2)
+		}
+		if e.rng.Float64() < e.opts.CrossoverRate {
+			e.matchingCrossover(c1, c2)
+		}
+		e.mutate(c1)
+		e.mutate(c2)
+		e.next = append(e.next, c1)
+		if len(e.next) < e.opts.PopulationSize {
+			e.next = append(e.next, c2)
+		}
+	}
+	e.pop, e.next = e.next, e.pop
+}
+
+// spin picks one parent by roulette wheel over e.fitness; a zero wheel
+// (all chromosomes equally bad) degenerates to uniform choice.
+func (e *engine) spin(totalFit float64) *chromosome {
+	if totalFit <= 0 {
+		return e.pop[e.rng.Intn(len(e.pop))]
+	}
+	r := e.rng.Float64() * totalFit
+	acc := 0.0
+	for i, c := range e.pop {
+		acc += e.fitness[i]
+		if r < acc {
+			return c
+		}
+	}
+	return e.pop[len(e.pop)-1]
+}

@@ -1,0 +1,215 @@
+package ga_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ga"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func smallWorkload() *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks: 20, Machines: 4,
+		Connectivity:  2,
+		Heterogeneity: 6,
+		CCR:           0.5,
+		Seed:          42,
+	})
+}
+
+func TestRunReturnsValidSolution(t *testing.T) {
+	w := smallWorkload()
+	res, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 30, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("GA returned invalid solution: %v", err)
+	}
+	if res.Generations != 30 {
+		t.Errorf("Generations = %d, want 30", res.Generations)
+	}
+	if res.Evaluations == 0 {
+		t.Error("Evaluations = 0")
+	}
+}
+
+func TestRunImproves(t *testing.T) {
+	w := smallWorkload()
+	res, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 60, Seed: 1, RecordTrace: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	first := res.Trace[0].GenerationBest
+	if res.BestMakespan >= first {
+		t.Errorf("GA did not improve: best %v, first generation %v", res.BestMakespan, first)
+	}
+}
+
+func TestRunRespectsLowerBound(t *testing.T) {
+	w := smallWorkload()
+	lb := schedule.LowerBound(w.Graph, w.System)
+	res, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 50, Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestMakespan < lb-1e-9 {
+		t.Errorf("best %v below lower bound %v", res.BestMakespan, lb)
+	}
+	if got := schedule.NewEvaluator(w.Graph, w.System).Makespan(res.Best); got != res.BestMakespan {
+		t.Errorf("reported best %v, re-evaluation %v", res.BestMakespan, got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := smallWorkload()
+	opts := ga.Options{MaxGenerations: 25, Seed: 7}
+	a, err := ga.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := ga.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.BestMakespan != b.BestMakespan {
+		t.Errorf("same seed, different best: %v vs %v", a.BestMakespan, b.BestMakespan)
+	}
+}
+
+func TestRunParallelFitnessMatchesSerial(t *testing.T) {
+	w := smallWorkload()
+	a, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 25, Seed: 7})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	b, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 25, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if a.BestMakespan != b.BestMakespan {
+		t.Errorf("parallel fitness changed the search: %v vs %v", a.BestMakespan, b.BestMakespan)
+	}
+}
+
+func TestElitismMonotone(t *testing.T) {
+	w := smallWorkload()
+	res, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 60, Seed: 5, RecordTrace: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// With elitism ≥ 1 the per-generation best never regresses past the
+	// global best, and the global best is monotone.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].BestMakespan > res.Trace[i-1].BestMakespan+1e-9 {
+			t.Errorf("best-so-far increased at generation %d", i)
+		}
+	}
+}
+
+func TestInitialSeedChromosome(t *testing.T) {
+	w := smallWorkload()
+	// Seed with everything on machine 0 in topological order.
+	initial := make(schedule.String, 20)
+	for i, tk := range w.Graph.TopoOrder() {
+		initial[i] = schedule.Gene{Task: tk, Machine: 0}
+	}
+	wantMs := schedule.NewEvaluator(w.Graph, w.System).Makespan(initial)
+	res, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 1, Seed: 1, Initial: initial, RecordTrace: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Generation 0 contains the seed, so its best can be no worse than the
+	// seed's cost.
+	if res.Trace[0].GenerationBest > wantMs {
+		t.Errorf("generation 0 best %v worse than seed %v", res.Trace[0].GenerationBest, wantMs)
+	}
+}
+
+func TestOnGenerationStops(t *testing.T) {
+	w := smallWorkload()
+	calls := 0
+	res, err := ga.Run(w.Graph, w.System, ga.Options{
+		Seed: 1,
+		OnGeneration: func(st ga.GenerationStats) bool {
+			calls++
+			return calls < 4
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 4 || res.Generations != 4 {
+		t.Errorf("calls = %d, generations = %d, want 4", calls, res.Generations)
+	}
+}
+
+func TestTimeBudgetStops(t *testing.T) {
+	w := smallWorkload()
+	start := time.Now()
+	_, err := ga.Run(w.Graph, w.System, ga.Options{TimeBudget: 50 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("run took %v with a 50ms budget", elapsed)
+	}
+}
+
+func TestNoImprovementStops(t *testing.T) {
+	w := smallWorkload()
+	res, err := ga.Run(w.Graph, w.System, ga.Options{NoImprovement: 8, MaxGenerations: 100000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Generations >= 100000 {
+		t.Error("NoImprovement did not stop the run")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	w := smallWorkload()
+	cases := []struct {
+		name string
+		opts ga.Options
+		want string
+	}{
+		{"no stop", ga.Options{}, "stopping criterion"},
+		{"tiny population", ga.Options{MaxGenerations: 1, PopulationSize: 1}, "PopulationSize"},
+		{"elitism too large", ga.Options{MaxGenerations: 1, PopulationSize: 4, Elitism: 4}, "Elitism"},
+		{"bad crossover", ga.Options{MaxGenerations: 1, CrossoverRate: 1.5}, "CrossoverRate"},
+		{"bad mutation", ga.Options{MaxGenerations: 1, MutationRate: -0.5}, "MutationRate"},
+		{"bad initial", ga.Options{MaxGenerations: 1, Initial: schedule.String{{Task: 0, Machine: 0}}}, "Initial"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ga.Run(w.Graph, w.System, tc.opts)
+			if err == nil {
+				t.Fatal("Run accepted invalid options")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEveryGenerationSolutionsValid(t *testing.T) {
+	// Indirect operator check: run many generations on a communication-
+	// heavy workload; the returned best must always be a valid string.
+	w := workload.MustGenerate(workload.Params{
+		Tasks: 30, Machines: 5, Connectivity: 4, Heterogeneity: 10, CCR: 1, Seed: 13,
+	})
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := ga.Run(w.Graph, w.System, ga.Options{MaxGenerations: 40, Seed: seed})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+			t.Fatalf("seed %d: invalid solution: %v", seed, err)
+		}
+	}
+}

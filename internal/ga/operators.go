@@ -1,0 +1,92 @@
+package ga
+
+import (
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// orderCrossover applies Wang et al.'s scheduling-string crossover to both
+// children in place: cut both orders at a random point; each child keeps
+// its own prefix and receives the missing tasks in the relative order they
+// have in the other parent's order.
+//
+// The operator preserves topological validity: any task in the prefix has
+// all its predecessors in the prefix (they preceded it in the same parent's
+// topological order), and tasks in the suffix keep a relative order taken
+// from a topological order of the other parent.
+func (e *engine) orderCrossover(c1, c2 *chromosome) {
+	n := len(c1.order)
+	if n < 2 {
+		return
+	}
+	cut := 1 + e.rng.Intn(n-1)
+	o1 := crossOrders(c1.order, c2.order, cut)
+	o2 := crossOrders(c2.order, c1.order, cut)
+	c1.order = o1
+	c2.order = o2
+}
+
+// crossOrders returns a[:cut] followed by the tasks of a[cut:] in the
+// relative order they appear in b.
+func crossOrders(a, b []taskgraph.TaskID, cut int) []taskgraph.TaskID {
+	n := len(a)
+	out := make([]taskgraph.TaskID, 0, n)
+	out = append(out, a[:cut]...)
+	inPrefix := make([]bool, n)
+	for _, t := range a[:cut] {
+		inPrefix[t] = true
+	}
+	for _, t := range b {
+		if !inPrefix[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// matchingCrossover applies one-point crossover to the matching strings of
+// both children in place: machine assignments of tasks with ID ≥ cut are
+// exchanged. Matching strings carry no ordering constraints, so any
+// exchange is valid.
+func (e *engine) matchingCrossover(c1, c2 *chromosome) {
+	n := len(c1.assign)
+	if n < 2 {
+		return
+	}
+	cut := 1 + e.rng.Intn(n-1)
+	for t := cut; t < n; t++ {
+		c1.assign[t], c2.assign[t] = c2.assign[t], c1.assign[t]
+	}
+}
+
+// mutate applies, each with probability MutationRate, a matching mutation
+// (one task is reassigned to a uniformly random machine) and a scheduling
+// mutation (one task is moved to a random position within its valid range,
+// keeping the order topological).
+func (e *engine) mutate(c *chromosome) {
+	if e.rng.Float64() < e.opts.MutationRate {
+		t := e.rng.Intn(len(c.assign))
+		c.assign[t] = taskgraph.MachineID(e.rng.Intn(e.sys.NumMachines()))
+	}
+	if e.rng.Float64() < e.opts.MutationRate {
+		e.orderMutation(c)
+	}
+}
+
+func (e *engine) orderMutation(c *chromosome) {
+	n := len(c.order)
+	idx := e.rng.Intn(n)
+	t := c.order[idx]
+	for i, u := range c.order {
+		e.posBuf[u] = i
+	}
+	lo, hi := schedule.ValidRangeOrder(e.g, t, e.posBuf, idx, n)
+	q := lo + e.rng.Intn(hi-lo+1)
+	// Remove at idx, insert so the task lands at q.
+	if q >= idx {
+		copy(c.order[idx:], c.order[idx+1:q+1])
+	} else {
+		copy(c.order[q+1:idx+1], c.order[q:idx])
+	}
+	c.order[q] = t
+}

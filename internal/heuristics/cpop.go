@@ -1,0 +1,177 @@
+package heuristics
+
+import (
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// CPOP implements Critical-Path-on-a-Processor (Topcuoglu, Hariri & Wu):
+// task priorities are upward + downward rank; all tasks on the critical
+// path (maximum total rank) are pinned to the single machine that
+// minimizes the path's total execution time, while off-path tasks are
+// placed by earliest finish time in priority order.
+func CPOP(g *taskgraph.Graph, sys *platform.System) Result {
+	n := g.NumTasks()
+	up := upwardRanks(g, sys)
+	down := downwardRanks(g, sys)
+
+	prio := make([]float64, n)
+	cpLen := 0.0
+	for t := 0; t < n; t++ {
+		prio[t] = up[t] + down[t]
+		if prio[t] > cpLen {
+			cpLen = prio[t]
+		}
+	}
+
+	// Critical path: walk from the entry task with maximal priority along
+	// successors keeping (approximately) the same priority.
+	const eps = 1e-9
+	onPath := make([]bool, n)
+	var cur taskgraph.TaskID = -1
+	for _, t := range g.Sources() {
+		if prio[t] >= cpLen-eps {
+			cur = t
+			break
+		}
+	}
+	for cur >= 0 {
+		onPath[cur] = true
+		next := taskgraph.TaskID(-1)
+		for _, a := range g.Succs(cur) {
+			if prio[a.Task] >= cpLen-eps {
+				next = a.Task
+				break
+			}
+		}
+		cur = next
+	}
+
+	// Pin the path to the machine minimizing its total execution time.
+	best := taskgraph.MachineID(0)
+	bestSum := -1.0
+	for m := 0; m < sys.NumMachines(); m++ {
+		sum := 0.0
+		for t := 0; t < n; t++ {
+			if onPath[t] {
+				sum += sys.ExecTime(taskgraph.MachineID(m), taskgraph.TaskID(t))
+			}
+		}
+		if bestSum < 0 || sum < bestSum {
+			bestSum = sum
+			best = taskgraph.MachineID(m)
+		}
+	}
+
+	// List-schedule by descending priority among ready tasks.
+	b := newBuilder(g, sys)
+	indeg := make([]int, n)
+	var ready []taskgraph.TaskID
+	for t := 0; t < n; t++ {
+		indeg[t] = g.InDegree(taskgraph.TaskID(t))
+		if indeg[t] == 0 {
+			ready = append(ready, taskgraph.TaskID(t))
+		}
+	}
+	for len(ready) > 0 {
+		pick := 0
+		for i := 1; i < len(ready); i++ {
+			if prio[ready[i]] > prio[ready[pick]] {
+				pick = i
+			}
+		}
+		t := ready[pick]
+		ready = append(ready[:pick], ready[pick+1:]...)
+
+		m := best
+		if !onPath[t] {
+			bmEFT := -1.0
+			for cand := 0; cand < sys.NumMachines(); cand++ {
+				_, eft := b.eft(t, taskgraph.MachineID(cand))
+				if bmEFT < 0 || eft < bmEFT {
+					bmEFT = eft
+					m = taskgraph.MachineID(cand)
+				}
+			}
+		}
+		b.place(t, m)
+		for _, a := range g.Succs(t) {
+			indeg[a.Task]--
+			if indeg[a.Task] == 0 {
+				ready = append(ready, a.Task)
+			}
+		}
+	}
+	return finish("cpop", g, sys, b.solution())
+}
+
+// downwardRanks mirrors upwardRanks from the entry side: the longest mean-
+// cost path from any source to (but excluding) the task.
+func downwardRanks(g *taskgraph.Graph, sys *platform.System) []float64 {
+	rank := make([]float64, g.NumTasks())
+	for _, t := range g.TopoOrder() {
+		best := 0.0
+		for _, p := range g.Preds(t) {
+			v := rank[p.Task] + sys.MeanExecTime(p.Task) + sys.MeanTransferTime(p.Item)
+			if v > best {
+				best = v
+			}
+		}
+		rank[t] = best
+	}
+	return rank
+}
+
+// Sufferage is the levelized sufferage heuristic (Maheswaran et al.): each
+// step schedules, among ready tasks, the one that would "suffer" most if
+// denied its best machine — the difference between its second-best and
+// best completion times.
+func Sufferage(g *taskgraph.Graph, sys *platform.System) Result {
+	b := newBuilder(g, sys)
+	n := g.NumTasks()
+	indeg := make([]int, n)
+	var ready []taskgraph.TaskID
+	for t := 0; t < n; t++ {
+		indeg[t] = g.InDegree(taskgraph.TaskID(t))
+		if indeg[t] == 0 {
+			ready = append(ready, taskgraph.TaskID(t))
+		}
+	}
+	for len(ready) > 0 {
+		pickI := -1
+		var pickM taskgraph.MachineID
+		pickSuff := -1.0
+		for i, t := range ready {
+			first, second := -1.0, -1.0
+			bm := taskgraph.MachineID(0)
+			for m := 0; m < sys.NumMachines(); m++ {
+				_, eft := b.eft(t, taskgraph.MachineID(m))
+				switch {
+				case first < 0 || eft < first:
+					second = first
+					first = eft
+					bm = taskgraph.MachineID(m)
+				case second < 0 || eft < second:
+					second = eft
+				}
+			}
+			suff := second - first
+			if sys.NumMachines() == 1 {
+				suff = 0
+			}
+			if pickI < 0 || suff > pickSuff {
+				pickI, pickM, pickSuff = i, bm, suff
+			}
+		}
+		t := ready[pickI]
+		ready = append(ready[:pickI], ready[pickI+1:]...)
+		b.place(t, pickM)
+		for _, a := range g.Succs(t) {
+			indeg[a.Task]--
+			if indeg[a.Task] == 0 {
+				ready = append(ready, a.Task)
+			}
+		}
+	}
+	return finish("sufferage", g, sys, b.solution())
+}

@@ -1,0 +1,131 @@
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// HEFT implements Heterogeneous Earliest Finish Time (Topcuoglu, Hariri &
+// Wu — the paper's reference [5] is an early version): tasks are
+// prioritized by upward rank (mean execution cost plus the heaviest
+// mean-communication path to any sink) and each is placed, in rank order,
+// on the machine giving the earliest insertion-based finish time.
+//
+// The insertion-based schedule is converted back to a solution string by
+// ordering tasks by start time, which is always a topological order
+// (a successor starts strictly after its predecessor finishes). The string
+// is then re-evaluated with the shared evaluator; because in-order
+// semantics never start a task later than the insertion schedule did, the
+// re-evaluated makespan is never worse than HEFT's internal one.
+func HEFT(g *taskgraph.Graph, sys *platform.System) Result {
+	n := g.NumTasks()
+
+	rank := upwardRanks(g, sys)
+	order := make([]taskgraph.TaskID, n)
+	for t := 0; t < n; t++ {
+		order[t] = taskgraph.TaskID(t)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if rank[order[i]] != rank[order[j]] {
+			return rank[order[i]] > rank[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	assign := make([]taskgraph.MachineID, n)
+	start := make([]float64, n)
+	fin := make([]float64, n)
+	slots := make([][]interval, sys.NumMachines())
+
+	for _, t := range order {
+		bestM := taskgraph.MachineID(0)
+		bestStart, bestEFT := 0.0, -1.0
+		for m := 0; m < sys.NumMachines(); m++ {
+			arrival := 0.0
+			for _, p := range g.Preds(t) {
+				arr := fin[p.Task] + sys.TransferTime(assign[p.Task], taskgraph.MachineID(m), p.Item)
+				if arr > arrival {
+					arrival = arr
+				}
+			}
+			st := insertionStart(slots[m], arrival, sys.ExecTime(taskgraph.MachineID(m), t))
+			eft := st + sys.ExecTime(taskgraph.MachineID(m), t)
+			if bestEFT < 0 || eft < bestEFT {
+				bestEFT = eft
+				bestStart = st
+				bestM = taskgraph.MachineID(m)
+			}
+		}
+		assign[t] = bestM
+		start[t] = bestStart
+		fin[t] = bestEFT
+		slots[bestM] = insertInterval(slots[bestM], interval{bestStart, bestEFT})
+	}
+
+	// Tasks ordered by start time form a topological order.
+	byStart := make([]taskgraph.TaskID, n)
+	copy(byStart, order)
+	sort.SliceStable(byStart, func(i, j int) bool {
+		if start[byStart[i]] != start[byStart[j]] {
+			return start[byStart[i]] < start[byStart[j]]
+		}
+		return rank[byStart[i]] > rank[byStart[j]]
+	})
+	return finish("heft", g, sys, schedule.FromOrder(byStart, assign))
+}
+
+// upwardRanks computes HEFT's task priorities with mean execution and mean
+// transfer costs.
+func upwardRanks(g *taskgraph.Graph, sys *platform.System) []float64 {
+	n := g.NumTasks()
+	rank := make([]float64, n)
+	topo := g.TopoOrder()
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		best := 0.0
+		for _, a := range g.Succs(t) {
+			v := sys.MeanTransferTime(a.Item) + rank[a.Task]
+			if v > best {
+				best = v
+			}
+		}
+		rank[t] = sys.MeanExecTime(t) + best
+	}
+	return rank
+}
+
+// interval is one busy span [start, end) on a machine.
+type interval struct{ start, end float64 }
+
+// insertionStart returns the earliest time ≥ arrival at which a task of the
+// given duration fits into the machine's free gaps (insertion-based
+// policy).
+func insertionStart(busy []interval, arrival, duration float64) float64 {
+	prevEnd := 0.0
+	for _, iv := range busy {
+		st := arrival
+		if prevEnd > st {
+			st = prevEnd
+		}
+		if st+duration <= iv.start {
+			return st
+		}
+		prevEnd = iv.end
+	}
+	if prevEnd > arrival {
+		return prevEnd
+	}
+	return arrival
+}
+
+// insertInterval keeps the busy list sorted by start time.
+func insertInterval(busy []interval, iv interval) []interval {
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].start >= iv.start })
+	busy = append(busy, interval{})
+	copy(busy[i+1:], busy[i:])
+	busy[i] = iv
+	return busy
+}

@@ -1,0 +1,202 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// The paper assumes a fully connected machine suite ("it is assumed that
+// machines are fully connected", §2). This file generalizes that: a
+// Topology describes which machine pairs have direct links and at what
+// per-unit cost; BuildTransfer derives the l(l−1)/2 × p transfer-time
+// matrix from item sizes and shortest network paths, so every scheduler
+// runs unchanged on stars, rings, meshes or arbitrary link graphs.
+
+// Topology is a weighted undirected link graph over machines. The weight
+// of a link is the time to move one unit of data across it.
+type Topology struct {
+	machines int
+	cost     [][]float64 // cost[a][b]: direct link weight, <0 = no link
+}
+
+// NewTopology returns a topology with l machines and no links.
+func NewTopology(l int) (*Topology, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("platform: topology needs >= 1 machine, got %d", l)
+	}
+	t := &Topology{machines: l, cost: make([][]float64, l)}
+	for i := range t.cost {
+		t.cost[i] = make([]float64, l)
+		for j := range t.cost[i] {
+			if i != j {
+				t.cost[i][j] = -1
+			}
+		}
+	}
+	return t, nil
+}
+
+// AddLink connects machines a and b with the given per-unit transfer cost.
+func (t *Topology) AddLink(a, b taskgraph.MachineID, cost float64) error {
+	if int(a) < 0 || int(a) >= t.machines || int(b) < 0 || int(b) >= t.machines {
+		return fmt.Errorf("platform: link %d-%d out of range [0,%d)", a, b, t.machines)
+	}
+	if a == b {
+		return fmt.Errorf("platform: self link on machine %d", a)
+	}
+	if cost <= 0 {
+		return fmt.Errorf("platform: link %d-%d cost %v, want > 0", a, b, cost)
+	}
+	t.cost[a][b] = cost
+	t.cost[b][a] = cost
+	return nil
+}
+
+// NumMachines returns the machine count.
+func (t *Topology) NumMachines() int { return t.machines }
+
+// FullyConnected builds the paper's default: every pair linked at the
+// given uniform per-unit cost.
+func FullyConnected(l int, cost float64) (*Topology, error) {
+	t, err := NewTopology(l)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < l; a++ {
+		for b := a + 1; b < l; b++ {
+			if err := t.AddLink(taskgraph.MachineID(a), taskgraph.MachineID(b), cost); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Star builds a hub-and-spoke topology: machine 0 is the hub; every other
+// machine links only to it.
+func Star(l int, cost float64) (*Topology, error) {
+	t, err := NewTopology(l)
+	if err != nil {
+		return nil, err
+	}
+	for m := 1; m < l; m++ {
+		if err := t.AddLink(0, taskgraph.MachineID(m), cost); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Ring builds a cycle: machine m links to machine (m+1) mod l.
+func Ring(l int, cost float64) (*Topology, error) {
+	t, err := NewTopology(l)
+	if err != nil {
+		return nil, err
+	}
+	if l == 1 {
+		return t, nil
+	}
+	for m := 0; m < l; m++ {
+		n := (m + 1) % l
+		if m == n {
+			continue
+		}
+		if err := t.AddLink(taskgraph.MachineID(m), taskgraph.MachineID(n), cost); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Mesh builds a rows×cols 2D grid with links between horizontal and
+// vertical neighbours.
+func Mesh(rows, cols int, cost float64) (*Topology, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("platform: mesh needs rows, cols >= 1, got %d×%d", rows, cols)
+	}
+	t, err := NewTopology(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	id := func(r, c int) taskgraph.MachineID { return taskgraph.MachineID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := t.AddLink(id(r, c), id(r, c+1), cost); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := t.AddLink(id(r, c), id(r+1, c), cost); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// PairCosts returns the per-unit transfer cost between every unordered
+// machine pair, routed over shortest paths (Floyd–Warshall). It fails if
+// the topology is disconnected.
+func (t *Topology) PairCosts() ([][]float64, error) {
+	l := t.machines
+	const inf = 1e300
+	d := make([][]float64, l)
+	for i := range d {
+		d[i] = make([]float64, l)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case t.cost[i][j] >= 0:
+				d[i][j] = t.cost[i][j]
+			default:
+				d[i][j] = inf
+			}
+		}
+	}
+	for k := 0; k < l; k++ {
+		for i := 0; i < l; i++ {
+			for j := 0; j < l; j++ {
+				if v := d[i][k] + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			if d[i][j] >= inf {
+				return nil, fmt.Errorf("platform: topology disconnected: no path %d → %d", i, j)
+			}
+		}
+	}
+	return d, nil
+}
+
+// BuildTransfer derives the transfer-time matrix (rows = PairIndex order,
+// columns = data items) for items of the given sizes: transfer time =
+// item size × shortest-path per-unit cost between the pair.
+func (t *Topology) BuildTransfer(sizes []float64) ([][]float64, error) {
+	d, err := t.PairCosts()
+	if err != nil {
+		return nil, err
+	}
+	l := t.machines
+	pairs := l * (l - 1) / 2
+	out := make([][]float64, pairs)
+	pi := 0
+	for a := 0; a < l; a++ {
+		for b := a + 1; b < l; b++ {
+			row := make([]float64, len(sizes))
+			for i, sz := range sizes {
+				row[i] = sz * d[a][b]
+			}
+			out[pi] = row
+			pi++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullyConnectedPairCosts(t *testing.T) {
+	topo, err := FullyConnected(4, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := topo.PairCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			want := 2.5
+			if a == b {
+				want = 0
+			}
+			if d[a][b] != want {
+				t.Errorf("cost[%d][%d] = %v, want %v", a, b, d[a][b], want)
+			}
+		}
+	}
+}
+
+func TestStarRoutesThroughHub(t *testing.T) {
+	topo, err := Star(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := topo.PairCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spoke to hub: one hop. Spoke to spoke: two hops via the hub.
+	if d[0][3] != 3 {
+		t.Errorf("hub-spoke = %v, want 3", d[0][3])
+	}
+	if d[1][4] != 6 {
+		t.Errorf("spoke-spoke = %v, want 6 (two hops)", d[1][4])
+	}
+}
+
+func TestRingShortestWay(t *testing.T) {
+	topo, err := Ring(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := topo.PairCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 1, 1}, {0, 2, 2}, {0, 3, 3}, {0, 4, 2}, {0, 5, 1},
+	}
+	for _, tc := range cases {
+		if got := d[tc.a][tc.b]; got != tc.want {
+			t.Errorf("ring d[%d][%d] = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRingSingleAndPair(t *testing.T) {
+	if _, err := Ring(1, 1); err != nil {
+		t.Errorf("Ring(1): %v", err)
+	}
+	topo, err := Ring(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := topo.PairCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0][1] != 1 {
+		t.Errorf("two-machine ring d = %v", d[0][1])
+	}
+}
+
+func TestMeshDistances(t *testing.T) {
+	topo, err := Mesh(2, 3, 1) // machines 0..5, grid 2×3
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := topo.PairCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corner (0,0)=m0 to corner (1,2)=m5: Manhattan distance 3.
+	if d[0][5] != 3 {
+		t.Errorf("mesh corner distance = %v, want 3", d[0][5])
+	}
+	if d[0][1] != 1 || d[0][3] != 1 {
+		t.Errorf("mesh neighbour distances = %v, %v, want 1", d[0][1], d[0][3])
+	}
+}
+
+func TestDisconnectedTopology(t *testing.T) {
+	topo, err := NewTopology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Machine 2 is unreachable.
+	if _, err := topo.PairCosts(); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Errorf("PairCosts on disconnected topology: err = %v", err)
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	topo, err := NewTopology(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink(0, 5, 1); err == nil {
+		t.Error("accepted out-of-range link")
+	}
+	if err := topo.AddLink(0, 0, 1); err == nil {
+		t.Error("accepted self link")
+	}
+	if err := topo.AddLink(0, 1, 0); err == nil {
+		t.Error("accepted zero-cost link")
+	}
+}
+
+func TestBuildTransferMatchesPairIndex(t *testing.T) {
+	topo, err := Star(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []float64{1, 10}
+	tr, err := topo.BuildTransfer(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a System and confirm TransferTime routes correctly.
+	exec := [][]float64{{1}, {1}, {1}, {1}}
+	sys, err := New(1, 2, exec, tr)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Hub-spoke item 0: size 1 × cost 2.
+	if got := sys.TransferTime(0, 2, 0); got != 2 {
+		t.Errorf("hub transfer = %v, want 2", got)
+	}
+	// Spoke-spoke item 1: size 10 × two hops (4).
+	if got := sys.TransferTime(1, 3, 1); got != 40 {
+		t.Errorf("spoke transfer = %v, want 40", got)
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	if _, err := NewTopology(0); err == nil {
+		t.Error("accepted zero machines")
+	}
+	if _, err := Mesh(0, 3, 1); err == nil {
+		t.Error("accepted zero-row mesh")
+	}
+}

@@ -1,0 +1,174 @@
+// Package runner is the experiment harness: it races schedulers against
+// each other under equal wall-clock budgets (the setting of the paper's
+// Figures 5–7), collects best-so-far convergence traces, and runs batches
+// of independent seeded trials in parallel.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/platform"
+	"repro/internal/sa"
+	"repro/internal/stats"
+	"repro/internal/tabu"
+	"repro/internal/taskgraph"
+)
+
+// Contender is one scheduler entered into a race. Run must respect the
+// budget, call record(elapsed, bestSoFar) as the run progresses, and return
+// the final best makespan.
+type Contender struct {
+	Name string
+	Run  func(budget time.Duration, record func(time.Duration, float64)) (float64, error)
+}
+
+// Race runs every contender sequentially under the same wall-clock budget
+// and returns one best-so-far Series per contender (x = seconds, y = best
+// makespan). Contenders run sequentially — not concurrently — so that each
+// gets the whole machine, as in the paper's timed comparisons.
+func Race(budget time.Duration, contenders []Contender) ([]stats.Series, error) {
+	out := make([]stats.Series, len(contenders))
+	for i, c := range contenders {
+		s := stats.Series{Name: c.Name}
+		final, err := c.Run(budget, func(elapsed time.Duration, best float64) {
+			// Record only improvements (plus the first sample) to keep
+			// traces compact; the series is a step function anyway.
+			if n := len(s.Points); n == 0 || best < s.Points[n-1].Y {
+				s.Add(elapsed.Seconds(), best)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runner: contender %s: %w", c.Name, err)
+		}
+		if n := len(s.Points); n == 0 || final < s.Points[n-1].Y {
+			s.Add(budget.Seconds(), final)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// SEContender adapts an SE configuration to a race entry. The budget
+// overrides opts.TimeBudget; opts.OnIteration is chained after sampling.
+func SEContender(name string, g *taskgraph.Graph, sys *platform.System, opts core.Options) Contender {
+	return Contender{
+		Name: name,
+		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
+			opts := opts
+			opts.TimeBudget = budget
+			prev := opts.OnIteration
+			opts.OnIteration = func(st core.IterationStats) bool {
+				record(st.Elapsed, st.BestMakespan)
+				if prev != nil {
+					return prev(st)
+				}
+				return true
+			}
+			res, err := core.Run(g, sys, opts)
+			if err != nil {
+				return 0, err
+			}
+			return res.BestMakespan, nil
+		},
+	}
+}
+
+// GAContender adapts a GA configuration to a race entry.
+func GAContender(name string, g *taskgraph.Graph, sys *platform.System, opts ga.Options) Contender {
+	return Contender{
+		Name: name,
+		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
+			opts := opts
+			opts.TimeBudget = budget
+			prev := opts.OnGeneration
+			opts.OnGeneration = func(st ga.GenerationStats) bool {
+				record(st.Elapsed, st.BestMakespan)
+				if prev != nil {
+					return prev(st)
+				}
+				return true
+			}
+			res, err := ga.Run(g, sys, opts)
+			if err != nil {
+				return 0, err
+			}
+			return res.BestMakespan, nil
+		},
+	}
+}
+
+// SAContender adapts an SA configuration to a race entry. SA has no
+// per-iteration callback, so only the final best is recorded.
+func SAContender(name string, g *taskgraph.Graph, sys *platform.System, opts sa.Options) Contender {
+	return Contender{
+		Name: name,
+		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
+			opts := opts
+			opts.TimeBudget = budget
+			res, err := sa.Run(g, sys, opts)
+			if err != nil {
+				return 0, err
+			}
+			record(res.Elapsed, res.BestMakespan)
+			return res.BestMakespan, nil
+		},
+	}
+}
+
+// TabuContender adapts a tabu-search configuration to a race entry. Like
+// SA it has no per-iteration callback, so only the final best is recorded.
+func TabuContender(name string, g *taskgraph.Graph, sys *platform.System, opts tabu.Options) Contender {
+	return Contender{
+		Name: name,
+		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
+			opts := opts
+			opts.TimeBudget = budget
+			res, err := tabu.Run(g, sys, opts)
+			if err != nil {
+				return 0, err
+			}
+			record(res.Elapsed, res.BestMakespan)
+			return res.BestMakespan, nil
+		},
+	}
+}
+
+// Trials runs fn for n different seeds (baseSeed, baseSeed+1, …) across
+// min(parallel, GOMAXPROCS) worker goroutines and summarizes the returned
+// makespans. fn must be safe for concurrent invocation with distinct seeds.
+func Trials(n, parallel int, baseSeed int64, fn func(seed int64) (float64, error)) (stats.Summary, []float64, error) {
+	if n <= 0 {
+		return stats.Summary{}, nil, fmt.Errorf("runner: Trials n = %d, want > 0", n)
+	}
+	if parallel <= 0 {
+		parallel = 1
+	}
+	if max := runtime.GOMAXPROCS(0); parallel > max {
+		parallel = max
+	}
+	finals := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			finals[i], errs[i] = fn(baseSeed + int64(i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Summary{}, nil, err
+		}
+	}
+	return stats.Summarize(finals), finals, nil
+}

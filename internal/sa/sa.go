@@ -1,0 +1,153 @@
+// Package sa implements a simulated-annealing scheduler over the same
+// solution space as SE — an extension beyond the paper (its authors'
+// companion book covers SA among the iterative heuristics SE is related
+// to). It serves as an ablation: SA uses the identical move space
+// (valid-range position moves plus machine reassignment) but replaces SE's
+// goodness-guided selection and constructive allocation with random moves
+// and Metropolis acceptance, isolating the value of SE's guidance.
+package sa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Options configures one SA run. At least one stopping criterion
+// (MaxMoves, TimeBudget or NoImprovement) must be set.
+type Options struct {
+	// InitialTemp is the starting temperature; 0 derives it from the
+	// initial solution (20% of its makespan), which accepts most early
+	// uphill moves.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor applied once per block of
+	// MovesPerTemp moves (default 0.98).
+	Cooling float64
+	// MovesPerTemp is the number of proposed moves per temperature step
+	// (default: the task count).
+	MovesPerTemp int
+	// MaxMoves stops the run after this many proposed moves (0 = no move
+	// limit).
+	MaxMoves int
+	// TimeBudget stops the run once wall-clock time is exhausted (0 = no
+	// time limit).
+	TimeBudget time.Duration
+	// NoImprovement stops after this many consecutive proposed moves
+	// without improving the best makespan (0 = disabled).
+	NoImprovement int
+	// Seed drives all randomness.
+	Seed int64
+	// Initial, when non-nil, is the starting solution (cloned); otherwise
+	// a random valid solution is generated.
+	Initial schedule.String
+}
+
+// Result is the outcome of an SA run.
+type Result struct {
+	Best         schedule.String
+	BestMakespan float64
+	Moves        int
+	Accepted     int
+	Elapsed      time.Duration
+}
+
+// Run executes simulated annealing on graph g over system sys.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	if g.NumTasks() != sys.NumTasks() {
+		return nil, fmt.Errorf("sa: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
+	}
+	if opts.MaxMoves <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 {
+		return nil, fmt.Errorf("sa: no stopping criterion set (MaxMoves, TimeBudget or NoImprovement)")
+	}
+	if opts.Cooling == 0 {
+		opts.Cooling = 0.98
+	}
+	if opts.Cooling <= 0 || opts.Cooling >= 1 {
+		return nil, fmt.Errorf("sa: Cooling = %v, want in (0,1)", opts.Cooling)
+	}
+	if opts.MovesPerTemp <= 0 {
+		opts.MovesPerTemp = g.NumTasks()
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	eval := schedule.NewEvaluator(g, sys)
+	n := g.NumTasks()
+
+	var cur schedule.String
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("sa: Options.Initial: %w", err)
+		}
+		cur = opts.Initial.Clone()
+	} else {
+		assign := make([]taskgraph.MachineID, n)
+		for t := range assign {
+			assign[t] = taskgraph.MachineID(rng.Intn(sys.NumMachines()))
+		}
+		cur = schedule.FromOrder(g.RandomTopoOrder(rng), assign)
+	}
+
+	curMs := eval.Makespan(cur)
+	best := cur.Clone()
+	bestMs := curMs
+
+	temp := opts.InitialTemp
+	if temp <= 0 {
+		temp = 0.2 * curMs
+	}
+
+	cand := make(schedule.String, n)
+	pos := make([]int, n)
+
+	start := time.Now()
+	res := &Result{}
+	sinceImproved := 0
+	for {
+		for i := 0; i < opts.MovesPerTemp; i++ {
+			// Propose: random task to a random valid position on a random
+			// machine.
+			idx := rng.Intn(n)
+			cur.Positions(pos)
+			lo, hi := schedule.ValidRange(g, cur, pos, idx)
+			q := lo + rng.Intn(hi-lo+1)
+			m := taskgraph.MachineID(rng.Intn(sys.NumMachines()))
+			schedule.MoveInto(cand, cur, idx, q, m)
+			ms := eval.Makespan(cand)
+			res.Moves++
+
+			delta := ms - curMs
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				copy(cur, cand)
+				curMs = ms
+				res.Accepted++
+				if curMs < bestMs {
+					bestMs = curMs
+					copy(best, cur)
+					sinceImproved = 0
+					continue
+				}
+			}
+			sinceImproved++
+		}
+		temp *= opts.Cooling
+
+		if opts.MaxMoves > 0 && res.Moves >= opts.MaxMoves {
+			break
+		}
+		if opts.TimeBudget > 0 && time.Since(start) >= opts.TimeBudget {
+			break
+		}
+		if opts.NoImprovement > 0 && sinceImproved >= opts.NoImprovement {
+			break
+		}
+	}
+	res.Best = best
+	res.BestMakespan = bestMs
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package sa_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sa"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func smallWorkload() *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks: 20, Machines: 4, Connectivity: 2, Heterogeneity: 6, CCR: 0.5, Seed: 42,
+	})
+}
+
+func TestRunReturnsValidSolution(t *testing.T) {
+	w := smallWorkload()
+	res, err := sa.Run(w.Graph, w.System, sa.Options{MaxMoves: 2000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("SA returned invalid solution: %v", err)
+	}
+	if res.Moves < 2000 {
+		t.Errorf("Moves = %d, want >= 2000", res.Moves)
+	}
+	if res.Accepted == 0 {
+		t.Error("no moves accepted")
+	}
+}
+
+func TestRunImproves(t *testing.T) {
+	w := smallWorkload()
+	initial := make(schedule.String, 20)
+	for i, tk := range w.Graph.TopoOrder() {
+		initial[i] = schedule.Gene{Task: tk, Machine: 0}
+	}
+	initMs := schedule.NewEvaluator(w.Graph, w.System).Makespan(initial)
+	res, err := sa.Run(w.Graph, w.System, sa.Options{MaxMoves: 5000, Seed: 1, Initial: initial})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestMakespan >= initMs {
+		t.Errorf("SA did not improve: best %v, initial %v", res.BestMakespan, initMs)
+	}
+}
+
+func TestRunRespectsLowerBound(t *testing.T) {
+	w := smallWorkload()
+	lb := schedule.LowerBound(w.Graph, w.System)
+	res, err := sa.Run(w.Graph, w.System, sa.Options{MaxMoves: 3000, Seed: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestMakespan < lb-1e-9 {
+		t.Errorf("best %v below lower bound %v", res.BestMakespan, lb)
+	}
+	if got := schedule.NewEvaluator(w.Graph, w.System).Makespan(res.Best); got != res.BestMakespan {
+		t.Errorf("reported %v, re-evaluation %v", res.BestMakespan, got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := smallWorkload()
+	opts := sa.Options{MaxMoves: 1500, Seed: 9}
+	a, err := sa.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := sa.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.BestMakespan != b.BestMakespan || a.Accepted != b.Accepted {
+		t.Errorf("same seed diverged: best %v/%v accepted %d/%d",
+			a.BestMakespan, b.BestMakespan, a.Accepted, b.Accepted)
+	}
+}
+
+func TestTimeBudgetStops(t *testing.T) {
+	w := smallWorkload()
+	start := time.Now()
+	_, err := sa.Run(w.Graph, w.System, sa.Options{TimeBudget: 50 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("TimeBudget overshot grossly")
+	}
+}
+
+func TestNoImprovementStops(t *testing.T) {
+	w := smallWorkload()
+	res, err := sa.Run(w.Graph, w.System, sa.Options{NoImprovement: 500, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Moves == 0 {
+		t.Error("no moves proposed")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	w := smallWorkload()
+	cases := []struct {
+		name string
+		opts sa.Options
+		want string
+	}{
+		{"no stop", sa.Options{}, "stopping criterion"},
+		{"bad cooling", sa.Options{MaxMoves: 1, Cooling: 1.5}, "Cooling"},
+		{"bad initial", sa.Options{MaxMoves: 1, Initial: schedule.String{{Task: 0, Machine: 0}}}, "Initial"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sa.Run(w.Graph, w.System, tc.opts)
+			if err == nil {
+				t.Fatal("Run accepted invalid options")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want mentioning %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Analysis summarizes the quality of one schedule beyond its makespan:
+// where the time goes (busy vs idle per machine), how much data crosses
+// machine boundaries, and how the schedule compares to serial execution.
+type Analysis struct {
+	// Makespan is the total execution time of the application.
+	Makespan float64
+	// SerialTime is the best single-machine execution time: the minimum
+	// over machines of the sum of that machine's execution times, with all
+	// communication free.
+	SerialTime float64
+	// Speedup is SerialTime / Makespan.
+	Speedup float64
+	// Efficiency is Speedup / number of machines.
+	Efficiency float64
+	// BusyTime[m] is machine m's total execution time.
+	BusyTime []float64
+	// IdleTime[m] is Makespan − BusyTime[m].
+	IdleTime []float64
+	// Utilization is mean busy time over the makespan, across machines.
+	Utilization float64
+	// CrossTransfers counts data items whose producer and consumer run on
+	// different machines.
+	CrossTransfers int
+	// CommTime is the summed transfer time of those crossing items.
+	CommTime float64
+	// CriticalTasks is a longest chain of tasks realizing the makespan,
+	// following, from the last-finishing task backwards, whichever
+	// dependency (data arrival or machine order) delayed each start.
+	CriticalTasks []taskgraph.TaskID
+}
+
+// Analyze computes an Analysis of s.
+func Analyze(g *taskgraph.Graph, sys *platform.System, s String) Analysis {
+	e := NewEvaluator(g, sys)
+	start, finish := e.StartTimes(s)
+	assign := s.Assignment()
+
+	a := Analysis{
+		BusyTime: make([]float64, sys.NumMachines()),
+		IdleTime: make([]float64, sys.NumMachines()),
+	}
+	last := taskgraph.TaskID(0)
+	for t, f := range finish {
+		if f > a.Makespan {
+			a.Makespan = f
+			last = taskgraph.TaskID(t)
+		}
+	}
+	for _, gene := range s {
+		a.BusyTime[gene.Machine] += sys.ExecTime(gene.Machine, gene.Task)
+	}
+	busySum := 0.0
+	for m := range a.BusyTime {
+		a.IdleTime[m] = a.Makespan - a.BusyTime[m]
+		busySum += a.BusyTime[m]
+	}
+	if a.Makespan > 0 {
+		a.Utilization = busySum / (a.Makespan * float64(sys.NumMachines()))
+	}
+
+	for _, it := range g.Items() {
+		if assign[it.Producer] != assign[it.Consumer] {
+			a.CrossTransfers++
+			a.CommTime += sys.TransferTime(assign[it.Producer], assign[it.Consumer], it.ID)
+		}
+	}
+
+	// Best serial time: everything on the machine minimizing the total.
+	for m := 0; m < sys.NumMachines(); m++ {
+		sum := 0.0
+		for t := 0; t < g.NumTasks(); t++ {
+			sum += sys.ExecTime(taskgraph.MachineID(m), taskgraph.TaskID(t))
+		}
+		if m == 0 || sum < a.SerialTime {
+			a.SerialTime = sum
+		}
+	}
+	if a.Makespan > 0 {
+		a.Speedup = a.SerialTime / a.Makespan
+		a.Efficiency = a.Speedup / float64(sys.NumMachines())
+	}
+
+	a.CriticalTasks = criticalChain(g, sys, s, start, finish, assign, last)
+	return a
+}
+
+// criticalChain walks backwards from the last-finishing task, at each step
+// moving to whichever predecessor — in the DAG or in the machine order —
+// actually determined the task's start time.
+func criticalChain(g *taskgraph.Graph, sys *platform.System, s String,
+	start, finish []float64, assign []taskgraph.MachineID, last taskgraph.TaskID) []taskgraph.TaskID {
+
+	const eps = 1e-9
+	prevOnMachine := make(map[taskgraph.TaskID]taskgraph.TaskID)
+	for _, order := range s.MachineOrders(sys.NumMachines()) {
+		for i := 1; i < len(order); i++ {
+			prevOnMachine[order[i]] = order[i-1]
+		}
+	}
+
+	chain := []taskgraph.TaskID{last}
+	cur := last
+	for start[cur] > eps {
+		moved := false
+		// Machine-order dependency: the previous task on the same machine
+		// finished exactly when cur started.
+		if p, ok := prevOnMachine[cur]; ok && finish[p] >= start[cur]-eps {
+			chain = append(chain, p)
+			cur = p
+			moved = true
+		} else {
+			for _, pr := range g.Preds(cur) {
+				arr := finish[pr.Task] + sys.TransferTime(assign[pr.Task], assign[cur], pr.Item)
+				if arr >= start[cur]-eps {
+					chain = append(chain, pr.Task)
+					cur = pr.Task
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			break // start time not explained (idle gap); chain ends here
+		}
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// Report renders the analysis as a human-readable block, used by cmd/mshc.
+func (a Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan      %12.0f\n", a.Makespan)
+	fmt.Fprintf(&b, "serial best   %12.0f  (speedup %.2f×, efficiency %.0f%%)\n",
+		a.SerialTime, a.Speedup, 100*a.Efficiency)
+	fmt.Fprintf(&b, "utilization   %11.0f%%\n", 100*a.Utilization)
+	fmt.Fprintf(&b, "cross-machine %12d transfers, %.0f total transfer time\n",
+		a.CrossTransfers, a.CommTime)
+	fmt.Fprintf(&b, "critical path %12d tasks:", len(a.CriticalTasks))
+	for _, t := range a.CriticalTasks {
+		fmt.Fprintf(&b, " s%d", t)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func TestAnalyzeFigure1(t *testing.T) {
+	w := workload.Figure1()
+	a := schedule.Analyze(w.Graph, w.System, workload.Figure2String())
+
+	if a.Makespan != 3123 {
+		t.Errorf("Makespan = %v, want 3123", a.Makespan)
+	}
+	// Best serial machine: m0 sums to 4600, m1 to 4400.
+	if a.SerialTime != 4400 {
+		t.Errorf("SerialTime = %v, want 4400", a.SerialTime)
+	}
+	wantSpeedup := 4400.0 / 3123.0
+	if diff := a.Speedup - wantSpeedup; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Speedup = %v, want %v", a.Speedup, wantSpeedup)
+	}
+	// m0 runs s0, s3, s4: 400+700+900 = 2000. m1 runs s1, s2, s5, s6:
+	// 800+600+400+500 = 2300.
+	if a.BusyTime[0] != 2000 || a.BusyTime[1] != 2300 {
+		t.Errorf("BusyTime = %v, want [2000 2300]", a.BusyTime)
+	}
+	if a.IdleTime[0] != 3123-2000 || a.IdleTime[1] != 3123-2300 {
+		t.Errorf("IdleTime = %v", a.IdleTime)
+	}
+	// Items crossing machines: d0 (s0→s1), d1 (s0→s2), d2 (s1→s3),
+	// d3 (s1→s4): 4 items, 150+200+173+235 = 758.
+	if a.CrossTransfers != 4 {
+		t.Errorf("CrossTransfers = %d, want 4", a.CrossTransfers)
+	}
+	if a.CommTime != 758 {
+		t.Errorf("CommTime = %v, want 758", a.CommTime)
+	}
+}
+
+func TestAnalyzeCriticalChainFigure1(t *testing.T) {
+	w := workload.Figure1()
+	a := schedule.Analyze(w.Graph, w.System, workload.Figure2String())
+	// The walkthrough in DESIGN.md: s4 starts when s3 finishes; s3 waits on
+	// s1's data; s1 waits on s0's data. Chain: s0, s1, s3, s4.
+	want := []int{0, 1, 3, 4}
+	if len(a.CriticalTasks) != len(want) {
+		t.Fatalf("critical chain = %v, want %v", a.CriticalTasks, want)
+	}
+	for i, tk := range want {
+		if int(a.CriticalTasks[i]) != tk {
+			t.Fatalf("critical chain = %v, want %v", a.CriticalTasks, want)
+		}
+	}
+}
+
+func TestAnalyzeSingleMachine(t *testing.T) {
+	w := workload.MustGenerate(workload.Params{
+		Tasks: 8, Machines: 1, Connectivity: 1.5, Heterogeneity: 1, CCR: 0.5, Seed: 2,
+	})
+	s := make(schedule.String, 8)
+	for i, tk := range w.Graph.TopoOrder() {
+		s[i] = schedule.Gene{Task: tk, Machine: 0}
+	}
+	a := schedule.Analyze(w.Graph, w.System, s)
+	if a.CrossTransfers != 0 || a.CommTime != 0 {
+		t.Errorf("single machine: cross = %d, comm = %v", a.CrossTransfers, a.CommTime)
+	}
+	if diff := a.Speedup - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("single machine speedup = %v, want 1", a.Speedup)
+	}
+	if diff := a.Utilization - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("single machine utilization = %v, want 1", a.Utilization)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	w := workload.Figure1()
+	rep := schedule.Analyze(w.Graph, w.System, workload.Figure2String()).Report()
+	for _, want := range []string{"makespan", "3123", "speedup", "critical path", "s4"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestPropertyAnalysisInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x41a))
+		s := randomSolution(w, rng)
+		a := schedule.Analyze(w.Graph, w.System, s)
+
+		// Utilization and efficiency in (0, 1]; idle non-negative; busy sums
+		// bounded by machines × makespan.
+		if a.Utilization <= 0 || a.Utilization > 1+1e-9 {
+			return false
+		}
+		if a.Efficiency <= 0 || a.Efficiency > 1+1e-9 {
+			return false
+		}
+		for m := range a.BusyTime {
+			if a.IdleTime[m] < -1e-9 || a.BusyTime[m] > a.Makespan+1e-9 {
+				return false
+			}
+		}
+		// The critical chain must start at a zero-start task and end at the
+		// makespan.
+		if len(a.CriticalTasks) == 0 {
+			return false
+		}
+		e := schedule.NewEvaluator(w.Graph, w.System)
+		start, finish := e.StartTimes(s)
+		if start[a.CriticalTasks[0]] > 1e-6 {
+			return false
+		}
+		lastTask := a.CriticalTasks[len(a.CriticalTasks)-1]
+		return finish[lastTask] >= a.Makespan-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+// ExampleEvaluator_Makespan evaluates the solution string shown in the
+// paper's Figure 2: subtask s4 finishes at 3123, the paper's C₄.
+func ExampleEvaluator_Makespan() {
+	w := workload.Figure1()
+	e := schedule.NewEvaluator(w.Graph, w.System)
+	s := workload.Figure2String()
+	fmt.Printf("%s\n", s.Format())
+	fmt.Printf("schedule length %.0f\n", e.Makespan(s))
+	// Output:
+	// s0 m0 | s1 m1 | s2 m1 | s5 m1 | s6 m1 | s3 m0 | s4 m0
+	// schedule length 3123
+}
+
+// ExampleString_MachineOrders shows the per-machine execution orders the
+// paper reads off Figure 2: "m0: s0, s3, s4 and m1: s1, s2, s5, s6".
+func ExampleString_MachineOrders() {
+	s := workload.Figure2String()
+	for m, order := range s.MachineOrders(2) {
+		fmt.Printf("m%d:", m)
+		for _, t := range order {
+			fmt.Printf(" s%d", t)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// m0: s0 s3 s4
+	// m1: s1 s2 s5 s6
+}
+
+// ExampleAnalyze reports utilization and speedup of a schedule.
+func ExampleAnalyze() {
+	w := workload.Figure1()
+	a := schedule.Analyze(w.Graph, w.System, workload.Figure2String())
+	fmt.Printf("makespan %.0f, speedup %.2f, cross-machine items %d\n",
+		a.Makespan, a.Speedup, a.CrossTransfers)
+	// Output:
+	// makespan 3123, speedup 1.41, cross-machine items 4
+}

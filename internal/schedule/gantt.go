@@ -1,0 +1,60 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Gantt renders s as a plain-text Gantt chart, one row per machine, scaled
+// to the given width in characters. Each task's span is drawn with its ID
+// (modulo 10) so adjacent tasks remain distinguishable; idle time is
+// dotted. It is the human-readable complement to String.Format.
+//
+//	m0 |000000111111........4444444|
+//	m1 |..22222233333355555........|
+func Gantt(g *taskgraph.Graph, sys *platform.System, s String, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	e := NewEvaluator(g, sys)
+	start, finish := e.StartTimes(s)
+	makespan := 0.0
+	for _, f := range finish {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	if makespan == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / makespan
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule length %.0f, %d machines, %d tasks\n", makespan, sys.NumMachines(), g.NumTasks())
+	for m, order := range s.MachineOrders(sys.NumMachines()) {
+		row := []byte(strings.Repeat(".", width))
+		for _, t := range order {
+			lo := int(math.Floor(start[t] * scale))
+			hi := int(math.Ceil(finish[t] * scale))
+			if hi > width {
+				hi = width
+			}
+			if hi <= lo {
+				hi = lo + 1
+				if hi > width {
+					lo, hi = width-1, width
+				}
+			}
+			ch := byte('0' + int(t)%10)
+			for i := lo; i < hi; i++ {
+				row[i] = ch
+			}
+		}
+		fmt.Fprintf(&b, "m%-3d |%s|\n", m, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package schedule_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func TestGanttFigure1(t *testing.T) {
+	w := workload.Figure1()
+	out := schedule.Gantt(w.Graph, w.System, workload.Figure2String(), 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 machine rows
+		t.Fatalf("Gantt lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "3123") {
+		t.Errorf("header missing schedule length: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "m0") || !strings.HasPrefix(lines[2], "m1") {
+		t.Errorf("machine rows malformed:\n%s", out)
+	}
+	// m0 runs s0 first: its row must start with task digit 0.
+	if !strings.Contains(lines[1], "|0") {
+		t.Errorf("m0 row does not start with s0: %q", lines[1])
+	}
+	// m1 is idle until s1's input arrives: its row must start dotted.
+	if !strings.Contains(lines[2], "|.") {
+		t.Errorf("m1 row does not start idle: %q", lines[2])
+	}
+}
+
+func TestGanttWidths(t *testing.T) {
+	w := workload.Figure1()
+	for _, width := range []int{10, 40, 120} {
+		out := schedule.Gantt(w.Graph, w.System, workload.Figure2String(), width)
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "m") {
+				bars := strings.Count(line, "|")
+				if bars != 2 {
+					t.Fatalf("width %d: row %q has %d bars", width, line, bars)
+				}
+				inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+				if len(inner) != width {
+					t.Fatalf("width %d: row body is %d chars", width, len(inner))
+				}
+			}
+		}
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	w := workload.Figure1()
+	out := schedule.Gantt(w.Graph, w.System, workload.Figure2String(), 0)
+	if !strings.Contains(out, "|") {
+		t.Errorf("default-width Gantt empty:\n%s", out)
+	}
+}
+
+func TestGanttEveryTaskDrawn(t *testing.T) {
+	w := workload.MustGenerate(workload.Params{
+		Tasks: 12, Machines: 3, Connectivity: 2, Heterogeneity: 4, CCR: 0.5, Seed: 3,
+	})
+	s := make(schedule.String, w.Graph.NumTasks())
+	for i, tk := range w.Graph.TopoOrder() {
+		s[i] = schedule.Gene{Task: tk, Machine: 0}
+	}
+	out := schedule.Gantt(w.Graph, w.System, s, 120)
+	for tk := 0; tk < 12; tk++ {
+		digit := string(rune('0' + tk%10))
+		if !strings.Contains(out, digit) {
+			t.Errorf("task digit %s missing from Gantt:\n%s", digit, out)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+// randomWorkload draws a generated workload from a seed.
+func randomWorkload(seed int64) *workload.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	return workload.MustGenerate(workload.Params{
+		Tasks:         2 + rng.Intn(30),
+		Machines:      1 + rng.Intn(6),
+		Connectivity:  rng.Float64() * 3,
+		Heterogeneity: 1 + rng.Float64()*10,
+		CCR:           rng.Float64(),
+		Seed:          seed,
+	})
+}
+
+// randomSolution draws a valid random solution for w.
+func randomSolution(w *workload.Workload, rng *rand.Rand) schedule.String {
+	s := make(schedule.String, w.Graph.NumTasks())
+	for i, t := range w.Graph.RandomTopoOrder(rng) {
+		s[i] = schedule.Gene{
+			Task:    t,
+			Machine: taskgraph.MachineID(rng.Intn(w.System.NumMachines())),
+		}
+	}
+	return s
+}
+
+func TestPropertyRandomSolutionsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		s := randomSolution(w, rng)
+		return schedule.Validate(s, w.Graph, w.System) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMakespanAtLeastLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xbeef))
+		s := randomSolution(w, rng)
+		e := schedule.NewEvaluator(w.Graph, w.System)
+		return e.Makespan(s) >= schedule.LowerBound(w.Graph, w.System)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFinishTimesRespectPrecedence(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xf00d))
+		s := randomSolution(w, rng)
+		e := schedule.NewEvaluator(w.Graph, w.System)
+		fin := make([]float64, w.Graph.NumTasks())
+		e.FinishInto(s, fin)
+		assign := s.Assignment()
+		for _, it := range w.Graph.Items() {
+			execC := w.System.ExecTime(assign[it.Consumer], it.Consumer)
+			arrival := fin[it.Producer] + w.System.TransferTime(assign[it.Producer], assign[it.Consumer], it.ID)
+			// Consumer cannot finish before its input arrived plus its own
+			// execution time.
+			if fin[it.Consumer] < arrival+execC-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMachinesNeverOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xabcd))
+		s := randomSolution(w, rng)
+		e := schedule.NewEvaluator(w.Graph, w.System)
+		start, fin := e.StartTimes(s)
+		for _, order := range s.MachineOrders(w.System.NumMachines()) {
+			for i := 1; i < len(order); i++ {
+				// In-order semantics: each task starts at or after the
+				// previous task on the same machine finished.
+				if start[order[i]] < fin[order[i-1]]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoveWithinValidRangePreservesValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x1234))
+		s := randomSolution(w, rng)
+		pos := make([]int, len(s))
+		dst := make(schedule.String, len(s))
+		for trial := 0; trial < 20; trial++ {
+			idx := rng.Intn(len(s))
+			s.Positions(pos)
+			lo, hi := schedule.ValidRange(w.Graph, s, pos, idx)
+			if lo > hi {
+				return false // range must never be empty
+			}
+			q := lo + rng.Intn(hi-lo+1)
+			m := rng.Intn(w.System.NumMachines())
+			schedule.MoveInto(dst, s, idx, q, taskgraph.MachineID(m))
+			if schedule.Validate(dst, w.Graph, w.System) != nil {
+				return false
+			}
+			copy(s, dst)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyValidRangeContainsCurrentPosition(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x7777))
+		s := randomSolution(w, rng)
+		pos := make([]int, len(s))
+		s.Positions(pos)
+		for idx := range s {
+			lo, hi := schedule.ValidRange(w.Graph, s, pos, idx)
+			// Re-inserting at the current index must always be allowed.
+			if idx < lo || idx > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoveToCurrentPositionIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x3333))
+		s := randomSolution(w, rng)
+		dst := make(schedule.String, len(s))
+		idx := rng.Intn(len(s))
+		schedule.MoveInto(dst, s, idx, idx, s[idx].Machine)
+		for i := range s {
+			if dst[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

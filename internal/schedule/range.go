@@ -1,0 +1,125 @@
+package schedule
+
+import (
+	"math/rand"
+
+	"repro/internal/taskgraph"
+)
+
+// ValidRange computes the valid moving range (paper §4.2, §4.5) of the gene
+// at index idx of s: the insertion positions where the task can be placed
+// without violating any data dependency. Positions are expressed in the
+// coordinates of the string with the gene removed, so a position q means
+// "the task ends up at index q of the resulting string". pos must hold the
+// index of every task within s (see String.Positions).
+//
+// The range is [lo, hi] inclusive and always contains at least one position
+// (the task's current neighbourhood), because s is a topological order.
+func ValidRange(g *taskgraph.Graph, s String, pos []int, idx int) (lo, hi int) {
+	return ValidRangeOrder(g, s[idx].Task, pos, idx, len(s))
+}
+
+// ValidRangeOrder is ValidRange for a bare task order (no machines): the
+// valid insertion positions for task t currently at index idx of an
+// n-element topological order whose task positions are pos. The GA's
+// scheduling-string mutation shares this with SE's allocation.
+func ValidRangeOrder(g *taskgraph.Graph, t taskgraph.TaskID, pos []int, idx, n int) (lo, hi int) {
+	lo, hi = 0, n-1
+	for _, p := range g.Preds(t) {
+		j := pos[p.Task]
+		if j > idx {
+			j-- // position within the order-with-t-removed
+		}
+		if j+1 > lo {
+			lo = j + 1
+		}
+	}
+	for _, c := range g.Succs(t) {
+		j := pos[c.Task]
+		if j > idx {
+			j--
+		}
+		if j < hi {
+			hi = j
+		}
+	}
+	return lo, hi
+}
+
+// MoveInto writes into dst the string obtained from s by removing the gene
+// at idx, setting its machine to m, and re-inserting it so that it lands at
+// index q (valid-range coordinates). dst must have length len(s) and must
+// not alias s.
+func MoveInto(dst, s String, idx, q int, m taskgraph.MachineID) {
+	gene := s[idx]
+	gene.Machine = m
+	if q >= idx {
+		copy(dst[:idx], s[:idx])
+		copy(dst[idx:q], s[idx+1:q+1])
+		dst[q] = gene
+		copy(dst[q+1:], s[q+1:])
+	} else {
+		copy(dst[:q], s[:q])
+		dst[q] = gene
+		copy(dst[q+1:idx+1], s[q:idx])
+		copy(dst[idx+1:], s[idx+1:])
+	}
+}
+
+// Moved is an allocating convenience wrapper around MoveInto.
+func Moved(s String, idx, q int, m taskgraph.MachineID) String {
+	dst := make(String, len(s))
+	MoveInto(dst, s, idx, q, m)
+	return dst
+}
+
+// Mover bundles the scratch state needed to apply random valid moves to a
+// string in place. It backs initial-solution perturbation (paper §4.2) and
+// the simulated-annealing extension. A Mover is not safe for concurrent
+// use.
+type Mover struct {
+	g   *taskgraph.Graph
+	pos []int
+	buf String
+}
+
+// NewMover returns a Mover for graphs with g's task count.
+func NewMover(g *taskgraph.Graph) *Mover {
+	return &Mover{
+		g:   g,
+		pos: make([]int, g.NumTasks()),
+		buf: make(String, g.NumTasks()),
+	}
+}
+
+// ValidRangeOf computes the valid range of the gene at idx of s.
+func (mv *Mover) ValidRangeOf(s String, idx int) (lo, hi int) {
+	s.Positions(mv.pos)
+	return ValidRange(mv.g, s, mv.pos, idx)
+}
+
+// Apply moves the gene at idx to position q with machine m, in place.
+func (mv *Mover) Apply(s String, idx, q int, m taskgraph.MachineID) {
+	MoveInto(mv.buf, s, idx, q, m)
+	copy(s, mv.buf)
+}
+
+// RandomMove applies one uniformly random valid move to s in place: a
+// random task is moved to a random position within its valid range and
+// assigned a random machine. It returns the task moved.
+func (mv *Mover) RandomMove(rng *rand.Rand, s String, numMachines int) taskgraph.TaskID {
+	idx := rng.Intn(len(s))
+	lo, hi := mv.ValidRangeOf(s, idx)
+	q := lo + rng.Intn(hi-lo+1)
+	m := taskgraph.MachineID(rng.Intn(numMachines))
+	mv.Apply(s, idx, q, m)
+	return s[q].Task
+}
+
+// Shuffle applies n random valid moves to s in place (paper §4.2: the
+// initial valid string "is then modified a random number of times").
+func (mv *Mover) Shuffle(rng *rand.Rand, s String, numMachines, n int) {
+	for i := 0; i < n; i++ {
+		mv.RandomMove(rng, s, numMachines)
+	}
+}

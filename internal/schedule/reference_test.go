@@ -1,0 +1,103 @@
+package schedule_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+// referenceMakespan is an independent implementation of the string
+// semantics, used to cross-check the production single-pass evaluator. It
+// simulates the machines as queues and repeatedly releases the next task
+// of any machine whose inputs are all available — a fixpoint sweep rather
+// than a topological left-to-right pass, so a bug in one implementation is
+// unlikely to hide in the other.
+func referenceMakespan(w *workload.Workload, s schedule.String) float64 {
+	n := w.Graph.NumTasks()
+	orders := s.MachineOrders(w.System.NumMachines())
+	assign := s.Assignment()
+
+	next := make([]int, len(orders)) // per machine: index of next queued task
+	clock := make([]float64, len(orders))
+	finish := make([]float64, n)
+	done := make([]bool, n)
+	scheduled := 0
+
+	for scheduled < n {
+		progress := false
+		for m, order := range orders {
+			if next[m] >= len(order) {
+				continue
+			}
+			t := order[next[m]]
+			ready := true
+			arrival := 0.0
+			for _, p := range w.Graph.Preds(t) {
+				if !done[p.Task] {
+					ready = false
+					break
+				}
+				arr := finish[p.Task] + w.System.TransferTime(assign[p.Task], assign[t], p.Item)
+				if arr > arrival {
+					arrival = arr
+				}
+			}
+			if !ready {
+				continue
+			}
+			start := clock[m]
+			if arrival > start {
+				start = arrival
+			}
+			finish[t] = start + w.System.ExecTime(assign[t], t)
+			clock[m] = finish[t]
+			done[t] = true
+			next[m]++
+			scheduled++
+			progress = true
+		}
+		if !progress {
+			return math.NaN() // deadlock: invalid schedule
+		}
+	}
+	best := 0.0
+	for _, f := range finish {
+		if f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+func TestReferenceMakespanAgreesOnFigure1(t *testing.T) {
+	w := workload.Figure1()
+	s := workload.Figure2String()
+	got := referenceMakespan(w, s)
+	want := schedule.NewEvaluator(w.Graph, w.System).Makespan(s)
+	if got != want {
+		t.Errorf("reference = %v, evaluator = %v", got, want)
+	}
+	if want != 3123 {
+		t.Errorf("evaluator = %v, want the paper's 3123", want)
+	}
+}
+
+// TestPropertyEvaluatorMatchesReference cross-checks the two
+// implementations on random workloads and random solutions.
+func TestPropertyEvaluatorMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+		s := randomSolution(w, rng)
+		ref := referenceMakespan(w, s)
+		got := schedule.NewEvaluator(w.Graph, w.System).Makespan(s)
+		return !math.IsNaN(ref) && math.Abs(ref-got) < 1e-9*math.Max(1, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

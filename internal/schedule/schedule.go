@@ -1,0 +1,124 @@
+// Package schedule implements the combined matching-and-scheduling string
+// encoding of Barada, Sait & Baig (IPPS 2001, §4.1) and its makespan
+// evaluator.
+//
+// A solution is a string of k segments, each pairing a subtask with a
+// machine. The pairing (sᵢ, mⱼ) assigns sᵢ to mⱼ; when sₓ appears to the
+// left of s_y and both are assigned to the same machine, sₓ executes before
+// s_y on that machine. All strings produced and consumed by this module
+// maintain the stronger invariant that the task sequence is a global
+// topological order of the DAG, which both guarantees precedence validity
+// and allows a single-pass finish-time evaluation.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Gene is one segment of the encoding: a subtask and the machine it is
+// assigned to.
+type Gene struct {
+	Task    taskgraph.TaskID
+	Machine taskgraph.MachineID
+}
+
+// String is a complete solution: k genes whose task sequence is a
+// topological order of the DAG.
+type String []Gene
+
+// Clone returns an independent copy of s.
+func (s String) Clone() String { return append(String(nil), s...) }
+
+// Order returns the task sequence of s.
+func (s String) Order() []taskgraph.TaskID {
+	out := make([]taskgraph.TaskID, len(s))
+	for i, g := range s {
+		out[i] = g.Task
+	}
+	return out
+}
+
+// Assignment returns the task→machine matching of s, indexed by TaskID.
+func (s String) Assignment() []taskgraph.MachineID {
+	out := make([]taskgraph.MachineID, len(s))
+	for _, g := range s {
+		out[g.Task] = g.Machine
+	}
+	return out
+}
+
+// MachineOrders returns, per machine, the execution order it implies —
+// the paper's reading "m0: s0, s3, s4 and m1: s1, s2, s5, s6".
+func (s String) MachineOrders(numMachines int) [][]taskgraph.TaskID {
+	out := make([][]taskgraph.TaskID, numMachines)
+	for _, g := range s {
+		out[g.Machine] = append(out[g.Machine], g.Task)
+	}
+	return out
+}
+
+// Positions fills pos (task→index) from s. pos must have length len(s).
+func (s String) Positions(pos []int) {
+	for i, g := range s {
+		pos[g.Task] = i
+	}
+}
+
+// Format renders the string in the paper's visual layout:
+// "s0 m0 | s1 m1 | …".
+func (s String) Format() string {
+	var b strings.Builder
+	for i, g := range s {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "s%d m%d", g.Task, g.Machine)
+	}
+	return b.String()
+}
+
+// FromOrder builds a String from a task order and a task→machine
+// assignment (indexed by TaskID). It does not validate; use Validate.
+func FromOrder(order []taskgraph.TaskID, assign []taskgraph.MachineID) String {
+	s := make(String, len(order))
+	for i, t := range order {
+		s[i] = Gene{Task: t, Machine: assign[t]}
+	}
+	return s
+}
+
+// Validate checks that s is a well-formed solution for g on sys: every task
+// appears exactly once, machines are in range, and the task sequence is a
+// topological order of the DAG.
+func Validate(s String, g *taskgraph.Graph, sys *platform.System) error {
+	n := g.NumTasks()
+	if len(s) != n {
+		return fmt.Errorf("schedule: string has %d genes, want %d", len(s), n)
+	}
+	seen := make([]bool, n)
+	pos := make([]int, n)
+	for i, gene := range s {
+		if gene.Task < 0 || int(gene.Task) >= n {
+			return fmt.Errorf("schedule: gene %d: task %d out of range", i, gene.Task)
+		}
+		if seen[gene.Task] {
+			return fmt.Errorf("schedule: task %d appears more than once", gene.Task)
+		}
+		seen[gene.Task] = true
+		pos[gene.Task] = i
+		if gene.Machine < 0 || int(gene.Machine) >= sys.NumMachines() {
+			return fmt.Errorf("schedule: gene %d: machine %d out of range", i, gene.Machine)
+		}
+	}
+	for _, it := range g.Items() {
+		if pos[it.Producer] >= pos[it.Consumer] {
+			return fmt.Errorf("schedule: item d%d: producer s%d at %d not before consumer s%d at %d",
+				it.ID, it.Producer, pos[it.Producer], it.Consumer, pos[it.Consumer])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package schedule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// chainFixture builds s0 →(d0) s1 →(d1) s2 on two machines.
+//
+//	E = m0: [10, 20, 30], m1: [15, 10, 10];  Tr(m0,m1) = [5, 7].
+func chainFixture(t *testing.T) (*taskgraph.Graph, *platform.System) {
+	t.Helper()
+	b := taskgraph.NewBuilder(3)
+	b.AddTasks(3)
+	b.AddItem(0, 1, 5)
+	b.AddItem(1, 2, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sys, err := platform.New(3, 2, [][]float64{
+		{10, 20, 30},
+		{15, 10, 10},
+	}, [][]float64{{5, 7}})
+	if err != nil {
+		t.Fatalf("platform.New: %v", err)
+	}
+	return g, sys
+}
+
+func TestMakespanSameMachineChain(t *testing.T) {
+	g, sys := chainFixture(t)
+	e := NewEvaluator(g, sys)
+	s := String{{0, 0}, {1, 0}, {2, 0}}
+	if got, want := e.Makespan(s), 60.0; got != want {
+		t.Errorf("Makespan = %v, want %v (10+20+30, no comm)", got, want)
+	}
+}
+
+func TestMakespanCrossMachineChain(t *testing.T) {
+	g, sys := chainFixture(t)
+	e := NewEvaluator(g, sys)
+	// s0 on m0 (10), d0 crosses (+5), s1 on m1 (10) → 25, d1 crosses (+7),
+	// s2 on m0 (30) → 62.
+	s := String{{0, 0}, {1, 1}, {2, 0}}
+	if got, want := e.Makespan(s), 62.0; got != want {
+		t.Errorf("Makespan = %v, want %v", got, want)
+	}
+}
+
+func TestMakespanMachineBlocking(t *testing.T) {
+	// Two independent tasks on one machine must serialize.
+	b := taskgraph.NewBuilder(2)
+	b.AddTasks(2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sys, err := platform.New(2, 0, [][]float64{{10, 10}}, nil)
+	if err != nil {
+		t.Fatalf("platform.New: %v", err)
+	}
+	e := NewEvaluator(g, sys)
+	if got, want := e.Makespan(String{{0, 0}, {1, 0}}), 20.0; got != want {
+		t.Errorf("Makespan = %v, want %v (serialized)", got, want)
+	}
+}
+
+func TestMakespanIndependentMachines(t *testing.T) {
+	b := taskgraph.NewBuilder(2)
+	b.AddTasks(2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sys, err := platform.New(2, 0, [][]float64{{10, 10}, {10, 10}}, nil)
+	if err != nil {
+		t.Fatalf("platform.New: %v", err)
+	}
+	e := NewEvaluator(g, sys)
+	if got, want := e.Makespan(String{{0, 0}, {1, 1}}), 10.0; got != want {
+		t.Errorf("Makespan = %v, want %v (parallel)", got, want)
+	}
+}
+
+func TestFinishIntoPerTask(t *testing.T) {
+	g, sys := chainFixture(t)
+	e := NewEvaluator(g, sys)
+	s := String{{0, 0}, {1, 1}, {2, 0}}
+	fin := make([]float64, 3)
+	ms := e.FinishInto(s, fin)
+	want := []float64{10, 25, 62}
+	for i := range want {
+		if fin[i] != want[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, fin[i], want[i])
+		}
+	}
+	if ms != 62 {
+		t.Errorf("makespan = %v, want 62", ms)
+	}
+}
+
+func TestStartTimes(t *testing.T) {
+	g, sys := chainFixture(t)
+	e := NewEvaluator(g, sys)
+	s := String{{0, 0}, {1, 1}, {2, 0}}
+	start, fin := e.StartTimes(s)
+	wantStart := []float64{0, 15, 32}
+	wantFin := []float64{10, 25, 62}
+	for i := range wantStart {
+		if start[i] != wantStart[i] {
+			t.Errorf("start[%d] = %v, want %v", i, start[i], wantStart[i])
+		}
+		if fin[i] != wantFin[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, fin[i], wantFin[i])
+		}
+	}
+}
+
+func TestEvaluationsCounter(t *testing.T) {
+	g, sys := chainFixture(t)
+	e := NewEvaluator(g, sys)
+	s := String{{0, 0}, {1, 0}, {2, 0}}
+	for i := 0; i < 5; i++ {
+		e.Makespan(s)
+	}
+	if got := e.Evaluations(); got != 5 {
+		t.Errorf("Evaluations = %d, want 5", got)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	g, sys := chainFixture(t)
+	// Chain of min exec times: 10 + 10 + 10 = 30, communication free.
+	if got, want := LowerBound(g, sys), 30.0; got != want {
+		t.Errorf("LowerBound = %v, want %v", got, want)
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	g, sys := chainFixture(t)
+	if err := Validate(String{{0, 0}, {1, 1}, {2, 0}}, g, sys); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g, sys := chainFixture(t)
+	cases := []struct {
+		name string
+		s    String
+		want string
+	}{
+		{"short", String{{0, 0}}, "genes"},
+		{"duplicate task", String{{0, 0}, {0, 0}, {2, 0}}, "more than once"},
+		{"task out of range", String{{0, 0}, {9, 0}, {2, 0}}, "task"},
+		{"machine out of range", String{{0, 7}, {1, 0}, {2, 0}}, "machine"},
+		{"precedence violated", String{{1, 0}, {0, 0}, {2, 0}}, "before consumer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.s, g, sys)
+			if err == nil {
+				t.Fatalf("Validate accepted %v", tc.s)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := String{{0, 0}, {1, 1}}
+	c := s.Clone()
+	c[0].Machine = 1
+	if s[0].Machine != 0 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestOrderAssignmentRoundTrip(t *testing.T) {
+	s := String{{2, 1}, {0, 0}, {1, 1}}
+	order := s.Order()
+	assign := s.Assignment()
+	back := FromOrder(order, assign)
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatalf("round trip: got %v, want %v", back, s)
+		}
+	}
+}
+
+func TestMachineOrders(t *testing.T) {
+	s := String{{0, 0}, {1, 1}, {2, 1}, {3, 0}}
+	mo := s.MachineOrders(2)
+	if len(mo[0]) != 2 || mo[0][0] != 0 || mo[0][1] != 3 {
+		t.Errorf("machine 0 order = %v", mo[0])
+	}
+	if len(mo[1]) != 2 || mo[1][0] != 1 || mo[1][1] != 2 {
+		t.Errorf("machine 1 order = %v", mo[1])
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := String{{0, 0}, {1, 1}}
+	if got, want := s.Format(), "s0 m0 | s1 m1"; got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	s := String{{2, 0}, {0, 0}, {1, 0}}
+	pos := make([]int, 3)
+	s.Positions(pos)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("pos = %v, want %v", pos, want)
+		}
+	}
+}
+
+func TestValidRangeChain(t *testing.T) {
+	g, _ := chainFixture(t)
+	s := String{{0, 0}, {1, 0}, {2, 0}}
+	pos := make([]int, 3)
+	s.Positions(pos)
+
+	// s1 is wedged between s0 and s2: only position 1 is valid.
+	lo, hi := ValidRange(g, s, pos, 1)
+	if lo != 1 || hi != 1 {
+		t.Errorf("range of s1 = [%d,%d], want [1,1]", lo, hi)
+	}
+	// s0 must stay before s1: insertion position 0 only.
+	lo, hi = ValidRange(g, s, pos, 0)
+	if lo != 0 || hi != 0 {
+		t.Errorf("range of s0 = [%d,%d], want [0,0]", lo, hi)
+	}
+	// s2 must stay after s1: insertion position 2 only.
+	lo, hi = ValidRange(g, s, pos, 2)
+	if lo != 2 || hi != 2 {
+		t.Errorf("range of s2 = [%d,%d], want [2,2]", lo, hi)
+	}
+}
+
+func TestValidRangeIndependentTask(t *testing.T) {
+	// s0 → s2; s1 independent: s1 may go anywhere.
+	b := taskgraph.NewBuilder(3)
+	b.AddTasks(3)
+	b.AddItem(0, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := String{{0, 0}, {1, 0}, {2, 0}}
+	pos := make([]int, 3)
+	s.Positions(pos)
+	lo, hi := ValidRange(g, s, pos, 1)
+	if lo != 0 || hi != 2 {
+		t.Errorf("range of independent task = [%d,%d], want [0,2]", lo, hi)
+	}
+}
+
+func TestMoveInto(t *testing.T) {
+	s := String{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	dst := make(String, 4)
+
+	// Move index 1 to position 2 on machine 1.
+	MoveInto(dst, s, 1, 2, 1)
+	want := String{{0, 0}, {2, 0}, {1, 1}, {3, 0}}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MoveInto fwd = %v, want %v", dst, want)
+		}
+	}
+
+	// Move index 3 to position 0.
+	MoveInto(dst, s, 3, 0, 1)
+	want = String{{3, 1}, {0, 0}, {1, 0}, {2, 0}}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MoveInto back = %v, want %v", dst, want)
+		}
+	}
+
+	// Same position: only the machine changes.
+	MoveInto(dst, s, 2, 2, 1)
+	want = String{{0, 0}, {1, 0}, {2, 1}, {3, 0}}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MoveInto in place = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestMovedMatchesMoveInto(t *testing.T) {
+	s := String{{0, 0}, {1, 0}, {2, 0}}
+	got := Moved(s, 0, 1, 1)
+	dst := make(String, 3)
+	MoveInto(dst, s, 0, 1, 1)
+	for i := range dst {
+		if got[i] != dst[i] {
+			t.Fatalf("Moved = %v, MoveInto = %v", got, dst)
+		}
+	}
+}
+
+func TestMoverRandomMovesStayValid(t *testing.T) {
+	g, sys := chainFixture(t)
+	s := String{{0, 0}, {1, 0}, {2, 0}}
+	mv := NewMover(g)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		mv.RandomMove(rng, s, sys.NumMachines())
+		if err := Validate(s, g, sys); err != nil {
+			t.Fatalf("move %d produced invalid string: %v", i, err)
+		}
+	}
+}
+
+func TestMoverShuffle(t *testing.T) {
+	g, sys := chainFixture(t)
+	s := String{{0, 0}, {1, 0}, {2, 0}}
+	mv := NewMover(g)
+	mv.Shuffle(rand.New(rand.NewSource(7)), s, sys.NumMachines(), 50)
+	if err := Validate(s, g, sys); err != nil {
+		t.Fatalf("Shuffle produced invalid string: %v", err)
+	}
+}
+
+func TestValidRangeOrderMatchesStringVariant(t *testing.T) {
+	g, _ := chainFixture(t)
+	s := String{{0, 0}, {1, 1}, {2, 0}}
+	pos := make([]int, 3)
+	s.Positions(pos)
+	for idx := range s {
+		lo1, hi1 := ValidRange(g, s, pos, idx)
+		lo2, hi2 := ValidRangeOrder(g, s[idx].Task, pos, idx, len(s))
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Errorf("idx %d: ValidRange=[%d,%d], ValidRangeOrder=[%d,%d]", idx, lo1, hi1, lo2, hi2)
+		}
+	}
+}

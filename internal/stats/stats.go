@@ -1,0 +1,161 @@
+// Package stats provides the small numeric helpers the experiment harness
+// needs: summary statistics over trial outcomes and step-function series
+// for best-so-far convergence curves.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; it is 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs; it is +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it is -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// nearest-rank on a sorted copy; it is NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Summary condenses a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Percentile(xs, 50),
+	}
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named, x-sorted sequence of points. Convergence curves
+// (best-so-far vs time or iteration) are Series whose Y is non-increasing.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point; x must be non-decreasing across calls.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// At evaluates the series as a left-continuous step function: the Y of the
+// last point with X ≤ x. Points before the first sample return the first Y.
+// It is NaN for an empty series.
+func (s *Series) At(x float64) float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].X > x })
+	if i == 0 {
+		return s.Points[0].Y
+	}
+	return s.Points[i-1].Y
+}
+
+// Last returns the final Y value (NaN for an empty series).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	return s.Points[len(s.Points)-1].Y
+}
+
+// MaxX returns the largest X (0 for an empty series).
+func (s *Series) MaxX() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].X
+}
+
+// Grid returns n+1 evenly spaced values spanning [0, max].
+func Grid(max float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	xs := make([]float64, n+1)
+	for i := range xs {
+		xs[i] = max * float64(i) / float64(n)
+	}
+	return xs
+}

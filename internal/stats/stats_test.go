@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tc := range cases {
+		if got := Mean(tc.xs); got != tc.want {
+			t.Errorf("Mean(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v", got)
+	}
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev(one) = %v", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0) // sample (n-1) variance
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5}, {10, 1}, {90, 9},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.Median != 2 {
+		t.Errorf("Median = %v, want 2 (nearest rank)", s.Median)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.Add(0, 100)
+	s.Add(5, 80)
+	s.Add(10, 60)
+	cases := []struct {
+		x, want float64
+	}{
+		{-1, 100}, {0, 100}, {2, 100}, {5, 80}, {7, 80}, {10, 60}, {99, 60},
+	}
+	for _, tc := range cases {
+		if got := s.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.At(1)) || !math.IsNaN(s.Last()) {
+		t.Error("empty series should evaluate to NaN")
+	}
+	if s.MaxX() != 0 {
+		t.Errorf("MaxX = %v", s.MaxX())
+	}
+}
+
+func TestSeriesLastMaxX(t *testing.T) {
+	var s Series
+	s.Add(1, 9)
+	s.Add(4, 3)
+	if s.Last() != 3 {
+		t.Errorf("Last = %v", s.Last())
+	}
+	if s.MaxX() != 4 {
+		t.Errorf("MaxX = %v", s.MaxX())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(10, 5)
+	want := []float64{0, 2, 4, 6, 8, 10}
+	if len(g) != len(want) {
+		t.Fatalf("Grid len = %d", len(g))
+	}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("Grid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+	if g := Grid(10, 0); len(g) != 2 {
+		t.Errorf("Grid(_,0) len = %d, want clamp to 2 points", len(g))
+	}
+}
+
+func TestPropertyMeanWithinBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		m := Mean(xs)
+		if math.IsInf(m, 0) {
+			// The running sum overflowed float64; the bound claim only
+			// applies to finite arithmetic.
+			return true
+		}
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStepFunctionMonotoneForConvergence(t *testing.T) {
+	// If points are non-increasing, At must be non-increasing too.
+	f := func(deltas []uint8) bool {
+		var s Series
+		y := 1000.0
+		for i, d := range deltas {
+			y -= float64(d)
+			s.Add(float64(i), y)
+		}
+		if len(s.Points) == 0 {
+			return true
+		}
+		prev := s.At(0)
+		for x := 0.0; x < float64(len(deltas)); x += 0.5 {
+			v := s.At(x)
+			if v > prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

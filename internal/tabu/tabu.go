@@ -1,0 +1,157 @@
+// Package tabu implements tabu search over the MSHC solution space — the
+// third classic iterative heuristic (besides SE and SA) from Sait &
+// Youssef's "Iterative Computer Algorithms with Applications in
+// Engineering", the paper's companion reference [10]. It is an extension
+// beyond the paper, completing the family of comparators that share the
+// encoding, move space and evaluator.
+//
+// Each iteration samples a neighbourhood of candidate moves (one task to
+// one valid position on one machine), applies the best move whose task is
+// not tabu — unless it beats the global best (aspiration) — and marks the
+// moved task tabu for Tenure iterations.
+package tabu
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Options configures one tabu-search run. At least one stopping criterion
+// (MaxIterations, TimeBudget or NoImprovement) must be set.
+type Options struct {
+	// Tenure is how many iterations a moved task stays tabu
+	// (default: task count / 4, at least 2).
+	Tenure int
+	// Neighborhood is the number of candidate moves sampled per iteration
+	// (default: the task count).
+	Neighborhood int
+	// MaxIterations stops the run after this many iterations (0 = none).
+	MaxIterations int
+	// TimeBudget stops the run once wall-clock time is exhausted (0 = none).
+	TimeBudget time.Duration
+	// NoImprovement stops after this many consecutive iterations without
+	// improving the best makespan (0 = disabled).
+	NoImprovement int
+	// Seed drives all randomness.
+	Seed int64
+	// Initial, when non-nil, is the starting solution (cloned).
+	Initial schedule.String
+}
+
+// Result is the outcome of a tabu-search run.
+type Result struct {
+	Best         schedule.String
+	BestMakespan float64
+	Iterations   int
+	Elapsed      time.Duration
+}
+
+// Run executes tabu search on graph g over system sys.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	if g.NumTasks() != sys.NumTasks() {
+		return nil, fmt.Errorf("tabu: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
+	}
+	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 {
+		return nil, fmt.Errorf("tabu: no stopping criterion set (MaxIterations, TimeBudget or NoImprovement)")
+	}
+	n := g.NumTasks()
+	if opts.Tenure <= 0 {
+		opts.Tenure = n / 4
+		if opts.Tenure < 2 {
+			opts.Tenure = 2
+		}
+	}
+	if opts.Neighborhood <= 0 {
+		opts.Neighborhood = n
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	eval := schedule.NewEvaluator(g, sys)
+
+	var cur schedule.String
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("tabu: Options.Initial: %w", err)
+		}
+		cur = opts.Initial.Clone()
+	} else {
+		assign := make([]taskgraph.MachineID, n)
+		for t := range assign {
+			assign[t] = taskgraph.MachineID(rng.Intn(sys.NumMachines()))
+		}
+		cur = schedule.FromOrder(g.RandomTopoOrder(rng), assign)
+	}
+
+	curMs := eval.Makespan(cur)
+	best := cur.Clone()
+	bestMs := curMs
+
+	tabuUntil := make([]int, n) // task → first iteration it may move again
+	cand := make(schedule.String, n)
+	applied := make(schedule.String, n)
+	pos := make([]int, n)
+
+	start := time.Now()
+	res := &Result{}
+	sinceImproved := 0
+	for iter := 0; ; iter++ {
+		// Sample the neighbourhood; keep the best admissible move.
+		bestMove := -1.0
+		moved := taskgraph.TaskID(-1)
+		for i := 0; i < opts.Neighborhood; i++ {
+			idx := rng.Intn(n)
+			t := cur[idx].Task
+			cur.Positions(pos)
+			lo, hi := schedule.ValidRange(g, cur, pos, idx)
+			q := lo + rng.Intn(hi-lo+1)
+			m := taskgraph.MachineID(rng.Intn(sys.NumMachines()))
+			schedule.MoveInto(cand, cur, idx, q, m)
+			ms := eval.Makespan(cand)
+
+			admissible := tabuUntil[t] <= iter || ms < bestMs // aspiration
+			if !admissible {
+				continue
+			}
+			if bestMove < 0 || ms < bestMove {
+				bestMove = ms
+				moved = t
+				copy(applied, cand)
+			}
+		}
+		if moved >= 0 {
+			copy(cur, applied)
+			curMs = bestMove
+			tabuUntil[moved] = iter + 1 + opts.Tenure
+			if curMs < bestMs {
+				bestMs = curMs
+				copy(best, cur)
+				sinceImproved = 0
+			} else {
+				sinceImproved++
+			}
+		} else {
+			sinceImproved++
+		}
+
+		res.Iterations = iter + 1
+		if opts.MaxIterations > 0 && iter+1 >= opts.MaxIterations {
+			break
+		}
+		if opts.TimeBudget > 0 && time.Since(start) >= opts.TimeBudget {
+			break
+		}
+		if opts.NoImprovement > 0 && sinceImproved >= opts.NoImprovement {
+			break
+		}
+	}
+
+	res.Best = best
+	res.BestMakespan = bestMs
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

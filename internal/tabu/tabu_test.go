@@ -1,0 +1,137 @@
+package tabu_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/tabu"
+	"repro/internal/workload"
+)
+
+func smallWorkload() *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks: 20, Machines: 4, Connectivity: 2, Heterogeneity: 6, CCR: 0.5, Seed: 42,
+	})
+}
+
+func TestRunReturnsValidSolution(t *testing.T) {
+	w := smallWorkload()
+	res, err := tabu.Run(w.Graph, w.System, tabu.Options{MaxIterations: 300, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("tabu returned invalid solution: %v", err)
+	}
+	if res.Iterations != 300 {
+		t.Errorf("Iterations = %d, want 300", res.Iterations)
+	}
+}
+
+func TestRunImproves(t *testing.T) {
+	w := smallWorkload()
+	initial := make(schedule.String, 20)
+	for i, tk := range w.Graph.TopoOrder() {
+		initial[i] = schedule.Gene{Task: tk, Machine: 0}
+	}
+	initMs := schedule.NewEvaluator(w.Graph, w.System).Makespan(initial)
+	res, err := tabu.Run(w.Graph, w.System, tabu.Options{MaxIterations: 400, Seed: 1, Initial: initial})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestMakespan >= initMs {
+		t.Errorf("tabu did not improve: best %v, initial %v", res.BestMakespan, initMs)
+	}
+}
+
+func TestRunRespectsLowerBound(t *testing.T) {
+	w := smallWorkload()
+	lb := schedule.LowerBound(w.Graph, w.System)
+	res, err := tabu.Run(w.Graph, w.System, tabu.Options{MaxIterations: 200, Seed: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BestMakespan < lb-1e-9 {
+		t.Errorf("best %v below lower bound %v", res.BestMakespan, lb)
+	}
+	if got := schedule.NewEvaluator(w.Graph, w.System).Makespan(res.Best); got != res.BestMakespan {
+		t.Errorf("reported %v, re-evaluation %v", res.BestMakespan, got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := smallWorkload()
+	opts := tabu.Options{MaxIterations: 150, Seed: 9}
+	a, err := tabu.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := tabu.Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.BestMakespan != b.BestMakespan {
+		t.Errorf("same seed diverged: %v vs %v", a.BestMakespan, b.BestMakespan)
+	}
+}
+
+func TestTimeBudgetStops(t *testing.T) {
+	w := smallWorkload()
+	start := time.Now()
+	_, err := tabu.Run(w.Graph, w.System, tabu.Options{TimeBudget: 50 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("TimeBudget overshot grossly")
+	}
+}
+
+func TestNoImprovementStops(t *testing.T) {
+	w := smallWorkload()
+	res, err := tabu.Run(w.Graph, w.System, tabu.Options{NoImprovement: 50, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations executed")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	w := smallWorkload()
+	cases := []struct {
+		name string
+		opts tabu.Options
+		want string
+	}{
+		{"no stop", tabu.Options{}, "stopping criterion"},
+		{"bad initial", tabu.Options{MaxIterations: 1, Initial: schedule.String{{Task: 0, Machine: 0}}}, "Initial"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tabu.Run(w.Graph, w.System, tc.opts)
+			if err == nil {
+				t.Fatal("Run accepted invalid options")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTenureBlocksImmediateRevisit(t *testing.T) {
+	// With an enormous tenure every task moves at most once; the run must
+	// still terminate and stay valid.
+	w := smallWorkload()
+	res, err := tabu.Run(w.Graph, w.System, tabu.Options{MaxIterations: 100, Tenure: 1 << 30, Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}

@@ -1,0 +1,34 @@
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the DAG in Graphviz DOT format: one node per subtask
+// (labelled with its name) and one edge per data item (labelled with the
+// item ID and size). Useful for inspecting generated workloads:
+//
+//	wlgen … | mshc …           # schedule it
+//	graph.WriteDOT(os.Stdout)  # or render it
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "taskgraph"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", name); err != nil {
+		return err
+	}
+	for t := 0; t < g.NumTasks(); t++ {
+		if _, err := fmt.Fprintf(w, "  t%d [label=%q];\n", t, g.Name(TaskID(t))); err != nil {
+			return err
+		}
+	}
+	for _, it := range g.items {
+		if _, err := fmt.Fprintf(w, "  t%d -> t%d [label=\"d%d (%.3g)\"];\n",
+			it.Producer, it.Consumer, it.ID, it.Size); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,49 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond(t)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "demo"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "demo"`,
+		`t0 [label="s0"]`,
+		`t3 [label="s3"]`,
+		`t0 -> t1`,
+		`t2 -> t3`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	g := diamond(t)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, ""); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(b.String(), `digraph "taskgraph"`) {
+		t.Errorf("default name missing:\n%s", b.String())
+	}
+}
+
+func TestWriteDOTEdgeLabels(t *testing.T) {
+	g := diamond(t)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "x"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(b.String(), `label="d0 (1)"`) {
+		t.Errorf("edge label missing:\n%s", b.String())
+	}
+}

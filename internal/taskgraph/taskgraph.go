@@ -1,0 +1,212 @@
+// Package taskgraph models the application side of the heterogeneous
+// computing (HC) problem from Barada, Sait & Baig (IPPS 2001): an
+// application task decomposed into coarse-grained subtasks forming a
+// directed acyclic graph (DAG), with data items transferred between
+// subtasks along the edges.
+//
+// A Graph is immutable once built. Use a Builder to construct one; Build
+// verifies acyclicity and index consistency so that every other package can
+// assume a well-formed DAG.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a subtask. IDs are dense: 0 ≤ id < NumTasks.
+type TaskID int
+
+// ItemID identifies a data item (a DAG edge). IDs are dense:
+// 0 ≤ id < NumItems.
+type ItemID int
+
+// MachineID identifies a machine of the HC suite. It is declared here,
+// rather than in the platform package, so that the task-graph and platform
+// layers share one vocabulary without an import cycle.
+type MachineID int
+
+// DataItem is one unit of data produced by one subtask and consumed by
+// another. Size is an abstract volume; the platform layer converts it into
+// per-machine-pair transfer times.
+type DataItem struct {
+	ID       ItemID
+	Producer TaskID
+	Consumer TaskID
+	Size     float64
+}
+
+// Adj is one adjacency record: the task on the far end of an edge and the
+// data item carried by that edge.
+type Adj struct {
+	Task TaskID
+	Item ItemID
+}
+
+// Graph is an immutable DAG of subtasks and data items.
+type Graph struct {
+	names []string
+	items []DataItem
+	succs [][]Adj // succs[t] = outgoing edges of t
+	preds [][]Adj // preds[t] = incoming edges of t
+
+	levels []int    // cached: longest #edges from any source
+	topo   []TaskID // cached: deterministic topological order
+}
+
+// NumTasks returns the number of subtasks k.
+func (g *Graph) NumTasks() int { return len(g.names) }
+
+// NumItems returns the number of data items p.
+func (g *Graph) NumItems() int { return len(g.items) }
+
+// Name returns the display name of task t.
+func (g *Graph) Name(t TaskID) string { return g.names[t] }
+
+// Item returns data item it.
+func (g *Graph) Item(it ItemID) DataItem { return g.items[it] }
+
+// Items returns all data items in ID order. The caller must not modify the
+// returned slice.
+func (g *Graph) Items() []DataItem { return g.items }
+
+// Succs returns the outgoing adjacency of t. The caller must not modify the
+// returned slice.
+func (g *Graph) Succs(t TaskID) []Adj { return g.succs[t] }
+
+// Preds returns the incoming adjacency of t. The caller must not modify the
+// returned slice.
+func (g *Graph) Preds(t TaskID) []Adj { return g.preds[t] }
+
+// InDegree returns the number of incoming edges of t.
+func (g *Graph) InDegree(t TaskID) int { return len(g.preds[t]) }
+
+// OutDegree returns the number of outgoing edges of t.
+func (g *Graph) OutDegree(t TaskID) int { return len(g.succs[t]) }
+
+// Sources returns the tasks with no predecessors, in ID order.
+func (g *Graph) Sources() []TaskID {
+	var out []TaskID
+	for t := range g.names {
+		if len(g.preds[t]) == 0 {
+			out = append(out, TaskID(t))
+		}
+	}
+	return out
+}
+
+// Sinks returns the tasks with no successors, in ID order.
+func (g *Graph) Sinks() []TaskID {
+	var out []TaskID
+	for t := range g.names {
+		if len(g.succs[t]) == 0 {
+			out = append(out, TaskID(t))
+		}
+	}
+	return out
+}
+
+// Builder accumulates tasks and data items and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	names []string
+	items []DataItem
+}
+
+// NewBuilder returns a Builder pre-sized for n tasks.
+func NewBuilder(n int) *Builder {
+	return &Builder{names: make([]string, 0, n)}
+}
+
+// AddTask registers a subtask and returns its ID. An empty name is replaced
+// with "s<id>" following the paper's naming.
+func (b *Builder) AddTask(name string) TaskID {
+	id := TaskID(len(b.names))
+	if name == "" {
+		name = fmt.Sprintf("s%d", id)
+	}
+	b.names = append(b.names, name)
+	return id
+}
+
+// AddTasks registers n anonymous subtasks and returns the ID of the first.
+// IDs are consecutive.
+func (b *Builder) AddTasks(n int) TaskID {
+	first := TaskID(len(b.names))
+	for i := 0; i < n; i++ {
+		b.AddTask("")
+	}
+	return first
+}
+
+// AddItem registers a data item of the given size flowing producer→consumer
+// and returns its ID. Validation is deferred to Build.
+func (b *Builder) AddItem(producer, consumer TaskID, size float64) ItemID {
+	id := ItemID(len(b.items))
+	b.items = append(b.items, DataItem{ID: id, Producer: producer, Consumer: consumer, Size: size})
+	return id
+}
+
+// Build validates the accumulated tasks and items and returns the Graph.
+// It fails on out-of-range endpoints, self-loops, non-positive sizes, and
+// cycles.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.names)
+	if n == 0 {
+		return nil, fmt.Errorf("taskgraph: graph has no tasks")
+	}
+	g := &Graph{
+		names: append([]string(nil), b.names...),
+		items: append([]DataItem(nil), b.items...),
+		succs: make([][]Adj, n),
+		preds: make([][]Adj, n),
+	}
+	for i, it := range g.items {
+		if it.Producer < 0 || int(it.Producer) >= n {
+			return nil, fmt.Errorf("taskgraph: item d%d: producer %d out of range [0,%d)", i, it.Producer, n)
+		}
+		if it.Consumer < 0 || int(it.Consumer) >= n {
+			return nil, fmt.Errorf("taskgraph: item d%d: consumer %d out of range [0,%d)", i, it.Consumer, n)
+		}
+		if it.Producer == it.Consumer {
+			return nil, fmt.Errorf("taskgraph: item d%d: self-loop on task %d", i, it.Producer)
+		}
+		if it.Size <= 0 {
+			return nil, fmt.Errorf("taskgraph: item d%d: size %v must be positive", i, it.Size)
+		}
+		g.succs[it.Producer] = append(g.succs[it.Producer], Adj{Task: it.Consumer, Item: it.ID})
+		g.preds[it.Consumer] = append(g.preds[it.Consumer], Adj{Task: it.Producer, Item: it.ID})
+	}
+	// Deterministic adjacency order (by neighbour then item) so that every
+	// run of every algorithm visits edges identically for a given seed.
+	for t := 0; t < n; t++ {
+		sortAdj(g.succs[t])
+		sortAdj(g.preds[t])
+	}
+	topo, ok := g.computeTopo()
+	if !ok {
+		return nil, fmt.Errorf("taskgraph: graph contains a cycle")
+	}
+	g.topo = topo
+	g.levels = g.computeLevels()
+	return g, nil
+}
+
+// MustBuild is Build for statically known-good graphs, such as test fixtures
+// and the paper's Figure 1 example. It panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func sortAdj(a []Adj) {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].Task != a[j].Task {
+			return a[i].Task < a[j].Task
+		}
+		return a[i].Item < a[j].Item
+	})
+}

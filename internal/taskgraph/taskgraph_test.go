@@ -1,0 +1,407 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// diamond builds s0 → {s1, s2} → s3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	b.AddTasks(4)
+	b.AddItem(0, 1, 1)
+	b.AddItem(0, 2, 1)
+	b.AddItem(1, 3, 1)
+	b.AddItem(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderCounts(t *testing.T) {
+	g := diamond(t)
+	if got := g.NumTasks(); got != 4 {
+		t.Errorf("NumTasks = %d, want 4", got)
+	}
+	if got := g.NumItems(); got != 4 {
+		t.Errorf("NumItems = %d, want 4", got)
+	}
+}
+
+func TestBuilderDefaultNames(t *testing.T) {
+	g := diamond(t)
+	for i := 0; i < 4; i++ {
+		want := "s" + string(rune('0'+i))
+		if got := g.Name(TaskID(i)); got != want {
+			t.Errorf("Name(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestBuilderCustomNames(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddTask("fft")
+	b.AddTask("filter")
+	b.AddItem(0, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Name(0) != "fft" || g.Name(1) != "filter" {
+		t.Errorf("names = %q, %q", g.Name(0), g.Name(1))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Graph, error)
+		want  string
+	}{
+		{
+			name: "no tasks",
+			build: func() (*Graph, error) {
+				return NewBuilder(0).Build()
+			},
+			want: "no tasks",
+		},
+		{
+			name: "producer out of range",
+			build: func() (*Graph, error) {
+				b := NewBuilder(1)
+				b.AddTask("")
+				b.AddItem(5, 0, 1)
+				return b.Build()
+			},
+			want: "producer",
+		},
+		{
+			name: "consumer out of range",
+			build: func() (*Graph, error) {
+				b := NewBuilder(1)
+				b.AddTask("")
+				b.AddItem(0, -1, 1)
+				return b.Build()
+			},
+			want: "consumer",
+		},
+		{
+			name: "self loop",
+			build: func() (*Graph, error) {
+				b := NewBuilder(1)
+				b.AddTask("")
+				b.AddItem(0, 0, 1)
+				return b.Build()
+			},
+			want: "self-loop",
+		},
+		{
+			name: "non-positive size",
+			build: func() (*Graph, error) {
+				b := NewBuilder(2)
+				b.AddTasks(2)
+				b.AddItem(0, 1, 0)
+				return b.Build()
+			},
+			want: "size",
+		},
+		{
+			name: "cycle",
+			build: func() (*Graph, error) {
+				b := NewBuilder(3)
+				b.AddTasks(3)
+				b.AddItem(0, 1, 1)
+				b.AddItem(1, 2, 1)
+				b.AddItem(2, 0, 1)
+				return b.Build()
+			},
+			want: "cycle",
+		},
+		{
+			name: "two-node cycle",
+			build: func() (*Graph, error) {
+				b := NewBuilder(2)
+				b.AddTasks(2)
+				b.AddItem(0, 1, 1)
+				b.AddItem(1, 0, 1)
+				return b.Build()
+			},
+			want: "cycle",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build()
+			if err == nil {
+				t.Fatalf("Build succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild of invalid graph did not panic")
+		}
+	}()
+	b := NewBuilder(1)
+	b.AddTask("")
+	b.AddItem(0, 0, 1)
+	b.MustBuild()
+}
+
+func TestAdjacency(t *testing.T) {
+	g := diamond(t)
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Errorf("InDegree(3) = %d, want 2", got)
+	}
+	if got := g.InDegree(0); got != 0 {
+		t.Errorf("InDegree(0) = %d, want 0", got)
+	}
+	succs := g.Succs(0)
+	if len(succs) != 2 || succs[0].Task != 1 || succs[1].Task != 2 {
+		t.Errorf("Succs(0) = %v", succs)
+	}
+	preds := g.Preds(3)
+	if len(preds) != 2 || preds[0].Task != 1 || preds[1].Task != 2 {
+		t.Errorf("Preds(3) = %v", preds)
+	}
+}
+
+func TestItemsRoundTrip(t *testing.T) {
+	g := diamond(t)
+	items := g.Items()
+	if len(items) != 4 {
+		t.Fatalf("Items len = %d", len(items))
+	}
+	for i, it := range items {
+		if int(it.ID) != i {
+			t.Errorf("item %d has ID %d", i, it.ID)
+		}
+		if got := g.Item(it.ID); got != it {
+			t.Errorf("Item(%d) = %+v, want %+v", it.ID, got, it)
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("Sources = %v, want [0]", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Errorf("Sinks = %v, want [3]", s)
+	}
+}
+
+func TestSourcesSinksDisconnected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddTasks(3)
+	b.AddItem(0, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if s := g.Sources(); len(s) != 2 {
+		t.Errorf("Sources = %v, want two entries", s)
+	}
+	if s := g.Sinks(); len(s) != 2 {
+		t.Errorf("Sinks = %v, want two entries", s)
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := diamond(t)
+	want := []TaskID{0, 1, 2, 3}
+	got := g.TopoOrder()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopoOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopoOrderIsTopological(t *testing.T) {
+	g := randomGraph(t, 40, 80, 7)
+	if !g.IsTopological(g.TopoOrder()) {
+		t.Error("TopoOrder is not topological")
+	}
+}
+
+func TestRandomTopoOrder(t *testing.T) {
+	g := randomGraph(t, 30, 60, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if !g.IsTopological(g.RandomTopoOrder(rng)) {
+			t.Fatalf("RandomTopoOrder produced a non-topological order (draw %d)", i)
+		}
+	}
+}
+
+func TestRandomTopoOrderVaries(t *testing.T) {
+	g := randomGraph(t, 30, 40, 3)
+	rng := rand.New(rand.NewSource(2))
+	a := g.RandomTopoOrder(rng)
+	different := false
+	for i := 0; i < 10 && !different; i++ {
+		b := g.RandomTopoOrder(rng)
+		for j := range a {
+			if a[j] != b[j] {
+				different = true
+				break
+			}
+		}
+	}
+	if !different {
+		t.Error("RandomTopoOrder returned identical orders across 10 draws")
+	}
+}
+
+func TestIsTopologicalRejects(t *testing.T) {
+	g := diamond(t)
+	cases := []struct {
+		name  string
+		order []TaskID
+	}{
+		{"reversed edge", []TaskID{1, 0, 2, 3}},
+		{"short", []TaskID{0, 1, 2}},
+		{"duplicate", []TaskID{0, 1, 1, 3}},
+		{"out of range", []TaskID{0, 1, 2, 9}},
+		{"sink first", []TaskID{3, 0, 1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if g.IsTopological(tc.order) {
+				t.Errorf("IsTopological(%v) = true, want false", tc.order)
+			}
+		})
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := diamond(t)
+	want := []int{0, 1, 1, 2}
+	got := g.Levels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Levels = %v, want %v", got, want)
+		}
+	}
+	if g.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", g.Depth())
+	}
+}
+
+func TestLevelsLongestPath(t *testing.T) {
+	// s0 → s1 → s3 and s0 → s3: level of s3 must follow the longest path.
+	b := NewBuilder(4)
+	b.AddTasks(4)
+	b.AddItem(0, 1, 1)
+	b.AddItem(1, 3, 1)
+	b.AddItem(0, 3, 1)
+	b.AddItem(0, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if lv := g.Levels(); lv[3] != 2 {
+		t.Errorf("level(s3) = %d, want 2 (longest path)", lv[3])
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := diamond(t)
+	anc := g.Ancestors(3)
+	for i, want := range []bool{true, true, true, false} {
+		if anc[i] != want {
+			t.Errorf("Ancestors(3)[%d] = %v, want %v", i, anc[i], want)
+		}
+	}
+	desc := g.Descendants(0)
+	for i, want := range []bool{false, true, true, true} {
+		if desc[i] != want {
+			t.Errorf("Descendants(0)[%d] = %v, want %v", i, desc[i], want)
+		}
+	}
+	if a := g.Ancestors(0); a[0] || a[1] || a[2] || a[3] {
+		t.Errorf("Ancestors(0) = %v, want all false", a)
+	}
+}
+
+func TestAncestorsDeepChain(t *testing.T) {
+	const n = 200
+	b := NewBuilder(n)
+	b.AddTasks(n)
+	for i := 0; i < n-1; i++ {
+		b.AddItem(TaskID(i), TaskID(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	anc := g.Ancestors(n - 1)
+	for i := 0; i < n-1; i++ {
+		if !anc[i] {
+			t.Fatalf("Ancestors(last)[%d] = false, want true", i)
+		}
+	}
+	if anc[n-1] {
+		t.Error("task is its own ancestor")
+	}
+}
+
+// randomGraph builds a random DAG with edges from lower to higher IDs.
+func randomGraph(t *testing.T, tasks, items int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(tasks)
+	b.AddTasks(tasks)
+	for i := 0; i < items; i++ {
+		u := rng.Intn(tasks - 1)
+		v := u + 1 + rng.Intn(tasks-u-1)
+		b.AddItem(TaskID(u), TaskID(v), 1+rng.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("randomGraph: %v", err)
+	}
+	return g
+}
+
+func TestAddTasksReturnsFirstID(t *testing.T) {
+	b := NewBuilder(5)
+	first := b.AddTasks(3)
+	if first != 0 {
+		t.Errorf("first = %d, want 0", first)
+	}
+	next := b.AddTasks(2)
+	if next != 3 {
+		t.Errorf("next = %d, want 3", next)
+	}
+}
+
+func TestSingleTaskGraph(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddTask("only")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Depth() != 1 {
+		t.Errorf("Depth = %d, want 1", g.Depth())
+	}
+	if len(g.TopoOrder()) != 1 {
+		t.Errorf("TopoOrder = %v", g.TopoOrder())
+	}
+}

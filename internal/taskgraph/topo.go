@@ -1,0 +1,168 @@
+package taskgraph
+
+import "math/rand"
+
+// TopoOrder returns a deterministic topological order of the tasks
+// (Kahn's algorithm with a lowest-ID-first tie break). The caller must not
+// modify the returned slice; copy it first if mutation is needed.
+func (g *Graph) TopoOrder() []TaskID { return g.topo }
+
+// computeTopo runs Kahn's algorithm. ok is false if the graph has a cycle.
+func (g *Graph) computeTopo() (order []TaskID, ok bool) {
+	n := g.NumTasks()
+	indeg := make([]int, n)
+	for t := 0; t < n; t++ {
+		indeg[t] = len(g.preds[t])
+	}
+	// A sorted ready "heap" is overkill for our sizes: a boolean scan keeps
+	// the tie break (lowest ID first) with no extra structure.
+	ready := make([]bool, n)
+	nready := 0
+	for t := 0; t < n; t++ {
+		if indeg[t] == 0 {
+			ready[t] = true
+			nready++
+		}
+	}
+	order = make([]TaskID, 0, n)
+	for nready > 0 {
+		t := -1
+		for i := 0; i < n; i++ {
+			if ready[i] {
+				t = i
+				break
+			}
+		}
+		ready[t] = false
+		nready--
+		order = append(order, TaskID(t))
+		for _, a := range g.succs[t] {
+			indeg[a.Task]--
+			if indeg[a.Task] == 0 {
+				ready[a.Task] = true
+				nready++
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// RandomTopoOrder returns a uniformly randomized topological order using
+// Kahn's algorithm with a random choice among ready tasks. It is the
+// initial-solution and GA-population primitive.
+func (g *Graph) RandomTopoOrder(rng *rand.Rand) []TaskID {
+	n := g.NumTasks()
+	indeg := make([]int, n)
+	var ready []TaskID
+	for t := 0; t < n; t++ {
+		indeg[t] = len(g.preds[t])
+		if indeg[t] == 0 {
+			ready = append(ready, TaskID(t))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		t := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, t)
+		for _, a := range g.succs[t] {
+			indeg[a.Task]--
+			if indeg[a.Task] == 0 {
+				ready = append(ready, a.Task)
+			}
+		}
+	}
+	return order
+}
+
+// Levels returns, for every task, its level in the DAG: the length in edges
+// of the longest path from any source to the task. Sources are level 0.
+// The paper's selection step orders selected subtasks by ascending level.
+// The caller must not modify the returned slice.
+func (g *Graph) Levels() []int { return g.levels }
+
+func (g *Graph) computeLevels() []int {
+	levels := make([]int, g.NumTasks())
+	for _, t := range g.topo {
+		l := 0
+		for _, a := range g.preds[t] {
+			if levels[a.Task]+1 > l {
+				l = levels[a.Task] + 1
+			}
+		}
+		levels[t] = l
+	}
+	return levels
+}
+
+// Depth returns the number of levels in the DAG (max level + 1).
+func (g *Graph) Depth() int {
+	d := 0
+	for _, l := range g.levels {
+		if l+1 > d {
+			d = l + 1
+		}
+	}
+	return d
+}
+
+// IsTopological reports whether order is a permutation of all tasks in which
+// every task appears after all of its predecessors.
+func (g *Graph) IsTopological(order []TaskID) bool {
+	n := g.NumTasks()
+	if len(order) != n {
+		return false
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for i, t := range order {
+		if t < 0 || int(t) >= n || seen[t] {
+			return false
+		}
+		seen[t] = true
+		pos[t] = i
+	}
+	for _, it := range g.items {
+		if pos[it.Producer] >= pos[it.Consumer] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ancestors returns a boolean mask over tasks marking every proper ancestor
+// of t (tasks from which t is reachable). It is used by the SE goodness
+// bound Oᵢ, which places a task and all of its ancestors on their
+// best-matching machines.
+func (g *Graph) Ancestors(t TaskID) []bool {
+	mask := make([]bool, g.NumTasks())
+	var visit func(TaskID)
+	visit = func(u TaskID) {
+		for _, a := range g.preds[u] {
+			if !mask[a.Task] {
+				mask[a.Task] = true
+				visit(a.Task)
+			}
+		}
+	}
+	visit(t)
+	return mask
+}
+
+// Descendants returns a boolean mask marking every proper descendant of t.
+func (g *Graph) Descendants(t TaskID) []bool {
+	mask := make([]bool, g.NumTasks())
+	var visit func(TaskID)
+	visit = func(u TaskID) {
+		for _, a := range g.succs[u] {
+			if !mask[a.Task] {
+				mask[a.Task] = true
+				visit(a.Task)
+			}
+		}
+	}
+	visit(t)
+	return mask
+}

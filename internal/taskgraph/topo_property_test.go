@@ -1,0 +1,95 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genGraph draws a random layered DAG from a quick-check RNG.
+func genGraph(rng *rand.Rand) *Graph {
+	tasks := 2 + rng.Intn(40)
+	items := rng.Intn(3 * tasks)
+	b := NewBuilder(tasks)
+	b.AddTasks(tasks)
+	for i := 0; i < items; i++ {
+		u := rng.Intn(tasks - 1)
+		v := u + 1 + rng.Intn(tasks-u-1)
+		b.AddItem(TaskID(u), TaskID(v), 0.1+rng.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err) // impossible: all edges go forward
+	}
+	return g
+}
+
+func TestPropertyTopoOrderAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := genGraph(rng)
+		return g.IsTopological(g.TopoOrder())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRandomTopoOrderAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := genGraph(rng)
+		return g.IsTopological(g.RandomTopoOrder(rng))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLevelsMonotoneAlongEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := genGraph(rng)
+		lv := g.Levels()
+		for _, it := range g.Items() {
+			if lv[it.Producer] >= lv[it.Consumer] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAncestorsConsistentWithDescendants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := genGraph(rng)
+		a := TaskID(rng.Intn(g.NumTasks()))
+		b := TaskID(rng.Intn(g.NumTasks()))
+		// a is an ancestor of b iff b is a descendant of a.
+		return g.Ancestors(b)[a] == g.Descendants(a)[b]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySourcesHaveLevelZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := genGraph(rng)
+		lv := g.Levels()
+		for _, s := range g.Sources() {
+			if lv[s] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package textplot renders series as plain-text line charts so that the
+// figure-reproduction CLI can show the paper's plots directly in a
+// terminal, with no external plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// markers assigns one rune per series, in order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Options controls chart geometry.
+type Options struct {
+	// Width and Height are the plot area size in characters (defaults
+	// 72×20).
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Title is printed above the chart.
+	Title string
+}
+
+// Render draws the series as an ASCII chart. Series are sampled as step
+// functions on a common x grid (natural for best-so-far curves). Rendering
+// never fails; degenerate input produces a note instead of a chart.
+func Render(series []stats.Series, opts Options) string {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	if opts.Height <= 0 {
+		opts.Height = 20
+	}
+	var nonEmpty []stats.Series
+	for _, s := range series {
+		if len(s.Points) > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return "(no data)\n"
+	}
+
+	xMax := 0.0
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range nonEmpty {
+		if s.MaxX() > xMax {
+			xMax = s.MaxX()
+		}
+		for _, p := range s.Points {
+			if p.Y < yMin {
+				yMin = p.Y
+			}
+			if p.Y > yMax {
+				yMax = p.Y
+			}
+		}
+	}
+	if xMax == 0 {
+		xMax = 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	w, h := opts.Width, opts.Height
+	canvas := make([][]rune, h)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", w))
+	}
+	for si, s := range nonEmpty {
+		mark := markers[si%len(markers)]
+		for c := 0; c < w; c++ {
+			x := xMax * float64(c) / float64(w-1)
+			y := s.At(x)
+			if math.IsNaN(y) {
+				continue
+			}
+			r := int(math.Round((yMax - y) / (yMax - yMin) * float64(h-1)))
+			if r < 0 {
+				r = 0
+			}
+			if r >= h {
+				r = h - 1
+			}
+			canvas[r][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for si, s := range nonEmpty {
+		fmt.Fprintf(&b, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteString("\n")
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.4g |%s\n", yMax, string(canvas[r]))
+		case h - 1:
+			fmt.Fprintf(&b, "%10.4g |%s\n", yMin, string(canvas[r]))
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", string(canvas[r]))
+		}
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s 0%s%.4g", "", strings.Repeat(" ", w-12), xMax)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "\n%10s %s", "", center(opts.XLabel, w))
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "\n(y: %s)", opts.YLabel)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

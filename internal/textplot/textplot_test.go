@@ -1,0 +1,111 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func convergence(name string, ys ...float64) stats.Series {
+	s := stats.Series{Name: name}
+	for i, y := range ys {
+		s.Add(float64(i), y)
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]stats.Series{convergence("SE", 100, 80, 60, 50)}, Options{
+		Title: "demo", XLabel: "iter", YLabel: "makespan",
+	})
+	for _, want := range []string{"demo", "SE", "iter", "makespan", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTwoSeriesDistinctMarkers(t *testing.T) {
+	out := Render([]stats.Series{
+		convergence("SE", 100, 50),
+		convergence("GA", 90, 70),
+	}, Options{})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two markers in output:\n%s", out)
+	}
+	if !strings.Contains(out, "SE") || !strings.Contains(out, "GA") {
+		t.Errorf("legend missing series names:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Options{}); out != "(no data)\n" {
+		t.Errorf("Render(nil) = %q", out)
+	}
+	if out := Render([]stats.Series{{Name: "empty"}}, Options{}); out != "(no data)\n" {
+		t.Errorf("Render(empty series) = %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// A flat line (yMax == yMin) must not divide by zero.
+	out := Render([]stats.Series{convergence("flat", 5, 5, 5)}, Options{})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	s := stats.Series{Name: "pt"}
+	s.Add(0, 42)
+	out := Render([]stats.Series{s}, Options{})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderGeometry(t *testing.T) {
+	out := Render([]stats.Series{convergence("s", 10, 0)}, Options{Width: 30, Height: 5})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// legend + 5 plot rows + axis + labels = at least 7 lines.
+	if len(lines) < 7 {
+		t.Errorf("short output (%d lines):\n%s", len(lines), out)
+	}
+	plotRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotRows++
+		}
+	}
+	if plotRows != 5 {
+		t.Errorf("plot rows = %d, want 5", plotRows)
+	}
+}
+
+func TestRenderAxisLabelsContainRange(t *testing.T) {
+	out := Render([]stats.Series{convergence("s", 100, 20)}, Options{})
+	if !strings.Contains(out, "100") {
+		t.Errorf("y max missing:\n%s", out)
+	}
+	if !strings.Contains(out, "20") {
+		t.Errorf("y min missing:\n%s", out)
+	}
+}
+
+func TestRenderManySeriesCyclesMarkers(t *testing.T) {
+	// More series than distinct markers: rendering must not panic and the
+	// legend must include every series name.
+	var series []stats.Series
+	for i := 0; i < 10; i++ {
+		s := convergence("series"+string(rune('A'+i)), float64(100-i), float64(50-i))
+		series = append(series, s)
+	}
+	out := Render(series, Options{Width: 40, Height: 8})
+	for i := 0; i < 10; i++ {
+		name := "series" + string(rune('A'+i))
+		if !strings.Contains(out, name) {
+			t.Errorf("legend missing %s", name)
+		}
+	}
+}

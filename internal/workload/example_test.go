@@ -1,0 +1,49 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// ExampleGenerate builds a deterministic random workload with the paper's
+// three characteristic axes.
+func ExampleGenerate() {
+	w, err := workload.Generate(workload.Params{
+		Tasks:         50,
+		Machines:      8,
+		Connectivity:  workload.HighConnectivity,
+		Heterogeneity: workload.HighHeterogeneity,
+		CCR:           workload.HighCCR,
+		Seed:          7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(w)
+	// Output:
+	// rand-k50-l8-c4.0-h16.0-ccr1.00-seed7: 50 tasks, 8 machines, 200 data items
+}
+
+// ExampleFigure1 loads the paper's worked example.
+func ExampleFigure1() {
+	w := workload.Figure1()
+	fmt.Println(w)
+	fmt.Printf("best machine of s4: m%d\n", w.System.BestMachine(4))
+	// Output:
+	// paper-figure1: 7 tasks, 2 machines, 6 data items
+	// best machine of s4: m1
+}
+
+// ExampleGaussianElimination builds the classic structured benchmark DAG.
+func ExampleGaussianElimination() {
+	g, err := workload.GaussianElimination(5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d tasks, %d data items, depth %d\n", g.NumTasks(), g.NumItems(), g.Depth())
+	// Output:
+	// 14 tasks, 19 data items, depth 8
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Figure1 reconstructs the paper's worked example (Figures 1 and 2 and the
+// §4.3 goodness walkthrough): a 7-subtask, 6-data-item DAG on a 2-machine
+// HC system.
+//
+// The scanned matrices are unreadable, so the concrete values here are
+// chosen to reproduce the two numbers the text states exactly:
+//
+//   - O₄ = 1835 — s4's finish time when s4 sits on its best machine (m1)
+//     and its ancestors s0, s1 sit on theirs (both m0), including the
+//     communication time between s1 and s4;
+//   - C₄ = 3123 — s4's finish time under the Figure-2 solution
+//     m0: s0, s3, s4 and m1: s1, s2, s5, s6.
+//
+// Tests assert both values, so the worked example doubles as a golden test
+// of the evaluator and of SE's goodness bound.
+func Figure1() *Workload {
+	b := taskgraph.NewBuilder(7)
+	b.AddTasks(7)
+	b.AddItem(0, 1, 150) // d0: s0 → s1
+	b.AddItem(0, 2, 200) // d1: s0 → s2
+	b.AddItem(1, 3, 173) // d2: s1 → s3
+	b.AddItem(1, 4, 235) // d3: s1 → s4
+	b.AddItem(2, 5, 180) // d4: s2 → s5
+	b.AddItem(2, 6, 160) // d5: s2 → s6
+	g := b.MustBuild()
+
+	exec := [][]float64{
+		{400, 600, 900, 700, 900, 500, 600}, // machine m0
+		{700, 800, 600, 800, 600, 400, 500}, // machine m1
+	}
+	// One machine pair (m0, m1); transfer time of each item equals its size.
+	transfer := [][]float64{{150, 200, 173, 235, 180, 160}}
+	sys := platform.MustNew(7, 6, exec, transfer)
+
+	return &Workload{
+		Name:   "paper-figure1",
+		Params: Params{Tasks: 7, Machines: 2},
+		Graph:  g,
+		System: sys,
+	}
+}
+
+// Figure2String returns the valid encoding string shown in the paper's
+// Figure 2 for the Figure-1 workload:
+//
+//	s0 m0 | s1 m1 | s2 m1 | s5 m1 | s6 m1 | s3 m0 | s4 m0
+//
+// Machine orders: m0: s0, s3, s4 and m1: s1, s2, s5, s6.
+func Figure2String() schedule.String {
+	return schedule.String{
+		{Task: 0, Machine: 0},
+		{Task: 1, Machine: 1},
+		{Task: 2, Machine: 1},
+		{Task: 5, Machine: 1},
+		{Task: 6, Machine: 1},
+		{Task: 3, Machine: 0},
+		{Task: 4, Machine: 0},
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+// The Figure-1 fixture is the paper's worked example; these tests pin the
+// two numbers stated in §4.3 and the structure shown in Figures 1 and 2.
+
+func TestFigure1Shape(t *testing.T) {
+	w := Figure1()
+	if w.Graph.NumTasks() != 7 {
+		t.Errorf("NumTasks = %d, want 7", w.Graph.NumTasks())
+	}
+	if w.Graph.NumItems() != 6 {
+		t.Errorf("NumItems = %d, want 6", w.Graph.NumItems())
+	}
+	if w.System.NumMachines() != 2 {
+		t.Errorf("NumMachines = %d, want 2", w.System.NumMachines())
+	}
+}
+
+func TestFigure2StringIsValid(t *testing.T) {
+	w := Figure1()
+	if err := schedule.Validate(Figure2String(), w.Graph, w.System); err != nil {
+		t.Fatalf("paper's Figure-2 string is invalid: %v", err)
+	}
+}
+
+func TestFigure2MachineOrders(t *testing.T) {
+	// Paper: "m0: s0, s3, s4 and m1: s1, s2, s5, s6".
+	s := Figure2String()
+	mo := s.MachineOrders(2)
+	want0 := []int{0, 3, 4}
+	want1 := []int{1, 2, 5, 6}
+	if len(mo[0]) != len(want0) {
+		t.Fatalf("m0 order = %v", mo[0])
+	}
+	for i, w := range want0 {
+		if int(mo[0][i]) != w {
+			t.Fatalf("m0 order = %v, want %v", mo[0], want0)
+		}
+	}
+	for i, w := range want1 {
+		if int(mo[1][i]) != w {
+			t.Fatalf("m1 order = %v, want %v", mo[1], want1)
+		}
+	}
+}
+
+// TestFigure2FinishTimeC4 pins C₄ = 3123, the finish time of s4 under the
+// Figure-2 solution, as stated in §4.3.
+func TestFigure2FinishTimeC4(t *testing.T) {
+	w := Figure1()
+	e := schedule.NewEvaluator(w.Graph, w.System)
+	fin := make([]float64, 7)
+	ms := e.FinishInto(Figure2String(), fin)
+	if got := fin[4]; got != 3123 {
+		t.Errorf("C4 = %v, want 3123 (paper §4.3)", got)
+	}
+	if ms != 3123 {
+		t.Errorf("makespan = %v, want 3123 (s4 finishes last)", ms)
+	}
+}
+
+func TestFigure1BestMachines(t *testing.T) {
+	// The §4.3 walkthrough places s0 and s1 on m0 and s4 on m1.
+	w := Figure1()
+	if got := w.System.BestMachine(0); got != 0 {
+		t.Errorf("best machine of s0 = %d, want m0", got)
+	}
+	if got := w.System.BestMachine(1); got != 0 {
+		t.Errorf("best machine of s1 = %d, want m0", got)
+	}
+	if got := w.System.BestMachine(4); got != 1 {
+		t.Errorf("best machine of s4 = %d, want m1", got)
+	}
+}

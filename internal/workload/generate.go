@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// defaultLayers picks a DAG depth of about √k, the usual shape for random
+// layered application DAGs, with at least two layers whenever there are at
+// least two tasks.
+func defaultLayers(tasks int) int {
+	if tasks <= 1 {
+		return 1
+	}
+	l := int(math.Round(math.Sqrt(float64(tasks))))
+	if l < 2 {
+		l = 2
+	}
+	if l > tasks {
+		l = tasks
+	}
+	return l
+}
+
+// Generate produces a deterministic random workload from p.
+//
+// Construction: tasks are spread over Layers layers (each layer non-empty);
+// every non-source task receives one mandatory data item from a task in the
+// previous layer (so the DAG is connected and has the intended depth), and
+// additional items between random earlier→later pairs are added until the
+// average items-per-task reaches Connectivity. Execution times use the
+// range-based heterogeneity method; transfer times are calibrated so the
+// realized mean transfer / mean execution ratio equals CCR.
+func Generate(p Params) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	layerOf := assignLayers(rng, p.Tasks, p.Layers)
+
+	b := taskgraph.NewBuilder(p.Tasks)
+	b.AddTasks(p.Tasks)
+
+	// byLayer[ℓ] = tasks in layer ℓ, in ID order. IDs are assigned in layer
+	// order, so all edges run from lower to higher IDs.
+	byLayer := make([][]taskgraph.TaskID, p.Layers)
+	for t := 0; t < p.Tasks; t++ {
+		byLayer[layerOf[t]] = append(byLayer[layerOf[t]], taskgraph.TaskID(t))
+	}
+
+	itemSize := func() float64 { return 0.5 + rng.Float64() } // U[0.5, 1.5)
+
+	// Mandatory connecting items: one per non-source task, from the
+	// previous layer.
+	edges := 0
+	for l := 1; l < p.Layers; l++ {
+		for _, t := range byLayer[l] {
+			prev := byLayer[l-1]
+			src := prev[rng.Intn(len(prev))]
+			b.AddItem(src, t, itemSize())
+			edges++
+		}
+	}
+	// Extra items up to the connectivity target. Parallel edges between the
+	// same pair are legal (they are distinct data items) but retries keep
+	// them rare on sparse graphs.
+	want := int(math.Round(p.Connectivity * float64(p.Tasks)))
+	for edges < want && p.Layers > 1 {
+		lSrc := rng.Intn(p.Layers - 1)
+		lDst := lSrc + 1 + rng.Intn(p.Layers-1-lSrc)
+		src := byLayer[lSrc][rng.Intn(len(byLayer[lSrc]))]
+		dst := byLayer[lDst][rng.Intn(len(byLayer[lDst]))]
+		b.AddItem(src, dst, itemSize())
+		edges++
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: generated graph invalid: %w", err)
+	}
+
+	// Range-based heterogeneous execution times:
+	//   E[m][t] = Scale × base_t × U[1, Heterogeneity),  base_t ~ U[1, TaskRange).
+	exec := make([][]float64, p.Machines)
+	for m := range exec {
+		exec[m] = make([]float64, p.Tasks)
+	}
+	sumExec := 0.0
+	for t := 0; t < p.Tasks; t++ {
+		base := uniform(rng, 1, p.TaskRange)
+		for m := 0; m < p.Machines; m++ {
+			e := p.Scale * base * uniform(rng, 1, p.Heterogeneity)
+			exec[m][t] = e
+			sumExec += e
+		}
+	}
+	meanExec := sumExec / float64(p.Machines*p.Tasks)
+
+	// Transfer times: Tr[{a,b}][d] = size_d × link_{a,b} × c where c is
+	// chosen so that the mean transfer time equals CCR × mean execution
+	// time. Item sizes average 1 and link weights average 1, so c ≈
+	// CCR × meanExec; we calibrate on the realized means for exactness.
+	var transfer [][]float64
+	if g.NumItems() > 0 && p.Machines > 1 {
+		pairs := p.Machines * (p.Machines - 1) / 2
+		link := make([]float64, pairs)
+		for i := range link {
+			link[i] = 0.5 + rng.Float64()
+		}
+		transfer = make([][]float64, pairs)
+		sumRaw := 0.0
+		for pi := 0; pi < pairs; pi++ {
+			row := make([]float64, g.NumItems())
+			for d, it := range g.Items() {
+				raw := it.Size * link[pi]
+				row[d] = raw
+				sumRaw += raw
+			}
+			transfer[pi] = row
+		}
+		meanRaw := sumRaw / float64(pairs*g.NumItems())
+		c := 0.0
+		if meanRaw > 0 {
+			c = p.CCR * meanExec / meanRaw
+		}
+		for pi := range transfer {
+			for d := range transfer[pi] {
+				transfer[pi][d] *= c
+			}
+		}
+	}
+	// With a single machine there are no pairs and Tr is never consulted;
+	// platform.New accepts a nil transfer matrix in that case.
+
+	sys, err := platform.New(p.Tasks, g.NumItems(), exec, transfer)
+	if err != nil {
+		return nil, fmt.Errorf("workload: generated system invalid: %w", err)
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("rand-k%d-l%d-c%.1f-h%.1f-ccr%.2f-seed%d", p.Tasks, p.Machines, p.Connectivity, p.Heterogeneity, p.CCR, p.Seed),
+		Params: p,
+		Graph:  g,
+		System: sys,
+	}, nil
+}
+
+// MustGenerate is Generate for known-good parameters; it panics on error.
+func MustGenerate(p Params) *Workload {
+	w, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// uniform draws from U[lo, hi); hi ≤ lo returns lo.
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// assignLayers distributes tasks over layers so that every layer is
+// non-empty and task IDs increase with layer (edges then always point from
+// lower to higher IDs).
+func assignLayers(rng *rand.Rand, tasks, layers int) []int {
+	counts := make([]int, layers)
+	for l := 0; l < layers; l++ {
+		counts[l] = 1
+	}
+	for i := layers; i < tasks; i++ {
+		counts[rng.Intn(layers)]++
+	}
+	layerOf := make([]int, 0, tasks)
+	for l, c := range counts {
+		for i := 0; i < c; i++ {
+			layerOf = append(layerOf, l)
+		}
+	}
+	return layerOf
+}

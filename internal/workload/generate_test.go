@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/taskgraph"
+)
+
+// Short converters keep the matrix-probing tests readable.
+func taskID(i int) taskgraph.TaskID       { return taskgraph.TaskID(i) }
+func itemID(i int) taskgraph.ItemID       { return taskgraph.ItemID(i) }
+func machineID(i int) taskgraph.MachineID { return taskgraph.MachineID(i) }
+
+func TestGenerateBasicShape(t *testing.T) {
+	w := MustGenerate(Params{
+		Tasks: 50, Machines: 8,
+		Connectivity:  2.0,
+		Heterogeneity: 4,
+		CCR:           0.5,
+		Seed:          1,
+	})
+	if got := w.Graph.NumTasks(); got != 50 {
+		t.Errorf("NumTasks = %d, want 50", got)
+	}
+	if got := w.System.NumMachines(); got != 8 {
+		t.Errorf("NumMachines = %d, want 8", got)
+	}
+	if w.Graph.NumItems() == 0 {
+		t.Error("generated graph has no data items")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Tasks: 30, Machines: 5, Connectivity: 2, Heterogeneity: 4, CCR: 1, Seed: 99}
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	if a.Graph.NumItems() != b.Graph.NumItems() {
+		t.Fatalf("item counts differ: %d vs %d", a.Graph.NumItems(), b.Graph.NumItems())
+	}
+	for i, it := range a.Graph.Items() {
+		if b.Graph.Items()[i] != it {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+	ae, be := a.System.ExecMatrix(), b.System.ExecMatrix()
+	for m := range ae {
+		for k := range ae[m] {
+			if ae[m][k] != be[m][k] {
+				t.Fatalf("exec[%d][%d] differs", m, k)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p := Params{Tasks: 30, Machines: 5, Connectivity: 2, Heterogeneity: 4, CCR: 1, Seed: 1}
+	q := p
+	q.Seed = 2
+	a, b := MustGenerate(p), MustGenerate(q)
+	same := a.Graph.NumItems() == b.Graph.NumItems()
+	if same {
+		ae, be := a.System.ExecMatrix(), b.System.ExecMatrix()
+		for m := range ae {
+			for k := range ae[m] {
+				if ae[m][k] != be[m][k] {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateConnectivityScales(t *testing.T) {
+	low := MustGenerate(Params{Tasks: 100, Machines: 4, Connectivity: LowConnectivity, Heterogeneity: 4, CCR: 0.5, Seed: 3})
+	high := MustGenerate(Params{Tasks: 100, Machines: 4, Connectivity: HighConnectivity, Heterogeneity: 4, CCR: 0.5, Seed: 3})
+	if low.Graph.NumItems() >= high.Graph.NumItems() {
+		t.Errorf("items: low connectivity %d, high %d — want low < high",
+			low.Graph.NumItems(), high.Graph.NumItems())
+	}
+	// High connectivity should land near the requested items-per-task.
+	got := float64(high.Graph.NumItems()) / 100
+	if math.Abs(got-HighConnectivity) > 0.5 {
+		t.Errorf("high connectivity realized %.2f items/task, want ≈ %.1f", got, HighConnectivity)
+	}
+}
+
+func TestGenerateCCRCalibration(t *testing.T) {
+	for _, ccr := range []float64{0.1, 0.5, 1.0} {
+		w := MustGenerate(Params{Tasks: 80, Machines: 10, Connectivity: 3, Heterogeneity: 4, CCR: ccr, Seed: 5})
+		meanExec := 0.0
+		for tk := 0; tk < 80; tk++ {
+			meanExec += w.System.MeanExecTime(taskID(tk))
+		}
+		meanExec /= 80
+		meanTr := 0.0
+		for d := 0; d < w.Graph.NumItems(); d++ {
+			meanTr += w.System.MeanTransferTime(itemID(d))
+		}
+		meanTr /= float64(w.Graph.NumItems())
+		got := meanTr / meanExec
+		if math.Abs(got-ccr)/ccr > 0.02 {
+			t.Errorf("CCR %.2f: realized %.4f, want within 2%%", ccr, got)
+		}
+	}
+}
+
+func TestGenerateHeterogeneitySpread(t *testing.T) {
+	spread := func(het float64) float64 {
+		w := MustGenerate(Params{Tasks: 60, Machines: 10, Connectivity: 2, Heterogeneity: het, CCR: 0.5, Seed: 7})
+		total := 0.0
+		for tk := 0; tk < 60; tk++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for m := 0; m < 10; m++ {
+				e := w.System.ExecTime(machineID(m), taskID(tk))
+				lo = math.Min(lo, e)
+				hi = math.Max(hi, e)
+			}
+			total += hi / lo
+		}
+		return total / 60
+	}
+	low, high := spread(LowHeterogeneity), spread(HighHeterogeneity)
+	if low >= high {
+		t.Errorf("exec-time spread: low het %.2f, high het %.2f — want low < high", low, high)
+	}
+	if low > 1.5 {
+		t.Errorf("low-heterogeneity spread %.2f, want close to 1", low)
+	}
+	if high < 3 {
+		t.Errorf("high-heterogeneity spread %.2f, want well above low", high)
+	}
+}
+
+func TestGenerateLayerBounds(t *testing.T) {
+	w := MustGenerate(Params{Tasks: 64, Machines: 4, Connectivity: 2, Heterogeneity: 2, CCR: 0.5, Seed: 11, Layers: 5})
+	if got := w.Graph.Depth(); got > 5 {
+		t.Errorf("Depth = %d, want <= requested 5 layers", got)
+	}
+}
+
+func TestGenerateSingleMachine(t *testing.T) {
+	w := MustGenerate(Params{Tasks: 10, Machines: 1, Connectivity: 2, Heterogeneity: 1, CCR: 0.5, Seed: 1})
+	if w.System.NumMachines() != 1 {
+		t.Fatalf("NumMachines = %d", w.System.NumMachines())
+	}
+	// Transfers are intra-machine and must be free.
+	for d := 0; d < w.Graph.NumItems(); d++ {
+		if got := w.System.TransferTime(0, 0, itemID(d)); got != 0 {
+			t.Fatalf("TransferTime = %v, want 0", got)
+		}
+	}
+}
+
+func TestGenerateSingleTask(t *testing.T) {
+	w := MustGenerate(Params{Tasks: 1, Machines: 3, Connectivity: 0, Heterogeneity: 2, CCR: 0, Seed: 1})
+	if w.Graph.NumTasks() != 1 || w.Graph.NumItems() != 0 {
+		t.Fatalf("shape = %d tasks, %d items", w.Graph.NumTasks(), w.Graph.NumItems())
+	}
+}
+
+func TestGenerateValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		want string
+	}{
+		{"no tasks", Params{Tasks: 0, Machines: 1, Heterogeneity: 1}, "Tasks"},
+		{"no machines", Params{Tasks: 1, Machines: 0, Heterogeneity: 1}, "Machines"},
+		{"negative connectivity", Params{Tasks: 1, Machines: 1, Connectivity: -1, Heterogeneity: 1}, "Connectivity"},
+		{"heterogeneity below 1", Params{Tasks: 1, Machines: 1, Heterogeneity: 0.5}, "Heterogeneity"},
+		{"negative CCR", Params{Tasks: 1, Machines: 1, Heterogeneity: 1, CCR: -0.1}, "CCR"},
+		{"negative scale", Params{Tasks: 1, Machines: 1, Heterogeneity: 1, Scale: -1}, "Scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Generate(tc.p)
+			if err == nil {
+				t.Fatalf("Generate accepted %+v", tc.p)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestGeneratePropertyAlwaysValid(t *testing.T) {
+	f := func(seed int64, tasks8, machines3, conn4 uint8) bool {
+		p := Params{
+			Tasks:         1 + int(tasks8)%80,
+			Machines:      1 + int(machines3)%8,
+			Connectivity:  float64(conn4%5) * 0.8,
+			Heterogeneity: 1 + float64(conn4%10),
+			CCR:           float64(conn4%3) * 0.5,
+			Seed:          seed,
+		}
+		w, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		// Builder re-validates: acyclic, positive sizes, positive exec.
+		return w.Graph.NumTasks() == p.Tasks &&
+			w.Graph.IsTopological(w.Graph.TopoOrder())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	w := Figure1()
+	s := w.String()
+	for _, want := range []string{"paper-figure1", "7 tasks", "2 machines", "6 data items"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, want containing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// fileFormat is the on-disk JSON schema for a Workload. It stores the raw
+// model (tasks, items, E, Tr) rather than generator parameters, so
+// hand-written and externally produced workloads round-trip too.
+type fileFormat struct {
+	Name     string      `json:"name"`
+	Params   Params      `json:"params"`
+	Tasks    []string    `json:"tasks"`
+	Items    []itemJSON  `json:"items"`
+	Exec     [][]float64 `json:"exec"`     // [machine][task]
+	Transfer [][]float64 `json:"transfer"` // [pair][item]
+}
+
+type itemJSON struct {
+	Producer int     `json:"producer"`
+	Consumer int     `json:"consumer"`
+	Size     float64 `json:"size"`
+}
+
+// Encode writes w as indented JSON.
+func Encode(wr io.Writer, w *Workload) error {
+	ff := fileFormat{
+		Name:     w.Name,
+		Params:   w.Params,
+		Exec:     w.System.ExecMatrix(),
+		Transfer: w.System.TransferMatrix(),
+	}
+	for t := 0; t < w.Graph.NumTasks(); t++ {
+		ff.Tasks = append(ff.Tasks, w.Graph.Name(taskgraph.TaskID(t)))
+	}
+	for _, it := range w.Graph.Items() {
+		ff.Items = append(ff.Items, itemJSON{
+			Producer: int(it.Producer),
+			Consumer: int(it.Consumer),
+			Size:     it.Size,
+		})
+	}
+	enc := json.NewEncoder(wr)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// Decode reads a Workload previously written by Encode (or hand-authored in
+// the same schema) and re-validates the model.
+func Decode(r io.Reader) (*Workload, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	if len(ff.Tasks) == 0 {
+		return nil, fmt.Errorf("workload: decode: no tasks")
+	}
+	b := taskgraph.NewBuilder(len(ff.Tasks))
+	for _, name := range ff.Tasks {
+		b.AddTask(name)
+	}
+	for _, it := range ff.Items {
+		b.AddItem(taskgraph.TaskID(it.Producer), taskgraph.TaskID(it.Consumer), it.Size)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	sys, err := platform.New(g.NumTasks(), g.NumItems(), ff.Exec, ff.Transfer)
+	if err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	return &Workload{Name: ff.Name, Params: ff.Params, Graph: g, System: sys}, nil
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripFigure1(t *testing.T) {
+	w := Figure1()
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	assertWorkloadsEqual(t, w, got)
+}
+
+func TestJSONRoundTripGenerated(t *testing.T) {
+	w := MustGenerate(Params{Tasks: 25, Machines: 6, Connectivity: 2.5, Heterogeneity: 8, CCR: 1, Seed: 17})
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	assertWorkloadsEqual(t, w, got)
+	if got.Params.Seed != 17 {
+		t.Errorf("Params.Seed = %d, want 17", got.Params.Seed)
+	}
+}
+
+func assertWorkloadsEqual(t *testing.T, want, got *Workload) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Errorf("Name = %q, want %q", got.Name, want.Name)
+	}
+	if got.Graph.NumTasks() != want.Graph.NumTasks() {
+		t.Fatalf("NumTasks = %d, want %d", got.Graph.NumTasks(), want.Graph.NumTasks())
+	}
+	if got.Graph.NumItems() != want.Graph.NumItems() {
+		t.Fatalf("NumItems = %d, want %d", got.Graph.NumItems(), want.Graph.NumItems())
+	}
+	for i, it := range want.Graph.Items() {
+		if got.Graph.Items()[i] != it {
+			t.Errorf("item %d = %+v, want %+v", i, got.Graph.Items()[i], it)
+		}
+	}
+	for tk := 0; tk < want.Graph.NumTasks(); tk++ {
+		if got.Graph.Name(taskID(tk)) != want.Graph.Name(taskID(tk)) {
+			t.Errorf("task %d name differs", tk)
+		}
+	}
+	we, ge := want.System.ExecMatrix(), got.System.ExecMatrix()
+	if len(we) != len(ge) {
+		t.Fatalf("machine counts differ: %d vs %d", len(ge), len(we))
+	}
+	for m := range we {
+		for k := range we[m] {
+			if we[m][k] != ge[m][k] {
+				t.Errorf("exec[%d][%d] = %v, want %v", m, k, ge[m][k], we[m][k])
+			}
+		}
+	}
+	wt, gt := want.System.TransferMatrix(), got.System.TransferMatrix()
+	if len(wt) != len(gt) {
+		t.Fatalf("transfer rows differ: %d vs %d", len(gt), len(wt))
+	}
+	for p := range wt {
+		for d := range wt[p] {
+			if wt[p][d] != gt[p][d] {
+				t.Errorf("transfer[%d][%d] = %v, want %v", p, d, gt[p][d], wt[p][d])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	_, err := Decode(strings.NewReader("not json"))
+	if err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("Decode garbage: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsEmptyTasks(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"name":"x","tasks":[],"items":[],"exec":[],"transfer":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "no tasks") {
+		t.Errorf("Decode empty: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsCyclicItems(t *testing.T) {
+	src := `{
+		"name": "cyclic",
+		"tasks": ["a", "b"],
+		"items": [
+			{"producer": 0, "consumer": 1, "size": 1},
+			{"producer": 1, "consumer": 0, "size": 1}
+		],
+		"exec": [[1, 1]],
+		"transfer": []
+	}`
+	_, err := Decode(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("Decode cyclic: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsBadMatrix(t *testing.T) {
+	src := `{
+		"name": "bad",
+		"tasks": ["a", "b"],
+		"items": [],
+		"exec": [[1]],
+		"transfer": []
+	}`
+	_, err := Decode(strings.NewReader(src))
+	if err == nil {
+		t.Error("Decode accepted ragged exec matrix")
+	}
+}

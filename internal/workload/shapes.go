@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// This file provides the structured application DAGs that the DAG-
+// scheduling literature uses as standard benchmarks alongside random
+// graphs (e.g. Topcuoglu et al., the paper's ref [5], evaluate on Gaussian
+// elimination and FFT graphs). Each Shape builds the task graph; Realize
+// attaches a heterogeneous platform with the same knobs as the random
+// generator, so every scheduler and experiment in the repository runs on
+// them unchanged.
+
+// ShapeParams configures platform realization for a structured DAG.
+type ShapeParams struct {
+	// Machines is the machine count l (≥ 1).
+	Machines int
+	// Heterogeneity is the machine-range factor (≥ 1).
+	Heterogeneity float64
+	// CCR is the target communication-to-cost ratio (≥ 0).
+	CCR float64
+	// Seed drives the cost draws.
+	Seed int64
+}
+
+// GaussianElimination builds the task graph of Gaussian elimination on an
+// n×n matrix: for each elimination step k there is one pivot task that
+// feeds n−k−1 update tasks, each of which feeds the next step's pivot and
+// its own column's update. Total tasks: n(n+1)/2 − 1 for n ≥ 2.
+func GaussianElimination(n int) (*taskgraph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: GaussianElimination needs n >= 2, got %d", n)
+	}
+	b := taskgraph.NewBuilder(n * (n + 1) / 2)
+	// pivot[k] eliminates column k; update[k][j] applies it to column j.
+	pivot := make([]taskgraph.TaskID, n-1)
+	update := make([][]taskgraph.TaskID, n-1)
+	for k := 0; k < n-1; k++ {
+		pivot[k] = b.AddTask(fmt.Sprintf("pivot%d", k))
+		update[k] = make([]taskgraph.TaskID, 0, n-k-1)
+		for j := k + 1; j < n; j++ {
+			update[k] = append(update[k], b.AddTask(fmt.Sprintf("upd%d_%d", k, j)))
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		for _, u := range update[k] {
+			b.AddItem(pivot[k], u, 1) // pivot row broadcast
+		}
+		if k+1 < n-1 {
+			// The first update of step k produces the next pivot column;
+			// the remaining updates feed the matching update of step k+1.
+			b.AddItem(update[k][0], pivot[k+1], 1)
+			for i := 1; i < len(update[k]); i++ {
+				b.AddItem(update[k][i], update[k+1][i-1], 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// FFT builds the task graph of an n-point fast Fourier transform
+// (n a power of two): n input tasks, log₂n butterfly layers of n tasks
+// each, every butterfly consuming two values from the previous layer.
+func FFT(n int) (*taskgraph.Graph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workload: FFT needs a power-of-two n >= 2, got %d", n)
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	b := taskgraph.NewBuilder(n * (levels + 1))
+	prev := make([]taskgraph.TaskID, n)
+	for i := 0; i < n; i++ {
+		prev[i] = b.AddTask(fmt.Sprintf("in%d", i))
+	}
+	for l := 1; l <= levels; l++ {
+		curr := make([]taskgraph.TaskID, n)
+		for i := 0; i < n; i++ {
+			curr[i] = b.AddTask(fmt.Sprintf("bf%d_%d", l, i))
+		}
+		span := n >> l
+		for i := 0; i < n; i++ {
+			partner := i ^ span
+			b.AddItem(prev[i], curr[i], 1)
+			b.AddItem(prev[partner], curr[i], 1)
+		}
+		prev = curr
+	}
+	return b.Build()
+}
+
+// ForkJoin builds a fork-join graph: one source fans out to width parallel
+// chains of the given depth, which join into one sink. It models
+// embarrassingly parallel phases with a sequential reduce.
+func ForkJoin(width, depth int) (*taskgraph.Graph, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("workload: ForkJoin needs width, depth >= 1, got %d, %d", width, depth)
+	}
+	b := taskgraph.NewBuilder(width*depth + 2)
+	src := b.AddTask("fork")
+	chains := make([][]taskgraph.TaskID, width)
+	for c := 0; c < width; c++ {
+		chains[c] = make([]taskgraph.TaskID, depth)
+		for d := 0; d < depth; d++ {
+			chains[c][d] = b.AddTask(fmt.Sprintf("w%d_%d", c, d))
+		}
+	}
+	sink := b.AddTask("join")
+	for c := 0; c < width; c++ {
+		b.AddItem(src, chains[c][0], 1)
+		for d := 1; d < depth; d++ {
+			b.AddItem(chains[c][d-1], chains[c][d], 1)
+		}
+		b.AddItem(chains[c][depth-1], sink, 1)
+	}
+	return b.Build()
+}
+
+// Pipeline builds a linear chain of n stages — the worst case for
+// parallelism and the best case for co-location.
+func Pipeline(n int) (*taskgraph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: Pipeline needs n >= 1, got %d", n)
+	}
+	b := taskgraph.NewBuilder(n)
+	prev := b.AddTask("stage0")
+	for i := 1; i < n; i++ {
+		t := b.AddTask(fmt.Sprintf("stage%d", i))
+		b.AddItem(prev, t, 1)
+		prev = t
+	}
+	return b.Build()
+}
+
+// RealizeOn is Realize over an explicit network topology (star, ring,
+// mesh, or custom — see platform.Topology) instead of the paper's fully
+// connected default: transfer times follow item size × shortest-path
+// per-unit cost, rescaled so the realized mean transfer / mean execution
+// ratio equals CCR.
+func RealizeOn(name string, g *taskgraph.Graph, topo *platform.Topology, p ShapeParams) (*Workload, error) {
+	if topo.NumMachines() != p.Machines {
+		return nil, fmt.Errorf("workload: RealizeOn: topology has %d machines, params say %d",
+			topo.NumMachines(), p.Machines)
+	}
+	w, err := Realize(name, g, p)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumItems() == 0 || p.Machines < 2 {
+		return w, nil
+	}
+	sizes := make([]float64, g.NumItems())
+	for d, it := range g.Items() {
+		sizes[d] = it.Size
+	}
+	transfer, err := topo.BuildTransfer(sizes)
+	if err != nil {
+		return nil, err
+	}
+	// Rescale to the requested CCR against the realized mean execution
+	// time.
+	meanExec, meanTr := 0.0, 0.0
+	for t := 0; t < g.NumTasks(); t++ {
+		meanExec += w.System.MeanExecTime(taskgraph.TaskID(t))
+	}
+	meanExec /= float64(g.NumTasks())
+	cnt := 0
+	for _, row := range transfer {
+		for _, v := range row {
+			meanTr += v
+			cnt++
+		}
+	}
+	meanTr /= float64(cnt)
+	if meanTr > 0 {
+		c := p.CCR * meanExec / meanTr
+		for pi := range transfer {
+			for d := range transfer[pi] {
+				transfer[pi][d] *= c
+			}
+		}
+	}
+	sys, err := platform.New(g.NumTasks(), g.NumItems(), w.System.ExecMatrix(), transfer)
+	if err != nil {
+		return nil, err
+	}
+	w.System = sys
+	w.Name = name + "-topo"
+	return w, nil
+}
+
+// Realize attaches a heterogeneous platform to a structured DAG using the
+// same cost model as Generate (range-based execution times, CCR-calibrated
+// transfers) and returns the complete workload.
+func Realize(name string, g *taskgraph.Graph, p ShapeParams) (*Workload, error) {
+	if p.Machines < 1 {
+		return nil, fmt.Errorf("workload: Realize: Machines = %d, want >= 1", p.Machines)
+	}
+	if p.Heterogeneity < 1 {
+		return nil, fmt.Errorf("workload: Realize: Heterogeneity = %v, want >= 1", p.Heterogeneity)
+	}
+	if p.CCR < 0 {
+		return nil, fmt.Errorf("workload: Realize: CCR = %v, want >= 0", p.CCR)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := g.NumTasks()
+
+	exec := make([][]float64, p.Machines)
+	for m := range exec {
+		exec[m] = make([]float64, n)
+	}
+	sumExec := 0.0
+	for t := 0; t < n; t++ {
+		base := uniform(rng, 1, 4)
+		for m := 0; m < p.Machines; m++ {
+			e := 100 * base * uniform(rng, 1, p.Heterogeneity)
+			exec[m][t] = e
+			sumExec += e
+		}
+	}
+	meanExec := sumExec / float64(p.Machines*n)
+
+	var transfer [][]float64
+	if g.NumItems() > 0 && p.Machines > 1 {
+		pairs := p.Machines * (p.Machines - 1) / 2
+		transfer = make([][]float64, pairs)
+		sumRaw := 0.0
+		for pi := 0; pi < pairs; pi++ {
+			link := 0.5 + rng.Float64()
+			row := make([]float64, g.NumItems())
+			for d, it := range g.Items() {
+				raw := it.Size * link
+				row[d] = raw
+				sumRaw += raw
+			}
+			transfer[pi] = row
+		}
+		meanRaw := sumRaw / float64(pairs*g.NumItems())
+		if meanRaw > 0 {
+			c := p.CCR * meanExec / meanRaw
+			for pi := range transfer {
+				for d := range transfer[pi] {
+					transfer[pi][d] *= c
+				}
+			}
+		}
+	}
+
+	sys, err := platform.New(n, g.NumItems(), exec, transfer)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("%s-l%d-h%.1f-ccr%.2f-seed%d", name, p.Machines, p.Heterogeneity, p.CCR, p.Seed),
+		Params: Params{Tasks: n, Machines: p.Machines, Heterogeneity: p.Heterogeneity, CCR: p.CCR, Seed: p.Seed},
+		Graph:  g,
+		System: sys,
+	}, nil
+}

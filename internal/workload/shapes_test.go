@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestGaussianEliminationShape(t *testing.T) {
+	cases := []struct {
+		n         int
+		wantTasks int
+	}{
+		{2, 2},  // pivot0 + upd0_1 … n(n+1)/2 - 1 = 2
+		{3, 5},  // p0, u01, u02, p1, u12
+		{5, 14}, // 5·6/2 − 1
+	}
+	for _, tc := range cases {
+		g, err := GaussianElimination(tc.n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if got := g.NumTasks(); got != tc.wantTasks {
+			t.Errorf("n=%d: tasks = %d, want %d", tc.n, got, tc.wantTasks)
+		}
+		if !g.IsTopological(g.TopoOrder()) {
+			t.Errorf("n=%d: graph not a DAG", tc.n)
+		}
+	}
+}
+
+func TestGaussianEliminationStructure(t *testing.T) {
+	g, err := GaussianElimination(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pivot0 is the unique source and feeds its three updates.
+	sources := g.Sources()
+	if len(sources) != 1 {
+		t.Fatalf("sources = %v, want exactly pivot0", sources)
+	}
+	if got := g.OutDegree(sources[0]); got != 3 {
+		t.Errorf("pivot0 out-degree = %d, want 3 updates", got)
+	}
+	// Depth: each elimination step adds pivot + update levels.
+	if d := g.Depth(); d != 2*(4-1) {
+		t.Errorf("depth = %d, want %d", d, 2*(4-1))
+	}
+}
+
+func TestGaussianEliminationRejectsSmall(t *testing.T) {
+	if _, err := GaussianElimination(1); err == nil {
+		t.Error("accepted n = 1")
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		g, err := FFT(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		levels := 0
+		for 1<<levels < n {
+			levels++
+		}
+		if got, want := g.NumTasks(), n*(levels+1); got != want {
+			t.Errorf("n=%d: tasks = %d, want %d", n, got, want)
+		}
+		// Every butterfly consumes exactly two values.
+		for task := n; task < g.NumTasks(); task++ {
+			if got := g.InDegree(taskID(task)); got != 2 {
+				t.Fatalf("n=%d: butterfly %d in-degree = %d, want 2", n, task, got)
+			}
+		}
+		if d := g.Depth(); d != levels+1 {
+			t.Errorf("n=%d: depth = %d, want %d", n, d, levels+1)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := FFT(n); err == nil {
+			t.Errorf("accepted n = %d", n)
+		}
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g, err := ForkJoin(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumTasks(); got != 4*3+2 {
+		t.Errorf("tasks = %d, want 14", got)
+	}
+	src := g.Sources()
+	sinks := g.Sinks()
+	if len(src) != 1 || len(sinks) != 1 {
+		t.Fatalf("sources %v, sinks %v", src, sinks)
+	}
+	if got := g.OutDegree(src[0]); got != 4 {
+		t.Errorf("fork out-degree = %d, want 4", got)
+	}
+	if got := g.InDegree(sinks[0]); got != 4 {
+		t.Errorf("join in-degree = %d, want 4", got)
+	}
+	if d := g.Depth(); d != 3+2 {
+		t.Errorf("depth = %d, want %d (fork + 3 chain nodes + join)", d, 5)
+	}
+}
+
+func TestForkJoinRejectsBadDims(t *testing.T) {
+	if _, err := ForkJoin(0, 1); err == nil {
+		t.Error("accepted width 0")
+	}
+	if _, err := ForkJoin(1, 0); err == nil {
+		t.Error("accepted depth 0")
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	g, err := Pipeline(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 6 || g.NumItems() != 5 {
+		t.Fatalf("shape = %d tasks, %d items", g.NumTasks(), g.NumItems())
+	}
+	if g.Depth() != 6 {
+		t.Errorf("depth = %d, want 6", g.Depth())
+	}
+}
+
+func TestPipelineSingle(t *testing.T) {
+	g, err := Pipeline(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 1 || g.NumItems() != 0 {
+		t.Fatalf("shape = %d tasks, %d items", g.NumTasks(), g.NumItems())
+	}
+}
+
+func TestRealizeAttachesPlatform(t *testing.T) {
+	g, err := GaussianElimination(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Realize("gauss5", g, ShapeParams{
+		Machines: 4, Heterogeneity: 8, CCR: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Realize: %v", err)
+	}
+	if w.System.NumMachines() != 4 || w.System.NumTasks() != g.NumTasks() {
+		t.Fatalf("platform shape wrong: %v", w)
+	}
+	if !strings.HasPrefix(w.Name, "gauss5-l4") {
+		t.Errorf("Name = %q", w.Name)
+	}
+	// CCR calibration must hold for structured DAGs too.
+	meanExec, meanTr := 0.0, 0.0
+	for tk := 0; tk < g.NumTasks(); tk++ {
+		meanExec += w.System.MeanExecTime(taskID(tk))
+	}
+	meanExec /= float64(g.NumTasks())
+	for d := 0; d < g.NumItems(); d++ {
+		meanTr += w.System.MeanTransferTime(itemID(d))
+	}
+	meanTr /= float64(g.NumItems())
+	got := meanTr / meanExec
+	if got < 0.97 || got > 1.03 {
+		t.Errorf("realized CCR = %v, want ≈ 1", got)
+	}
+}
+
+func TestRealizeDeterministic(t *testing.T) {
+	g, _ := FFT(8)
+	p := ShapeParams{Machines: 3, Heterogeneity: 4, CCR: 0.5, Seed: 9}
+	a, err := Realize("fft8", g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Realize("fft8", g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.System.ExecMatrix(), b.System.ExecMatrix()
+	for m := range ae {
+		for k := range ae[m] {
+			if ae[m][k] != be[m][k] {
+				t.Fatal("Realize not deterministic")
+			}
+		}
+	}
+}
+
+func TestRealizeErrors(t *testing.T) {
+	g, _ := Pipeline(3)
+	cases := []ShapeParams{
+		{Machines: 0, Heterogeneity: 1},
+		{Machines: 1, Heterogeneity: 0.5},
+		{Machines: 1, Heterogeneity: 1, CCR: -1},
+	}
+	for i, p := range cases {
+		if _, err := Realize("x", g, p); err == nil {
+			t.Errorf("case %d: accepted %+v", i, p)
+		}
+	}
+}
+
+func TestRealizeSingleMachineShape(t *testing.T) {
+	g, _ := ForkJoin(3, 2)
+	w, err := Realize("fj", g, ShapeParams{Machines: 1, Heterogeneity: 1, CCR: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.System.NumMachines() != 1 {
+		t.Fatal("machines != 1")
+	}
+}
+
+func TestRealizeOnStarTopology(t *testing.T) {
+	g, err := FFT(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := platform.Star(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := RealizeOn("fft4", g, topo, ShapeParams{
+		Machines: 4, Heterogeneity: 4, CCR: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("RealizeOn: %v", err)
+	}
+	// Spoke-spoke transfers route via the hub: exactly twice the hub-spoke
+	// cost for the same item.
+	for d := 0; d < w.Graph.NumItems(); d++ {
+		hub := w.System.TransferTime(0, 1, itemID(d))
+		spoke := w.System.TransferTime(1, 2, itemID(d))
+		if diff := spoke - 2*hub; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("item %d: spoke-spoke %v, want 2×hub %v", d, spoke, 2*hub)
+		}
+	}
+	// CCR calibration holds on the topology too.
+	meanExec, meanTr := 0.0, 0.0
+	for tk := 0; tk < g.NumTasks(); tk++ {
+		meanExec += w.System.MeanExecTime(taskID(tk))
+	}
+	meanExec /= float64(g.NumTasks())
+	for d := 0; d < g.NumItems(); d++ {
+		meanTr += w.System.MeanTransferTime(itemID(d))
+	}
+	meanTr /= float64(g.NumItems())
+	if got := meanTr / meanExec; got < 0.97 || got > 1.03 {
+		t.Errorf("realized CCR on star = %v, want ≈ 1", got)
+	}
+}
+
+func TestRealizeOnMachineMismatch(t *testing.T) {
+	g, _ := Pipeline(3)
+	topo, err := platform.Ring(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RealizeOn("p", g, topo, ShapeParams{Machines: 5, Heterogeneity: 1}); err == nil {
+		t.Error("accepted topology/params machine mismatch")
+	}
+}
+
+func TestRealizeOnDisconnected(t *testing.T) {
+	g, _ := Pipeline(3)
+	topo, err := platform.NewTopology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RealizeOn("p", g, topo, ShapeParams{Machines: 3, Heterogeneity: 1, CCR: 0.5}); err == nil {
+		t.Error("accepted disconnected topology")
+	}
+}
