@@ -8,6 +8,7 @@
 //	figures                 # all figures at paper scale (100 tasks, 20 machines)
 //	figures -quick          # down-scaled, finishes in seconds
 //	figures -fig 5 -csv out # only Figure 5, also writing out/fig5.csv
+//	figures -fig 6 -algos se,ga,tabu,heft   # race extra schedulers in Figures 5–7
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/scheduler"
 	"repro/internal/textplot"
 )
 
@@ -34,8 +36,15 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write one CSV per figure")
 		width    = flag.Int("width", 72, "chart width")
 		height   = flag.Int("height", 20, "chart height")
+		algos    = flag.String("algos", "", "comma-separated registered schedulers to race in Figures 5–7 (default: se,ga)")
+		list     = flag.Bool("list-algos", false, "list registered algorithms and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Print(scheduler.List())
+		return
+	}
 
 	cfg := experiments.PaperConfig()
 	if *quick {
@@ -59,6 +68,13 @@ func main() {
 	cfg.Workers = *workers
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if *algos != "" {
+		names, err := scheduler.ParseNames(*algos)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Algos = names
 	}
 
 	fmt.Printf("configuration: %d tasks, %d machines, %d iterations, %v budget, seed %d, %d workers\n\n",

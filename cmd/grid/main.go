@@ -1,26 +1,30 @@
 // Command grid runs the full factorial experiment the paper's §5.3 samples
 // from: every combination of connectivity × heterogeneity × CCR class,
-// scheduling with SE and GA (and optionally every other scheduler) over
-// several seeds, and reports mean best schedule lengths per cell. It makes
-// the paper's summary sentence — "SE produced better solutions than GA
-// with less time, for workloads with relatively high connectivity, and/or
-// high heterogeneity, and/or high CCR" — checkable as a table.
+// scheduling with any set of registered algorithms (default: the paper's
+// SE-vs-GA pairing) over several seeds, and reports mean best schedule
+// lengths per cell. It makes the paper's summary sentence — "SE produced
+// better solutions than GA with less time, for workloads with relatively
+// high connectivity, and/or high heterogeneity, and/or high CCR" —
+// checkable as a table.
 //
 // Usage:
 //
 //	grid -tasks 100 -machines 20 -budget 2s -trials 3
 //	grid -quick
+//	grid -quick -algos se,ga,heft,tabu
+//	grid -list-algos
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ga"
+	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
 
@@ -37,10 +41,21 @@ func main() {
 		trials   = flag.Int("trials", 3, "seeds per cell")
 		quick    = flag.Bool("quick", false, "small fast grid (40 tasks, 8 machines, 300ms, 2 trials)")
 		seed     = flag.Int64("seed", 1, "base seed")
+		algos    = flag.String("algos", "se,ga", "comma-separated registered algorithms (see -list-algos)")
+		list     = flag.Bool("list-algos", false, "list registered algorithms and exit")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Print(scheduler.List())
+		return
+	}
 	if *quick {
 		*tasks, *machines, *budget, *trials = 40, 8, 300*time.Millisecond, 2
+	}
+	names, err := scheduler.ParseNames(*algos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grid:", err)
+		os.Exit(1)
 	}
 
 	connectivities := []class{{"lowC", workload.LowConnectivity}, {"highC", workload.HighConnectivity}}
@@ -49,35 +64,60 @@ func main() {
 
 	fmt.Printf("factorial grid: %d tasks × %d machines, %v budget, %d trials per cell\n\n",
 		*tasks, *machines, *budget, *trials)
-	fmt.Printf("%-18s %12s %12s %8s %s\n", "cell", "SE mean", "GA mean", "SE/GA", "winner")
+	// Column width fits the longest registered name plus the " mean"
+	// suffix, so headers and data stay aligned for any -algos choice.
+	colWidth := 12
+	for _, name := range names {
+		if w := len(name) + len(" mean"); w > colWidth {
+			colWidth = w
+		}
+	}
+	fmt.Printf("%-18s", "cell")
+	for _, name := range names {
+		fmt.Printf(" %*s", colWidth, name+" mean")
+	}
+	fmt.Printf(" %s\n", "winner")
 
-	seWins, cells := 0, 0
+	wins := make(map[string]int)
+	cells := 0
 	for _, c := range connectivities {
 		for _, h := range heterogeneities {
 			for _, r := range ccrs {
 				cell := fmt.Sprintf("%s+%s+%s", c.name, h.name, r.name)
-				seMean, gaMean, err := runCell(*tasks, *machines, c.value, h.value, r.value, *budget, *trials, *seed)
+				means, err := runCell(names, *tasks, *machines, c.value, h.value, r.value, *budget, *trials, *seed)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "grid:", err)
 					os.Exit(1)
 				}
-				winner := "GA"
-				if seMean <= gaMean {
-					winner = "SE"
-					seWins++
+				winner := 0
+				for i := range names {
+					if means[i] < means[winner] {
+						winner = i
+					}
 				}
+				wins[names[winner]]++
 				cells++
-				fmt.Printf("%-18s %12.0f %12.0f %8.3f %s\n", cell, seMean, gaMean, seMean/gaMean, winner)
+				fmt.Printf("%-18s", cell)
+				for _, m := range means {
+					fmt.Printf(" %*.0f", colWidth, m)
+				}
+				fmt.Printf(" %s\n", names[winner])
 			}
 		}
 	}
-	fmt.Printf("\nSE wins %d of %d cells.\n", seWins, cells)
-	fmt.Println("paper §5.3: SE should dominate the high-connectivity / high-heterogeneity /")
-	fmt.Println("high-CCR cells; low-everything cells are expected to be close or mixed.")
+	fmt.Println()
+	for _, name := range names {
+		fmt.Printf("%s wins %d of %d cells. ", name, wins[name], cells)
+	}
+	fmt.Println()
+	if len(names) == 2 && names[0] == "se" && names[1] == "ga" {
+		fmt.Println("paper §5.3: SE should dominate the high-connectivity / high-heterogeneity /")
+		fmt.Println("high-CCR cells; low-everything cells are expected to be close or mixed.")
+	}
 }
 
-func runCell(tasks, machines int, conn, het, ccr float64, budget time.Duration, trials int, baseSeed int64) (seMean, gaMean float64, err error) {
-	run := func(algo string, seed int64) (float64, error) {
+func runCell(names []string, tasks, machines int, conn, het, ccr float64, budget time.Duration, trials int, baseSeed int64) ([]float64, error) {
+	run := func(name string, seed int64) (float64, error) {
 		w, err := workload.Generate(workload.Params{
 			Tasks:         tasks,
 			Machines:      machines,
@@ -89,33 +129,23 @@ func runCell(tasks, machines int, conn, het, ccr float64, budget time.Duration, 
 		if err != nil {
 			return 0, err
 		}
-		switch algo {
-		case "se":
-			res, err := core.Run(w.Graph, w.System, core.Options{
-				Y: (machines*9 + 10) / 20, TimeBudget: budget, Seed: seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			return res.BestMakespan, nil
-		default:
-			res, err := ga.Run(w.Graph, w.System, ga.Options{
-				PopulationSize: 200, CrossoverRate: 0.4, MutationRate: 0.02,
-				TimeBudget: budget, Seed: seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			return res.BestMakespan, nil
+		s, err := scheduler.Get(name, experiments.TunedOptions(name, machines, seed, 0)...)
+		if err != nil {
+			return 0, err
 		}
+		res, err := s.Schedule(context.Background(), w.Graph, w.System, scheduler.Budget{TimeBudget: budget})
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
 	}
-	seSum, _, err := runner.Trials(trials, 1, baseSeed, func(s int64) (float64, error) { return run("se", s) })
-	if err != nil {
-		return 0, 0, err
+	means := make([]float64, len(names))
+	for i, name := range names {
+		sum, _, err := runner.Trials(trials, 1, baseSeed, func(s int64) (float64, error) { return run(name, s) })
+		if err != nil {
+			return nil, err
+		}
+		means[i] = sum.Mean
 	}
-	gaSum, _, err := runner.Trials(trials, 1, baseSeed, func(s int64) (float64, error) { return run("ga", s) })
-	if err != nil {
-		return 0, 0, err
-	}
-	return seSum.Mean, gaSum.Mean, nil
+	return means, nil
 }

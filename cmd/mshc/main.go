@@ -1,28 +1,30 @@
 // Command mshc matches and schedules a workload onto a heterogeneous
-// machine suite using the paper's simulated evolution (se), the GA
-// baseline of Wang et al. (ga), simulated annealing (sa), the constructive
-// heuristics (heft, minmin, maxmin, mct, random), or all of them.
+// machine suite using any scheduler in the registry: the paper's
+// simulated evolution (se), the GA baseline of Wang et al. (ga),
+// simulated annealing (sa), tabu search (tabu), the constructive
+// heuristics (heft, cpop, minmin, maxmin, sufferage, mct, random), or
+// all of them.
 //
 // Usage:
 //
+//	mshc -list-algos
 //	mshc -algo se -iters 1000 -workload w.json
+//	mshc -algo heft -figure1
 //	mshc -algo all -figure1
 //	mshc -algo ga -budget 5s -workload w.json -v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ga"
-	"repro/internal/heuristics"
-	"repro/internal/sa"
 	"repro/internal/schedule"
-	"repro/internal/tabu"
+	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
 
@@ -37,8 +39,9 @@ func main() {
 	var (
 		path    = flag.String("workload", "", "workload JSON file (see wlgen)")
 		figure1 = flag.Bool("figure1", false, "use the paper's Figure-1 example workload")
-		algo    = flag.String("algo", "se", "algorithm: se | ga | sa | tabu | heft | cpop | minmin | maxmin | sufferage | mct | random | all")
-		iters   = flag.Int("iters", 1000, "iteration/generation/move budget")
+		algo    = flag.String("algo", "se", "registered algorithm name, or \"all\" (see -list-algos)")
+		list    = flag.Bool("list-algos", false, "list registered algorithms and exit")
+		iters   = flag.Int("iters", 1000, "iteration/generation/block budget")
 		budget  = flag.Duration("budget", 0, "wall-clock budget (overrides -iters when set)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		bias    = flag.Float64("bias", 0, "SE selection bias B (paper: -0.3…-0.1 small problems, 0…0.1 large)")
@@ -50,6 +53,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Print(scheduler.List())
+		return
+	}
+
 	w, err := loadWorkload(*path, *figure1)
 	if err != nil {
 		fatal(err)
@@ -57,9 +65,9 @@ func main() {
 	fmt.Printf("workload: %s\n", w)
 	fmt.Printf("lower bound (contention-free critical path): %.0f\n\n", schedule.LowerBound(w.Graph, w.System))
 
-	names := []string{*algo}
-	if *algo == "all" {
-		names = []string{"se", "ga", "sa", "tabu", "heft", "cpop", "minmin", "maxmin", "sufferage", "mct", "random"}
+	names := []string{strings.TrimSpace(*algo)}
+	if names[0] == "all" {
+		names = scheduler.Names()
 	}
 	var results []result
 	for _, name := range names {
@@ -71,9 +79,9 @@ func main() {
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].makespan < results[j].makespan })
 
-	fmt.Printf("%-8s %14s %12s\n", "algo", "makespan", "time")
+	fmt.Printf("%-10s %14s %12s\n", "algo", "makespan", "time")
 	for _, r := range results {
-		fmt.Printf("%-8s %14.0f %12s\n", r.name, r.makespan, r.elapsed.Round(time.Millisecond))
+		fmt.Printf("%-10s %14.0f %12s\n", r.name, r.makespan, r.elapsed.Round(time.Millisecond))
 	}
 	if *verbose {
 		best := results[0]
@@ -105,78 +113,25 @@ func loadWorkload(path string, figure1 bool) (*workload.Workload, error) {
 }
 
 func runOne(name string, w *workload.Workload, iters int, budget time.Duration, seed int64, bias float64, y, pop, workers int) (result, error) {
-	start := time.Now()
-	switch name {
-	case "se":
-		opts := core.Options{Bias: bias, Y: y, Seed: seed, Workers: workers}
-		if budget > 0 {
-			opts.TimeBudget = budget
-		} else {
-			opts.MaxIterations = iters
-		}
-		res, err := core.Run(w.Graph, w.System, opts)
-		if err != nil {
-			return result{}, err
-		}
-		return result{"se", res.BestMakespan, time.Since(start), res.Best}, nil
-	case "ga":
-		opts := ga.Options{Seed: seed, Workers: workers, PopulationSize: pop}
-		if budget > 0 {
-			opts.TimeBudget = budget
-		} else {
-			opts.MaxGenerations = iters
-		}
-		res, err := ga.Run(w.Graph, w.System, opts)
-		if err != nil {
-			return result{}, err
-		}
-		return result{"ga", res.BestMakespan, time.Since(start), res.Best}, nil
-	case "sa":
-		opts := sa.Options{Seed: seed}
-		if budget > 0 {
-			opts.TimeBudget = budget
-		} else {
-			opts.MaxMoves = iters * w.Graph.NumTasks()
-		}
-		res, err := sa.Run(w.Graph, w.System, opts)
-		if err != nil {
-			return result{}, err
-		}
-		return result{"sa", res.BestMakespan, time.Since(start), res.Best}, nil
-	case "tabu":
-		opts := tabu.Options{Seed: seed}
-		if budget > 0 {
-			opts.TimeBudget = budget
-		} else {
-			opts.MaxIterations = iters
-		}
-		res, err := tabu.Run(w.Graph, w.System, opts)
-		if err != nil {
-			return result{}, err
-		}
-		return result{"tabu", res.BestMakespan, time.Since(start), res.Best}, nil
-	case "heft", "cpop", "minmin", "maxmin", "sufferage", "mct", "random":
-		var r heuristics.Result
-		switch name {
-		case "heft":
-			r = heuristics.HEFT(w.Graph, w.System)
-		case "cpop":
-			r = heuristics.CPOP(w.Graph, w.System)
-		case "minmin":
-			r = heuristics.MinMin(w.Graph, w.System)
-		case "maxmin":
-			r = heuristics.MaxMin(w.Graph, w.System)
-		case "sufferage":
-			r = heuristics.Sufferage(w.Graph, w.System)
-		case "mct":
-			r = heuristics.MCT(w.Graph, w.System)
-		case "random":
-			r = heuristics.Random(w.Graph, w.System, seed)
-		}
-		return result{r.Name, r.Makespan, time.Since(start), r.Solution}, nil
-	default:
-		return result{}, fmt.Errorf("unknown algorithm %q", name)
+	s, err := scheduler.Get(name,
+		scheduler.WithSeed(seed),
+		scheduler.WithWorkers(workers),
+		scheduler.WithBias(bias),
+		scheduler.WithY(y),
+		scheduler.WithPopulation(pop),
+	)
+	if err != nil {
+		return result{}, err
 	}
+	b := scheduler.Budget{MaxIterations: iters}
+	if budget > 0 {
+		b = scheduler.Budget{TimeBudget: budget}
+	}
+	res, err := s.Schedule(context.Background(), w.Graph, w.System, b)
+	if err != nil {
+		return result{}, err
+	}
+	return result{name, res.Makespan, res.Elapsed, res.Best}, nil
 }
 
 func printSchedule(w *workload.Workload, s schedule.String) {

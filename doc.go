@@ -10,27 +10,32 @@
 // connectivity, heterogeneity and CCR, the combined matching+scheduling
 // string encoding with an O(k+p) makespan evaluator, the genetic-algorithm
 // baseline of Wang et al. (JPDC 1997), classic constructive heuristics
-// (HEFT, Min-Min, Max-Min, MCT), a simulated-annealing extension, and a
-// figure-reproduction harness covering the paper's entire evaluation
-// section.
+// (HEFT, CPOP, Min-Min, Max-Min, Sufferage, MCT), simulated-annealing and
+// tabu-search extensions, and a figure-reproduction harness covering the
+// paper's entire evaluation section. All algorithms implement one common
+// Scheduler interface and are discovered through a name-keyed registry.
 //
 // Package layout:
 //
 //	internal/taskgraph   task DAGs and data items
-//	internal/platform    machines, E and Tr matrices
+//	internal/platform    machines, E and Tr matrices, interconnect topologies
 //	internal/schedule    solution encoding + makespan evaluator
 //	internal/workload    workload generator + the paper's Figure-1 example
 //	internal/core        the SE scheduler (the paper's contribution)
 //	internal/ga          the Wang et al. GA baseline
-//	internal/heuristics  HEFT, Min-Min, Max-Min, MCT, random
+//	internal/heuristics  HEFT, CPOP, Min-Min, Max-Min, Sufferage, MCT, random
 //	internal/sa          simulated-annealing extension
+//	internal/tabu        tabu-search extension
+//	internal/scheduler   the common Scheduler interface + registry
 //	internal/runner      wall-clock races and parallel trials
+//	internal/stats       series, summaries and quantiles
+//	internal/textplot    ASCII chart rendering
 //	internal/experiments one entry per paper figure
 //	cmd/mshc             schedule a workload from the command line
 //	cmd/wlgen            generate workloads
+//	cmd/grid             factorial workload-class × scheduler comparison
 //	cmd/figures          regenerate the paper's figures
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results. Benchmarks reproducing
-// each figure live in bench_test.go.
+// See README.md for a quickstart. Benchmarks reproducing each figure live
+// in bench_test.go; runnable walkthroughs live under examples/.
 package repro

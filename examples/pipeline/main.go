@@ -15,14 +15,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
 
-	"repro/internal/core"
-	"repro/internal/ga"
-	"repro/internal/heuristics"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/scheduler"
 	"repro/internal/taskgraph"
 )
 
@@ -109,31 +109,45 @@ func main() {
 	fmt.Printf("lower bound: %.0f\n\n", schedule.LowerBound(g, sys))
 	fmt.Printf("%-10s %10s\n", "scheduler", "makespan")
 
-	// Constructive heuristics.
-	for _, r := range heuristics.All(g, sys, 1) {
-		fmt.Printf("%-10s %10.0f\n", r.Name, r.Makespan)
+	// Every registered scheduler gets the same budget; small problem, so a
+	// thorough SE search (negative bias, §4.4) via per-algorithm options.
+	type row struct {
+		name     string
+		makespan float64
 	}
-
-	// Simulated evolution (small problem → negative bias, §4.4).
-	seRes, err := core.Run(g, sys, core.Options{Bias: -0.2, MaxIterations: 400, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
+	var (
+		rows   []row
+		seBest schedule.String
+	)
+	for _, name := range scheduler.Names() {
+		opts := []scheduler.Option{scheduler.WithSeed(1)}
+		if name == "se" || name == "se-ils" {
+			opts = append(opts, scheduler.WithBias(-0.2))
+		}
+		s, err := scheduler.Get(name, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Schedule(context.Background(), g, sys, scheduler.Budget{MaxIterations: 400})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name, res.Makespan})
+		if name == "se" {
+			seBest = res.Best
+		}
 	}
-	fmt.Printf("%-10s %10.0f\n", "se", seRes.BestMakespan)
-
-	// The GA baseline.
-	gaRes, err := ga.Run(g, sys, ga.Options{MaxGenerations: 400, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].makespan < rows[j].makespan })
+	for _, r := range rows {
+		fmt.Printf("%-10s %10.0f\n", r.name, r.makespan)
 	}
-	fmt.Printf("%-10s %10.0f\n", "ga", gaRes.BestMakespan)
 
 	// Where did SE put things?
 	eval := schedule.NewEvaluator(g, sys)
-	start, finish := eval.StartTimes(seRes.Best)
+	start, finish := eval.StartTimes(seBest)
 	names := []string{"vector", "cpu", "accel"}
 	fmt.Println("\nSE schedule:")
-	for m, order := range seRes.Best.MachineOrders(3) {
+	for m, order := range seBest.MachineOrders(3) {
 		fmt.Printf("  %-7s:", names[m])
 		for _, t := range order {
 			fmt.Printf(" %s[%.0f→%.0f]", g.Name(t), start[t], finish[t])

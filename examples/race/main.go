@@ -1,11 +1,11 @@
-// Race: the paper's §5.3 comparison as a live terminal experiment —
-// simulated evolution vs the Wang et al. genetic algorithm vs the
-// simulated-annealing extension, all given the same wall-clock budget on a
+// Race: the paper's §5.3 comparison as a live terminal experiment — any
+// set of registered schedulers, all given the same wall-clock budget on a
 // heavily communicating workload (CCR = 1, the paper's Figure 6 class),
 // rendered as an ASCII convergence chart.
 //
 //	go run ./examples/race
 //	go run ./examples/race -budget 10s -tasks 100 -machines 20
+//	go run ./examples/race -algos se,ga,sa,tabu,heft
 package main
 
 import (
@@ -14,12 +14,10 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ga"
+	"repro/internal/experiments"
 	"repro/internal/runner"
-	"repro/internal/sa"
 	"repro/internal/schedule"
-	"repro/internal/tabu"
+	"repro/internal/scheduler"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
@@ -30,6 +28,7 @@ func main() {
 		machines = flag.Int("machines", 12, "machines")
 		budget   = flag.Duration("budget", 3*time.Second, "wall-clock budget per scheduler")
 		seed     = flag.Int64("seed", 1, "seed")
+		algos    = flag.String("algos", "se,ga,sa,tabu", "comma-separated registered schedulers to race")
 	)
 	flag.Parse()
 
@@ -45,20 +44,22 @@ func main() {
 	fmt.Printf("lower bound: %.0f\n", schedule.LowerBound(w.Graph, w.System))
 	fmt.Printf("budget: %v per scheduler\n\n", *budget)
 
-	series, err := runner.Race(*budget, []runner.Contender{
-		runner.SEContender("SE", w.Graph, w.System, core.Options{
-			Y:    (*machines + 1) / 2,
-			Seed: *seed,
-		}),
-		runner.GAContender("GA (Wang et al.)", w.Graph, w.System, ga.Options{
-			PopulationSize: 200,
-			CrossoverRate:  0.4,
-			MutationRate:   0.02,
-			Seed:           *seed,
-		}),
-		runner.SAContender("SA", w.Graph, w.System, sa.Options{Seed: *seed}),
-		runner.TabuContender("Tabu", w.Graph, w.System, tabu.Options{Seed: *seed}),
-	})
+	// Every contender comes from the scheduler registry through the one
+	// generic race adapter, with the shared paper tuning.
+	names, err := scheduler.ParseNames(*algos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var contenders []runner.Contender
+	for _, name := range names {
+		s, err := scheduler.Get(name, experiments.TunedOptions(name, *machines, *seed, 0)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		contenders = append(contenders, runner.Entry(name, s, w.Graph, w.System))
+	}
+
+	series, err := runner.Race(*budget, contenders)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
 
@@ -52,24 +54,24 @@ func main() {
 
 		bestY, bestMean := 0, 0.0
 		for _, y := range yValues {
-			var totalTime time.Duration
+			var totalNanos atomic.Int64 // trials run concurrently
 			sum, _, err := runner.Trials(trials, 2, 1, func(seed int64) (float64, error) {
-				start := time.Now()
-				res, err := core.Run(w.Graph, w.System, core.Options{
-					Y:             y,
-					MaxIterations: iters,
-					Seed:          seed,
-				})
-				totalTime += time.Since(start)
+				s, err := scheduler.Get("se", scheduler.WithY(y), scheduler.WithSeed(seed))
 				if err != nil {
 					return 0, err
 				}
-				return res.BestMakespan, nil
+				res, err := s.Schedule(context.Background(), w.Graph, w.System,
+					scheduler.Budget{MaxIterations: iters})
+				if err != nil {
+					return 0, err
+				}
+				totalNanos.Add(int64(res.Elapsed))
+				return res.Makespan, nil
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  %4d %16.0f %12v\n", y, sum.Mean, (totalTime / trials).Round(time.Millisecond))
+			fmt.Printf("  %4d %16.0f %12v\n", y, sum.Mean, (time.Duration(totalNanos.Load()) / trials).Round(time.Millisecond))
 			if bestY == 0 || sum.Mean < bestMean {
 				bestY, bestMean = y, sum.Mean
 			}

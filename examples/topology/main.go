@@ -12,13 +12,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/heuristics"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
 
@@ -62,18 +62,22 @@ func main() {
 			log.Fatal(err)
 		}
 
-		heft := heuristics.HEFT(w.Graph, w.System)
-		report(w, tc.name, "heft", heft.Solution)
-
-		se, err := core.Run(w.Graph, w.System, core.Options{
-			MaxIterations: 300,
-			Y:             machines / 2,
-			Seed:          1,
-		})
-		if err != nil {
-			log.Fatal(err)
+		// Both algorithms come from the scheduler registry.
+		for _, algo := range []string{"heft", "se"} {
+			s, err := scheduler.Get(algo,
+				scheduler.WithSeed(1),
+				scheduler.WithY(machines/2),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := s.Schedule(context.Background(), w.Graph, w.System,
+				scheduler.Budget{MaxIterations: 300})
+			if err != nil {
+				log.Fatal(err)
+			}
+			report(w, tc.name, algo, res.Best)
 		}
-		report(w, tc.name, "se", se.Best)
 	}
 	fmt.Println("\ncross = data items crossing machines; comm = their total transfer time")
 	fmt.Println("(sparser interconnects → schedulers co-locate more, utilization drops)")

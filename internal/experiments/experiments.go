@@ -34,6 +34,18 @@ type Config struct {
 	// Workers parallelizes SE allocation and GA fitness evaluation
 	// (0/1 = serial).
 	Workers int
+	// Algos names the registered schedulers raced in Figures 5–7
+	// (scheduler.Names() lists them). Empty means the paper's pairing,
+	// SE vs GA.
+	Algos []string
+}
+
+// raceAlgos resolves the configured race contender names.
+func (c Config) raceAlgos() []string {
+	if len(c.Algos) == 0 {
+		return []string{"se", "ga"}
+	}
+	return c.Algos
 }
 
 // PaperConfig returns the configuration matching the paper's experiment

@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/scheduler"
 	"repro/internal/stats"
 )
 
@@ -17,13 +18,18 @@ import (
 // their best-matching segments.
 func Fig3(cfg Config) (fig3a, fig3b Figure, err error) {
 	w := highConnectivityWorkload(cfg)
-	res, err := core.Run(w.Graph, w.System, core.Options{
-		Bias:          0,
-		Y:             0, // all machines: the figure is about selection dynamics
+	se, err := scheduler.Get("se",
+		scheduler.WithBias(0),
+		scheduler.WithY(0), // all machines: the figure is about selection dynamics
+		scheduler.WithSeed(cfg.Seed),
+		scheduler.WithWorkers(cfg.Workers),
+		scheduler.WithTrace(),
+	)
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	res, err := se.Schedule(context.Background(), w.Graph, w.System, scheduler.Budget{
 		MaxIterations: cfg.Iterations,
-		Seed:          cfg.Seed,
-		Workers:       cfg.Workers,
-		RecordTrace:   true,
 	})
 	if err != nil {
 		return Figure{}, Figure{}, err
@@ -32,9 +38,9 @@ func Fig3(cfg Config) (fig3a, fig3b Figure, err error) {
 	var selected, current stats.Series
 	selected.Name = "selected subtasks"
 	current.Name = "current schedule length"
-	for _, st := range res.Trace {
-		selected.Add(float64(st.Iteration), float64(st.Selected))
-		current.Add(float64(st.Iteration), st.CurrentMakespan)
+	for _, p := range res.Trace {
+		selected.Add(float64(p.Iteration), float64(p.Selected))
+		current.Add(float64(p.Iteration), p.Current)
 	}
 
 	earlySel := headMean(selected, 0.1)
@@ -62,7 +68,7 @@ func Fig3(cfg Config) (fig3a, fig3b Figure, err error) {
 		YLabel: "schedule length",
 		Series: []stats.Series{current},
 		Notes: []string{
-			fmt.Sprintf("initial schedule length ≈ %.0f, final best %.0f", current.Points[0].Y, res.BestMakespan),
+			fmt.Sprintf("initial schedule length ≈ %.0f, final best %.0f", current.Points[0].Y, res.Makespan),
 			fmt.Sprintf("mean schedule length, first 10%%: %.0f; last 10%%: %.0f", earlyMs, lateMs),
 			fmt.Sprintf("paper claim (schedule length decreases): %v", lateMs < earlyMs),
 		},

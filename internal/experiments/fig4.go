@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/core"
+	"repro/internal/scheduler"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -59,24 +60,29 @@ func fig4(cfg Config, id string, het float64, hetName string) (Figure, error) {
 	}
 	finals := make([]float64, len(ys))
 	for i, y := range ys {
-		res, err := core.Run(w.Graph, w.System, core.Options{
-			Bias:          0,
-			Y:             y,
+		se, err := scheduler.Get("se",
+			scheduler.WithBias(0),
+			scheduler.WithY(y),
+			scheduler.WithSeed(cfg.Seed), // same seed: identical initial solution per Y
+			scheduler.WithWorkers(cfg.Workers),
+			scheduler.WithTrace(),
+		)
+		if err != nil {
+			return Figure{}, err
+		}
+		res, err := se.Schedule(context.Background(), w.Graph, w.System, scheduler.Budget{
 			MaxIterations: cfg.Iterations,
-			Seed:          cfg.Seed, // same seed: identical initial solution per Y
-			Workers:       cfg.Workers,
-			RecordTrace:   true,
 		})
 		if err != nil {
 			return Figure{}, err
 		}
 		s := stats.Series{Name: fmt.Sprintf("Y = %d", y)}
-		for _, st := range res.Trace {
-			s.Add(float64(st.Iteration), st.BestMakespan)
+		for _, p := range res.Trace {
+			s.Add(float64(p.Iteration), p.Best)
 		}
 		fig.Series = append(fig.Series, s)
-		finals[i] = res.BestMakespan
-		fig.Notes = append(fig.Notes, fmt.Sprintf("Y = %-3d final best schedule length: %.0f", y, res.BestMakespan))
+		finals[i] = res.Makespan
+		fig.Notes = append(fig.Notes, fmt.Sprintf("Y = %-3d final best schedule length: %.0f", y, res.Makespan))
 	}
 
 	bestIdx := 0

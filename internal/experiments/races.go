@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/ga"
 	"repro/internal/runner"
+	"repro/internal/scheduler"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -33,63 +33,127 @@ func Fig7(cfg Config) (Figure, error) {
 	return raceFigure(cfg, "7", "low connectivity, low heterogeneity, CCR = 0.1", lowEverythingWorkload(cfg))
 }
 
-func raceFigure(cfg Config, id, class string, w *workload.Workload) (Figure, error) {
-	seOpts := core.Options{
+// TunedOptions returns one algorithm's paper-tuned comparison
+// configuration for a given machine count: the shared seed and worker
+// count, plus the parameters the paper names. It is the single source of
+// this tuning for the figure races, cmd/grid and the examples.
+func TunedOptions(name string, machines int, seed int64, workers int) []scheduler.Option {
+	opts := []scheduler.Option{
+		scheduler.WithSeed(seed),
+		scheduler.WithWorkers(workers),
+	}
+	switch name {
+	case "se", "se-ils":
 		// Zero bias: at this scale the per-iteration cost is already low,
 		// and the paper's positive-bias advice trades quality for speed.
-		Bias: 0,
-		// The paper's preferred middle Y (9 of 20 machines, §5.2).
-		Y:       yMid(cfg.Machines),
-		Seed:    cfg.Seed,
-		Workers: cfg.Workers,
+		// Y is the paper's preferred middle value (9 of 20 machines, §5.2).
+		opts = append(opts, scheduler.WithBias(0), scheduler.WithY(yMid(machines)))
+	case "ga":
+		// Wang et al.'s large-population configuration (the GA the paper
+		// compares against): population 200, crossover 0.4, low mutation.
+		opts = append(opts,
+			scheduler.WithPopulation(200),
+			scheduler.WithCrossover(0.4),
+			scheduler.WithMutation(0.02))
 	}
-	// Wang et al.'s large-population configuration (the GA the paper
-	// compares against): population 200, crossover 0.4, low mutation.
-	gaOpts := ga.Options{
-		PopulationSize: 200,
-		CrossoverRate:  0.4,
-		MutationRate:   0.02,
-		Seed:           cfg.Seed,
-		Workers:        cfg.Workers,
+	return opts
+}
+
+// displayName maps a registry name to its series label.
+func displayName(name string) string {
+	switch name {
+	case "minmin":
+		return "Min-Min"
+	case "maxmin":
+		return "Max-Min"
+	case "sufferage":
+		return "Sufferage"
+	case "random":
+		return "Random"
+	case "tabu":
+		return "Tabu"
+	default:
+		return strings.ToUpper(name)
 	}
-	series, err := runner.Race(cfg.Budget, []runner.Contender{
-		runner.SEContender("SE", w.Graph, w.System, seOpts),
-		runner.GAContender("GA", w.Graph, w.System, gaOpts),
-	})
+}
+
+// raceContenders builds one race entry per configured algorithm from the
+// scheduler registry.
+func raceContenders(cfg Config, w *workload.Workload) ([]runner.Contender, error) {
+	names := cfg.raceAlgos()
+	out := make([]runner.Contender, len(names))
+	for i, name := range names {
+		s, err := scheduler.Get(name, TunedOptions(name, cfg.Machines, cfg.Seed, cfg.Workers)...)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = runner.Entry(displayName(name), s, w.Graph, w.System)
+	}
+	return out, nil
+}
+
+func raceFigure(cfg Config, id, class string, w *workload.Workload) (Figure, error) {
+	contenders, err := raceContenders(cfg, w)
+	if err != nil {
+		return Figure{}, err
+	}
+	series, err := runner.Race(cfg.Budget, contenders)
 	if err != nil {
 		return Figure{}, err
 	}
 
-	se, gaS := series[0], series[1]
-	seFinal, gaFinal := se.Last(), gaS.Last()
-	half := cfg.Budget.Seconds() / 2
-	quarter := cfg.Budget.Seconds() / 4
-
 	fig := Figure{
 		ID:     id,
-		Title:  fmt.Sprintf("Fig %s — SE vs GA, %s", id, class),
+		Title:  fmt.Sprintf("Fig %s — %s, %s", id, strings.Join(seriesNames(series), " vs "), class),
 		XLabel: "time (s)",
 		YLabel: "best schedule length",
 		Series: series,
-		Notes: []string{
-			fmt.Sprintf("workload: %s", w),
+		Notes:  []string{fmt.Sprintf("workload: %s", w)},
+	}
+
+	// The paper-claim notes compare its SE-vs-GA pairing; with a custom
+	// contender set the notes report finals and the overall winner instead.
+	names := cfg.raceAlgos()
+	if len(names) == 2 && names[0] == "se" && names[1] == "ga" {
+		se, gaS := series[0], series[1]
+		seFinal, gaFinal := se.Last(), gaS.Last()
+		half := cfg.Budget.Seconds() / 2
+		quarter := cfg.Budget.Seconds() / 4
+		fig.Notes = append(fig.Notes,
 			fmt.Sprintf("budget %v; SE final %.0f, GA final %.0f (SE/GA = %.3f)", cfg.Budget, seFinal, gaFinal, seFinal/gaFinal),
 			fmt.Sprintf("leader at 25%% budget: %s; at 50%% budget: %s; final: %s",
-				leader(se, gaS, quarter), leader(se, gaS, half), leaderFinal(seFinal, gaFinal)),
-		},
+				leader(se, gaS, quarter), leader(se, gaS, half), leaderFinal(seFinal, gaFinal)))
+		switch id {
+		case "5", "6":
+			fig.Notes = append(fig.Notes, fmt.Sprintf("paper claim (SE better than GA on this class): %v", seFinal <= gaFinal))
+		case "7":
+			ratio := seFinal / gaFinal
+			close := ratio > 0.95 && ratio < 1.05
+			fig.Notes = append(fig.Notes,
+				"paper claim: no clear winner on this class; GA often reaches good solutions faster",
+				fmt.Sprintf("finals within 5%% (no clear winner): %v; GA led at 25%% budget: %v",
+					close, leader(se, gaS, quarter) == "GA"))
+		}
+		return fig, nil
 	}
-	switch id {
-	case "5", "6":
-		fig.Notes = append(fig.Notes, fmt.Sprintf("paper claim (SE better than GA on this class): %v", seFinal <= gaFinal))
-	case "7":
-		ratio := seFinal / gaFinal
-		close := ratio > 0.95 && ratio < 1.05
-		fig.Notes = append(fig.Notes,
-			"paper claim: no clear winner on this class; GA often reaches good solutions faster",
-			fmt.Sprintf("finals within 5%% (no clear winner): %v; GA led at 25%% budget: %v",
-				close, leader(se, gaS, quarter) == "GA"))
+
+	winner := series[0]
+	for _, s := range series {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s final: %.0f", s.Name, s.Last()))
+		if s.Last() < winner.Last() {
+			winner = s
+		}
 	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf("budget %v; winner: %s (%.0f)", cfg.Budget, winner.Name, winner.Last()))
 	return fig, nil
+}
+
+func seriesNames(series []stats.Series) []string {
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	return names
 }
 
 // yMid scales the paper's preferred middle Y (9 of 20 machines) to the

@@ -5,17 +5,15 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ga"
 	"repro/internal/platform"
-	"repro/internal/sa"
+	"repro/internal/scheduler"
 	"repro/internal/stats"
-	"repro/internal/tabu"
 	"repro/internal/taskgraph"
 )
 
@@ -25,6 +23,32 @@ import (
 type Contender struct {
 	Name string
 	Run  func(budget time.Duration, record func(time.Duration, float64)) (float64, error)
+}
+
+// Entry adapts any scheduler.Scheduler to a race Contender: the race's
+// wall-clock budget becomes the scheduler's TimeBudget, and per-iteration
+// progress is sampled into the contender's best-so-far series. This is
+// the single adapter for every registered algorithm — metaheuristics
+// stream their convergence, constructive heuristics contribute their one
+// solution.
+func Entry(name string, s scheduler.Scheduler, g *taskgraph.Graph, sys *platform.System) Contender {
+	return Contender{
+		Name: name,
+		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
+			res, err := s.Schedule(context.Background(), g, sys, scheduler.Budget{
+				TimeBudget: budget,
+				OnProgress: func(p scheduler.Progress) bool {
+					record(p.Elapsed, p.Best)
+					return true
+				},
+			})
+			if err != nil {
+				return 0, err
+			}
+			record(res.Elapsed, res.Makespan)
+			return res.Makespan, nil
+		},
+	}
 }
 
 // Race runs every contender sequentially under the same wall-clock budget
@@ -51,91 +75,6 @@ func Race(budget time.Duration, contenders []Contender) ([]stats.Series, error) 
 		out[i] = s
 	}
 	return out, nil
-}
-
-// SEContender adapts an SE configuration to a race entry. The budget
-// overrides opts.TimeBudget; opts.OnIteration is chained after sampling.
-func SEContender(name string, g *taskgraph.Graph, sys *platform.System, opts core.Options) Contender {
-	return Contender{
-		Name: name,
-		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
-			opts := opts
-			opts.TimeBudget = budget
-			prev := opts.OnIteration
-			opts.OnIteration = func(st core.IterationStats) bool {
-				record(st.Elapsed, st.BestMakespan)
-				if prev != nil {
-					return prev(st)
-				}
-				return true
-			}
-			res, err := core.Run(g, sys, opts)
-			if err != nil {
-				return 0, err
-			}
-			return res.BestMakespan, nil
-		},
-	}
-}
-
-// GAContender adapts a GA configuration to a race entry.
-func GAContender(name string, g *taskgraph.Graph, sys *platform.System, opts ga.Options) Contender {
-	return Contender{
-		Name: name,
-		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
-			opts := opts
-			opts.TimeBudget = budget
-			prev := opts.OnGeneration
-			opts.OnGeneration = func(st ga.GenerationStats) bool {
-				record(st.Elapsed, st.BestMakespan)
-				if prev != nil {
-					return prev(st)
-				}
-				return true
-			}
-			res, err := ga.Run(g, sys, opts)
-			if err != nil {
-				return 0, err
-			}
-			return res.BestMakespan, nil
-		},
-	}
-}
-
-// SAContender adapts an SA configuration to a race entry. SA has no
-// per-iteration callback, so only the final best is recorded.
-func SAContender(name string, g *taskgraph.Graph, sys *platform.System, opts sa.Options) Contender {
-	return Contender{
-		Name: name,
-		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
-			opts := opts
-			opts.TimeBudget = budget
-			res, err := sa.Run(g, sys, opts)
-			if err != nil {
-				return 0, err
-			}
-			record(res.Elapsed, res.BestMakespan)
-			return res.BestMakespan, nil
-		},
-	}
-}
-
-// TabuContender adapts a tabu-search configuration to a race entry. Like
-// SA it has no per-iteration callback, so only the final best is recorded.
-func TabuContender(name string, g *taskgraph.Graph, sys *platform.System, opts tabu.Options) Contender {
-	return Contender{
-		Name: name,
-		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
-			opts := opts
-			opts.TimeBudget = budget
-			res, err := tabu.Run(g, sys, opts)
-			if err != nil {
-				return 0, err
-			}
-			record(res.Elapsed, res.BestMakespan)
-			return res.BestMakespan, nil
-		},
-	}
 }
 
 // Trials runs fn for n different seeds (baseSeed, baseSeed+1, …) across

@@ -5,10 +5,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ga"
 	"repro/internal/runner"
-	"repro/internal/sa"
+	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
 
@@ -21,9 +19,9 @@ func raceWorkload() *workload.Workload {
 func TestRaceProducesSeriesPerContender(t *testing.T) {
 	w := raceWorkload()
 	series, err := runner.Race(150*time.Millisecond, []runner.Contender{
-		runner.SEContender("SE", w.Graph, w.System, core.Options{Seed: 1, Y: 2}),
-		runner.GAContender("GA", w.Graph, w.System, ga.Options{Seed: 1}),
-		runner.SAContender("SA", w.Graph, w.System, sa.Options{Seed: 1}),
+		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(1), scheduler.WithY(2)), w.Graph, w.System),
+		runner.Entry("GA", scheduler.MustGet("ga", scheduler.WithSeed(1)), w.Graph, w.System),
+		runner.Entry("SA", scheduler.MustGet("sa", scheduler.WithSeed(1)), w.Graph, w.System),
 	})
 	if err != nil {
 		t.Fatalf("Race: %v", err)
@@ -42,10 +40,31 @@ func TestRaceProducesSeriesPerContender(t *testing.T) {
 	}
 }
 
+func TestRaceAcceptsEveryRegisteredScheduler(t *testing.T) {
+	w := raceWorkload()
+	var contenders []runner.Contender
+	for _, name := range scheduler.Names() {
+		contenders = append(contenders,
+			runner.Entry(name, scheduler.MustGet(name, scheduler.WithSeed(1)), w.Graph, w.System))
+	}
+	series, err := runner.Race(30*time.Millisecond, contenders)
+	if err != nil {
+		t.Fatalf("Race over all registered schedulers: %v", err)
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Errorf("series %q is empty", s.Name)
+		}
+		if last := s.Last(); last <= 0 {
+			t.Errorf("series %q final makespan = %v, want > 0", s.Name, last)
+		}
+	}
+}
+
 func TestRaceSeriesMonotone(t *testing.T) {
 	w := raceWorkload()
 	series, err := runner.Race(100*time.Millisecond, []runner.Contender{
-		runner.SEContender("SE", w.Graph, w.System, core.Options{Seed: 3}),
+		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(3)), w.Graph, w.System),
 	})
 	if err != nil {
 		t.Fatalf("Race: %v", err)
@@ -114,14 +133,18 @@ func TestTrialsRejectsZeroRuns(t *testing.T) {
 	}
 }
 
-func TestTrialsWithRealSE(t *testing.T) {
+func TestTrialsWithRegisteredScheduler(t *testing.T) {
 	w := raceWorkload()
 	sum, _, err := runner.Trials(4, 2, 1, func(seed int64) (float64, error) {
-		res, err := core.Run(w.Graph, w.System, core.Options{MaxIterations: 30, Seed: seed})
+		s, err := scheduler.Get("se", scheduler.WithSeed(seed))
 		if err != nil {
 			return 0, err
 		}
-		return res.BestMakespan, nil
+		res, err := s.Schedule(t.Context(), w.Graph, w.System, scheduler.Budget{MaxIterations: 30})
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
 	})
 	if err != nil {
 		t.Fatalf("Trials: %v", err)

@@ -45,6 +45,26 @@ type Options struct {
 	// Initial, when non-nil, is the starting solution (cloned); otherwise
 	// a random valid solution is generated.
 	Initial schedule.String
+	// OnBlock, when non-nil, is called after each temperature block of
+	// MovesPerTemp moves; returning false stops the run. It observes the
+	// run only — the random sequence is identical with or without it.
+	OnBlock func(BlockStats) bool
+}
+
+// BlockStats describes one completed temperature block.
+type BlockStats struct {
+	// Block numbers temperature blocks from 0.
+	Block int
+	// Temperature is the temperature the block ran at (before cooling).
+	Temperature float64
+	// Moves and Accepted count proposed and accepted moves so far.
+	Moves, Accepted int
+	// CurrentMakespan is the schedule length of the current solution.
+	CurrentMakespan float64
+	// BestMakespan is the best schedule length seen so far.
+	BestMakespan float64
+	// Elapsed is wall-clock time since the run started.
+	Elapsed time.Duration
 }
 
 // Result is the outcome of an SA run.
@@ -53,7 +73,11 @@ type Result struct {
 	BestMakespan float64
 	Moves        int
 	Accepted     int
-	Elapsed      time.Duration
+	// Blocks is the number of completed temperature blocks.
+	Blocks int
+	// Evaluations counts full schedule evaluations.
+	Evaluations uint64
+	Elapsed     time.Duration
 }
 
 // Run executes simulated annealing on graph g over system sys.
@@ -61,8 +85,8 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	if g.NumTasks() != sys.NumTasks() {
 		return nil, fmt.Errorf("sa: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
 	}
-	if opts.MaxMoves <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 {
-		return nil, fmt.Errorf("sa: no stopping criterion set (MaxMoves, TimeBudget or NoImprovement)")
+	if opts.MaxMoves <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnBlock == nil {
+		return nil, fmt.Errorf("sa: no stopping criterion set (MaxMoves, TimeBudget, NoImprovement or OnBlock)")
 	}
 	if opts.Cooling == 0 {
 		opts.Cooling = 0.98
@@ -134,6 +158,19 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 			}
 			sinceImproved++
 		}
+		if opts.OnBlock != nil && !opts.OnBlock(BlockStats{
+			Block:           res.Blocks,
+			Temperature:     temp,
+			Moves:           res.Moves,
+			Accepted:        res.Accepted,
+			CurrentMakespan: curMs,
+			BestMakespan:    bestMs,
+			Elapsed:         time.Since(start),
+		}) {
+			res.Blocks++
+			break
+		}
+		res.Blocks++
 		temp *= opts.Cooling
 
 		if opts.MaxMoves > 0 && res.Moves >= opts.MaxMoves {
@@ -148,6 +185,7 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	}
 	res.Best = best
 	res.BestMakespan = bestMs
+	res.Evaluations = eval.Evaluations()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

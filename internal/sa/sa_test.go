@@ -127,3 +127,56 @@ func TestOptionErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestOnBlockObservesAndStops(t *testing.T) {
+	w := smallWorkload()
+	var blocks int
+	res, err := sa.Run(w.Graph, w.System, sa.Options{
+		Seed: 1,
+		OnBlock: func(st sa.BlockStats) bool {
+			if st.Block != blocks {
+				t.Errorf("Block = %d, want %d", st.Block, blocks)
+			}
+			if st.BestMakespan <= 0 || st.Temperature <= 0 {
+				t.Errorf("stats not populated: %+v", st)
+			}
+			blocks++
+			return blocks < 4
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if blocks != 4 {
+		t.Errorf("OnBlock called %d times, want 4", blocks)
+	}
+	if res.Blocks != 4 {
+		t.Errorf("Blocks = %d, want 4", res.Blocks)
+	}
+	if res.Evaluations == 0 {
+		t.Error("Evaluations = 0, want > 0")
+	}
+}
+
+func TestOnBlockDoesNotPerturbSearch(t *testing.T) {
+	w := smallWorkload()
+	plain, err := sa.Run(w.Graph, w.System, sa.Options{Seed: 5, MaxMoves: 200})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	observed, err := sa.Run(w.Graph, w.System, sa.Options{
+		Seed: 5, MaxMoves: 200,
+		OnBlock: func(sa.BlockStats) bool { return true },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if plain.BestMakespan != observed.BestMakespan {
+		t.Errorf("observer changed the search: %v vs %v", plain.BestMakespan, observed.BestMakespan)
+	}
+	for i := range plain.Best {
+		if plain.Best[i] != observed.Best[i] {
+			t.Fatalf("observer changed the best string at gene %d", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package scheduler
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/heuristics"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func init() {
+	registerConstructive("heft",
+		"heterogeneous earliest finish time (Topcuoglu et al.)",
+		func(g *taskgraph.Graph, sys *platform.System, _ Config) heuristics.Result {
+			return heuristics.HEFT(g, sys)
+		})
+	registerConstructive("cpop",
+		"critical-path-on-a-processor (Topcuoglu et al.)",
+		func(g *taskgraph.Graph, sys *platform.System, _ Config) heuristics.Result {
+			return heuristics.CPOP(g, sys)
+		})
+	registerConstructive("minmin",
+		"levelized Min-Min: globally smallest earliest finish time first",
+		func(g *taskgraph.Graph, sys *platform.System, _ Config) heuristics.Result {
+			return heuristics.MinMin(g, sys)
+		})
+	registerConstructive("maxmin",
+		"levelized Max-Min: longest ready task first, on its best machine",
+		func(g *taskgraph.Graph, sys *platform.System, _ Config) heuristics.Result {
+			return heuristics.MaxMin(g, sys)
+		})
+	registerConstructive("sufferage",
+		"levelized Sufferage: schedule the task that suffers most otherwise",
+		func(g *taskgraph.Graph, sys *platform.System, _ Config) heuristics.Result {
+			return heuristics.Sufferage(g, sys)
+		})
+	registerConstructive("mct",
+		"minimum completion time in topological order",
+		func(g *taskgraph.Graph, sys *platform.System, _ Config) heuristics.Result {
+			return heuristics.MCT(g, sys)
+		})
+	registerConstructive("random",
+		"uniformly random valid solution (seeded)",
+		func(g *taskgraph.Graph, sys *platform.System, cfg Config) heuristics.Result {
+			return heuristics.Random(g, sys, cfg.Seed)
+		})
+}
+
+// registerConstructive wraps a single-pass heuristic as a Scheduler. The
+// Budget's bounds are ignored (the heuristic always runs to completion);
+// OnProgress and tracing observe the single completed pass.
+func registerConstructive(name, summary string, build func(*taskgraph.Graph, *platform.System, Config) heuristics.Result) {
+	Register(name, Constructive, summary, func(cfg Config) Scheduler {
+		return &funcScheduler{name: name, kind: Constructive, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
+			start := time.Now()
+			r := build(g, sys, cfg)
+			elapsed := time.Since(start)
+			p := newProbe(ctx, b, cfg.Trace)
+			if p.active() {
+				p.observe(Progress{Current: r.Makespan, Best: r.Makespan, Elapsed: elapsed})
+			}
+			return p.finish(&Result{
+				Best:        r.Solution,
+				Makespan:    r.Makespan,
+				Iterations:  1,
+				Evaluations: 1,
+				Elapsed:     elapsed,
+			})
+		}}
+	})
+}

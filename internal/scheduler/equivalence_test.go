@@ -1,0 +1,149 @@
+package scheduler_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/heuristics"
+	"repro/internal/sa"
+	"repro/internal/schedule"
+	"repro/internal/scheduler"
+	"repro/internal/tabu"
+	"repro/internal/workload"
+)
+
+// The equivalence guard: for a fixed seed and workload, every wrapped
+// algorithm must return the byte-identical best string and makespan its
+// package-level Run (or constructor) returns when called directly with
+// the same configuration. The registry is plumbing, not a fork of the
+// algorithms.
+
+func equivalenceWorkload() *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks: 30, Machines: 6, Connectivity: 2.5, Heterogeneity: 8, CCR: 0.5, Seed: 42,
+	})
+}
+
+func mustSchedule(t *testing.T, name string, b scheduler.Budget, opts ...scheduler.Option) *scheduler.Result {
+	t.Helper()
+	s := scheduler.MustGet(name, opts...)
+	w := equivalenceWorkload()
+	res, err := s.Schedule(context.Background(), w.Graph, w.System, b)
+	if err != nil {
+		t.Fatalf("Schedule(%s): %v", name, err)
+	}
+	return res
+}
+
+func assertSame(t *testing.T, name string, gotBest schedule.String, gotMs float64, wantBest schedule.String, wantMs float64) {
+	t.Helper()
+	if gotMs != wantMs {
+		t.Errorf("%s: wrapped makespan %v != direct %v", name, gotMs, wantMs)
+	}
+	if len(gotBest) != len(wantBest) {
+		t.Fatalf("%s: wrapped best has %d genes, direct %d", name, len(gotBest), len(wantBest))
+	}
+	for i := range gotBest {
+		if gotBest[i] != wantBest[i] {
+			t.Fatalf("%s: best strings differ at gene %d: %v vs %v", name, i, gotBest[i], wantBest[i])
+		}
+	}
+}
+
+func TestSEEquivalence(t *testing.T) {
+	w := equivalenceWorkload()
+	direct, err := core.Run(w.Graph, w.System, core.Options{
+		Bias: -0.1, Y: 3, Seed: 9, MaxIterations: 60,
+	})
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	res := mustSchedule(t, "se", scheduler.Budget{MaxIterations: 60},
+		scheduler.WithBias(-0.1), scheduler.WithY(3), scheduler.WithSeed(9))
+	assertSame(t, "se", res.Best, res.Makespan, direct.Best, direct.BestMakespan)
+	if res.Iterations != direct.Iterations || res.Evaluations != direct.Evaluations {
+		t.Errorf("se: iterations/evaluations %d/%d != direct %d/%d",
+			res.Iterations, res.Evaluations, direct.Iterations, direct.Evaluations)
+	}
+}
+
+func TestSEEquivalenceWithObservers(t *testing.T) {
+	// Tracing and progress sampling must not perturb the search.
+	w := equivalenceWorkload()
+	direct, err := core.Run(w.Graph, w.System, core.Options{
+		Y: 3, Seed: 9, MaxIterations: 40,
+	})
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	res := mustSchedule(t, "se", scheduler.Budget{
+		MaxIterations: 40,
+		OnProgress:    func(scheduler.Progress) bool { return true },
+	}, scheduler.WithY(3), scheduler.WithSeed(9), scheduler.WithTrace())
+	assertSame(t, "se+observers", res.Best, res.Makespan, direct.Best, direct.BestMakespan)
+	if len(res.Trace) != direct.Iterations {
+		t.Errorf("trace entries = %d, want one per iteration (%d)", len(res.Trace), direct.Iterations)
+	}
+}
+
+func TestGAEquivalence(t *testing.T) {
+	w := equivalenceWorkload()
+	direct, err := ga.Run(w.Graph, w.System, ga.Options{
+		PopulationSize: 60, CrossoverRate: 0.4, MutationRate: 0.05,
+		Seed: 9, MaxGenerations: 30,
+	})
+	if err != nil {
+		t.Fatalf("ga.Run: %v", err)
+	}
+	res := mustSchedule(t, "ga", scheduler.Budget{MaxIterations: 30},
+		scheduler.WithPopulation(60), scheduler.WithCrossover(0.4),
+		scheduler.WithMutation(0.05), scheduler.WithSeed(9))
+	assertSame(t, "ga", res.Best, res.Makespan, direct.Best, direct.BestMakespan)
+	if res.Iterations != direct.Generations {
+		t.Errorf("ga: iterations %d != direct generations %d", res.Iterations, direct.Generations)
+	}
+}
+
+func TestSAEquivalence(t *testing.T) {
+	w := equivalenceWorkload()
+	n := w.Graph.NumTasks()
+	direct, err := sa.Run(w.Graph, w.System, sa.Options{
+		Seed: 9, MaxMoves: 50 * n,
+	})
+	if err != nil {
+		t.Fatalf("sa.Run: %v", err)
+	}
+	res := mustSchedule(t, "sa", scheduler.Budget{MaxIterations: 50}, scheduler.WithSeed(9))
+	assertSame(t, "sa", res.Best, res.Makespan, direct.Best, direct.BestMakespan)
+}
+
+func TestTabuEquivalence(t *testing.T) {
+	w := equivalenceWorkload()
+	direct, err := tabu.Run(w.Graph, w.System, tabu.Options{
+		Seed: 9, MaxIterations: 50,
+	})
+	if err != nil {
+		t.Fatalf("tabu.Run: %v", err)
+	}
+	res := mustSchedule(t, "tabu", scheduler.Budget{MaxIterations: 50}, scheduler.WithSeed(9))
+	assertSame(t, "tabu", res.Best, res.Makespan, direct.Best, direct.BestMakespan)
+}
+
+func TestConstructiveEquivalence(t *testing.T) {
+	w := equivalenceWorkload()
+	direct := map[string]heuristics.Result{
+		"heft":      heuristics.HEFT(w.Graph, w.System),
+		"cpop":      heuristics.CPOP(w.Graph, w.System),
+		"minmin":    heuristics.MinMin(w.Graph, w.System),
+		"maxmin":    heuristics.MaxMin(w.Graph, w.System),
+		"sufferage": heuristics.Sufferage(w.Graph, w.System),
+		"mct":       heuristics.MCT(w.Graph, w.System),
+		"random":    heuristics.Random(w.Graph, w.System, 9),
+	}
+	for name, want := range direct {
+		res := mustSchedule(t, name, scheduler.Budget{}, scheduler.WithSeed(9))
+		assertSame(t, name, res.Best, res.Makespan, want.Solution, want.Makespan)
+	}
+}

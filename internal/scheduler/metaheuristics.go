@@ -1,0 +1,196 @@
+package scheduler
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/platform"
+	"repro/internal/sa"
+	"repro/internal/tabu"
+	"repro/internal/taskgraph"
+)
+
+func init() {
+	Register("se", Metaheuristic,
+		"simulated evolution, the paper's heuristic (Barada, Sait & Baig)",
+		func(cfg Config) Scheduler { return seScheduler("se", cfg) })
+	Register("se-ils", Metaheuristic,
+		"SE with an iterated-local-search kick out of stagnation",
+		func(cfg Config) Scheduler {
+			if cfg.PerturbAfter == 0 {
+				cfg.PerturbAfter = 25
+			}
+			return seScheduler("se-ils", cfg)
+		})
+	Register("ga", Metaheuristic,
+		"genetic-algorithm baseline of Wang et al. (JPDC 1997)",
+		gaScheduler)
+	Register("sa", Metaheuristic,
+		"simulated annealing over the same move space as SE",
+		saScheduler)
+	Register("tabu", Metaheuristic,
+		"tabu search over the same move space as SE",
+		tabuScheduler)
+}
+
+func seScheduler(name string, cfg Config) Scheduler {
+	return &funcScheduler{name: name, kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
+		opts := core.Options{
+			Bias:          cfg.Bias,
+			Y:             cfg.Y,
+			Seed:          cfg.Seed,
+			Workers:       cfg.Workers,
+			PerturbAfter:  cfg.PerturbAfter,
+			Initial:       cfg.Initial,
+			MaxIterations: b.MaxIterations,
+			TimeBudget:    b.TimeBudget,
+			NoImprovement: b.NoImprovement,
+		}
+		p := newProbe(ctx, b, cfg.Trace)
+		if p.active() {
+			opts.OnIteration = func(st core.IterationStats) bool {
+				return p.observe(Progress{
+					Iteration: st.Iteration,
+					Current:   st.CurrentMakespan,
+					Best:      st.BestMakespan,
+					Selected:  st.Selected,
+					Elapsed:   st.Elapsed,
+				})
+			}
+		}
+		r, err := core.Run(g, sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.finish(&Result{
+			Best:        r.Best,
+			Makespan:    r.BestMakespan,
+			Iterations:  r.Iterations,
+			Evaluations: r.Evaluations,
+			Elapsed:     r.Elapsed,
+		})
+	}}
+}
+
+func gaScheduler(cfg Config) Scheduler {
+	return &funcScheduler{name: "ga", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
+		opts := ga.Options{
+			PopulationSize: cfg.Population,
+			CrossoverRate:  cfg.Crossover,
+			MutationRate:   cfg.Mutation,
+			Elitism:        cfg.Elitism,
+			Seed:           cfg.Seed,
+			Workers:        cfg.Workers,
+			Initial:        cfg.Initial,
+			MaxGenerations: b.MaxIterations,
+			TimeBudget:     b.TimeBudget,
+			NoImprovement:  b.NoImprovement,
+		}
+		p := newProbe(ctx, b, cfg.Trace)
+		if p.active() {
+			opts.OnGeneration = func(st ga.GenerationStats) bool {
+				return p.observe(Progress{
+					Iteration: st.Generation,
+					Current:   st.GenerationBest,
+					Best:      st.BestMakespan,
+					Elapsed:   st.Elapsed,
+				})
+			}
+		}
+		r, err := ga.Run(g, sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.finish(&Result{
+			Best:        r.Best,
+			Makespan:    r.BestMakespan,
+			Iterations:  r.Generations,
+			Evaluations: r.Evaluations,
+			Elapsed:     r.Elapsed,
+		})
+	}}
+}
+
+func saScheduler(cfg Config) Scheduler {
+	return &funcScheduler{name: "sa", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
+		opts := sa.Options{
+			InitialTemp:  cfg.InitialTemp,
+			Cooling:      cfg.Cooling,
+			MovesPerTemp: cfg.MovesPerTemp,
+			Seed:         cfg.Seed,
+			Initial:      cfg.Initial,
+			TimeBudget:   b.TimeBudget,
+		}
+		// One Budget iteration is one temperature block, so SA's per-move
+		// bounds scale by the block size.
+		movesPerTemp := cfg.MovesPerTemp
+		if movesPerTemp <= 0 {
+			movesPerTemp = g.NumTasks()
+		}
+		if b.MaxIterations > 0 {
+			opts.MaxMoves = b.MaxIterations * movesPerTemp
+		}
+		if b.NoImprovement > 0 {
+			opts.NoImprovement = b.NoImprovement * movesPerTemp
+		}
+		p := newProbe(ctx, b, cfg.Trace)
+		if p.active() {
+			opts.OnBlock = func(st sa.BlockStats) bool {
+				return p.observe(Progress{
+					Iteration: st.Block,
+					Current:   st.CurrentMakespan,
+					Best:      st.BestMakespan,
+					Elapsed:   st.Elapsed,
+				})
+			}
+		}
+		r, err := sa.Run(g, sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.finish(&Result{
+			Best:        r.Best,
+			Makespan:    r.BestMakespan,
+			Iterations:  r.Blocks,
+			Evaluations: r.Evaluations,
+			Elapsed:     r.Elapsed,
+		})
+	}}
+}
+
+func tabuScheduler(cfg Config) Scheduler {
+	return &funcScheduler{name: "tabu", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
+		opts := tabu.Options{
+			Tenure:        cfg.Tenure,
+			Neighborhood:  cfg.Neighborhood,
+			Seed:          cfg.Seed,
+			Initial:       cfg.Initial,
+			MaxIterations: b.MaxIterations,
+			TimeBudget:    b.TimeBudget,
+			NoImprovement: b.NoImprovement,
+		}
+		p := newProbe(ctx, b, cfg.Trace)
+		if p.active() {
+			opts.OnIteration = func(st tabu.IterationStats) bool {
+				return p.observe(Progress{
+					Iteration: st.Iteration,
+					Current:   st.CurrentMakespan,
+					Best:      st.BestMakespan,
+					Elapsed:   st.Elapsed,
+				})
+			}
+		}
+		r, err := tabu.Run(g, sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.finish(&Result{
+			Best:        r.Best,
+			Makespan:    r.BestMakespan,
+			Iterations:  r.Iterations,
+			Evaluations: r.Evaluations,
+			Elapsed:     r.Elapsed,
+		})
+	}}
+}

@@ -1,0 +1,100 @@
+package scheduler
+
+import "repro/internal/schedule"
+
+// Config collects every tunable a registered scheduler understands. Each
+// algorithm reads the fields that apply to it and ignores the rest; zero
+// values mean "use the algorithm's default". Construct a Config through
+// functional Options passed to Get/MustGet.
+type Config struct {
+	// Seed drives all randomness (every algorithm).
+	Seed int64
+	// Workers parallelizes SE allocation and GA fitness evaluation
+	// (0/1 = serial).
+	Workers int
+	// Trace collects per-iteration Progress into Result.Trace.
+	Trace bool
+	// Initial, when non-nil, seeds the run with this solution.
+	Initial schedule.String
+
+	// Bias is SE's selection bias B (§4.4).
+	Bias float64
+	// Y is SE's candidate-machine count per task (§4.5); 0 = all machines.
+	Y int
+	// PerturbAfter enables SE's iterated-local-search kick after this many
+	// stagnant generations (0 = the paper's behaviour; se-ils defaults it).
+	PerturbAfter int
+
+	// Population is GA's population size (0 = Wang et al.'s default).
+	Population int
+	// Crossover is GA's per-pair crossover rate (0 = default).
+	Crossover float64
+	// Mutation is GA's per-chromosome mutation rate (0 = default).
+	Mutation float64
+	// Elitism is GA's number of preserved best chromosomes (0 = default).
+	Elitism int
+
+	// InitialTemp is SA's starting temperature (0 = derived).
+	InitialTemp float64
+	// Cooling is SA's geometric cooling factor (0 = default).
+	Cooling float64
+	// MovesPerTemp is SA's moves per temperature block (0 = task count).
+	MovesPerTemp int
+
+	// Tenure is tabu search's tabu tenure (0 = default).
+	Tenure int
+	// Neighborhood is tabu search's sampled moves per iteration
+	// (0 = task count).
+	Neighborhood int
+}
+
+// Option configures a scheduler at Get time.
+type Option func(*Config)
+
+// WithSeed sets the random seed.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithWorkers sets the number of parallel evaluation workers.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithTrace collects per-iteration Progress into Result.Trace.
+func WithTrace() Option { return func(c *Config) { c.Trace = true } }
+
+// WithInitial seeds the run with an existing solution.
+func WithInitial(s schedule.String) Option { return func(c *Config) { c.Initial = s } }
+
+// WithBias sets SE's selection bias B.
+func WithBias(b float64) Option { return func(c *Config) { c.Bias = b } }
+
+// WithY sets SE's candidate-machine count per task.
+func WithY(y int) Option { return func(c *Config) { c.Y = y } }
+
+// WithPerturbAfter sets SE's iterated-local-search kick threshold.
+func WithPerturbAfter(n int) Option { return func(c *Config) { c.PerturbAfter = n } }
+
+// WithPopulation sets GA's population size.
+func WithPopulation(n int) Option { return func(c *Config) { c.Population = n } }
+
+// WithCrossover sets GA's crossover rate.
+func WithCrossover(rate float64) Option { return func(c *Config) { c.Crossover = rate } }
+
+// WithMutation sets GA's mutation rate.
+func WithMutation(rate float64) Option { return func(c *Config) { c.Mutation = rate } }
+
+// WithElitism sets GA's elite count.
+func WithElitism(n int) Option { return func(c *Config) { c.Elitism = n } }
+
+// WithInitialTemp sets SA's starting temperature.
+func WithInitialTemp(t float64) Option { return func(c *Config) { c.InitialTemp = t } }
+
+// WithCooling sets SA's geometric cooling factor.
+func WithCooling(f float64) Option { return func(c *Config) { c.Cooling = f } }
+
+// WithMovesPerTemp sets SA's moves per temperature block.
+func WithMovesPerTemp(n int) Option { return func(c *Config) { c.MovesPerTemp = n } }
+
+// WithTenure sets tabu search's tabu tenure.
+func WithTenure(n int) Option { return func(c *Config) { c.Tenure = n } }
+
+// WithNeighborhood sets tabu search's sampled moves per iteration.
+func WithNeighborhood(n int) Option { return func(c *Config) { c.Neighborhood = n } }

@@ -1,0 +1,178 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a registered scheduler.
+type Kind int
+
+const (
+	// Metaheuristic schedulers iterate under a Budget (SE, GA, SA, tabu).
+	Metaheuristic Kind = iota
+	// Constructive schedulers build one solution in a single pass and
+	// ignore the Budget's bounds (HEFT, Min-Min, …).
+	Constructive
+)
+
+// String returns "metaheuristic" or "constructive".
+func (k Kind) String() string {
+	switch k {
+	case Metaheuristic:
+		return "metaheuristic"
+	case Constructive:
+		return "constructive"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Factory builds a configured Scheduler from a resolved Config.
+type Factory func(cfg Config) Scheduler
+
+// Info describes one registry entry.
+type Info struct {
+	// Name is the registry key ("se", "heft", …).
+	Name string
+	// Kind classifies the algorithm.
+	Kind Kind
+	// Summary is a one-line description for -list-algos output.
+	Summary string
+}
+
+type registryEntry struct {
+	info    Info
+	factory Factory
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]registryEntry{}
+)
+
+// Register adds a scheduler factory under name. It panics on an empty
+// name, a nil factory, or a duplicate registration — all programmer
+// errors at package-init time.
+func Register(name string, kind Kind, summary string, f Factory) {
+	if name == "" {
+		panic("scheduler: Register with empty name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("scheduler: Register(%q) with nil factory", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scheduler: Register(%q) called twice", name))
+	}
+	registry[name] = registryEntry{
+		info:    Info{Name: name, Kind: kind, Summary: summary},
+		factory: f,
+	}
+}
+
+// Get builds the named scheduler with the given options. Unknown names
+// return an error listing every registered name.
+func Get(name string, opts ...Option) (Scheduler, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown algorithm %q (registered: %v)", name, Names())
+	}
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return e.factory(cfg), nil
+}
+
+// MustGet is Get, panicking on unknown names. For use with names known at
+// compile time.
+func MustGet(name string, opts ...Option) Scheduler {
+	s, err := Get(name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns every registered name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the Info for one registered name.
+func Describe(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e.info, ok
+}
+
+// ParseNames splits a comma-separated algorithm list, trims whitespace
+// around each entry, drops empty entries, and validates every name
+// against the registry — the shared parser behind the CLIs' -algos flags.
+// Duplicate names are rejected: they would produce indistinguishable
+// series and merged win counts downstream.
+func ParseNames(csv string) ([]string, error) {
+	var names []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if _, ok := Describe(name); !ok {
+			return nil, fmt.Errorf("scheduler: unknown algorithm %q (registered: %v)", name, Names())
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("scheduler: algorithm %q listed twice", name)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scheduler: empty algorithm list %q", csv)
+	}
+	return names, nil
+}
+
+// List formats every registry entry as a table — the shared body of the
+// CLIs' -list-algos output.
+func List() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-13s %s\n", "name", "kind", "description")
+	for _, info := range Infos() {
+		fmt.Fprintf(&b, "%-10s %-13s %s\n", info.Name, info.Kind, info.Summary)
+	}
+	return b.String()
+}
+
+// Infos returns every registry entry's Info, sorted by kind
+// (metaheuristics first) then name.
+func Infos() []Info {
+	regMu.RLock()
+	infos := make([]Info, 0, len(registry))
+	for _, e := range registry {
+		infos = append(infos, e.info)
+	}
+	regMu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Kind != infos[j].Kind {
+			return infos[i].Kind < infos[j].Kind
+		}
+		return infos[i].Name < infos[j].Name
+	})
+	return infos
+}

@@ -1,0 +1,175 @@
+// Package scheduler defines the common abstraction every matching-and-
+// scheduling algorithm in this repository implements, and a name-keyed
+// registry through which they are discovered and configured.
+//
+// The paper's evaluation (§5) is a head-to-head of simulated evolution
+// against a GA baseline and constructive heuristics under equal budgets.
+// This package gives all of them one shape: a Scheduler produces a
+// solution string for a (graph, system) pair under a Budget, and returns
+// a uniform Result. The experiment harness (internal/runner), the figure
+// reproductions (internal/experiments) and the command-line tools select
+// algorithms by registry name, so adding an algorithm means registering
+// one factory — races, sweeps, figures and CLI access follow for free.
+//
+// Registered names:
+//
+//	metaheuristics  se, se-ils, ga, sa, tabu
+//	constructive    heft, cpop, minmin, maxmin, sufferage, mct, random
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// Budget bounds one Schedule call. Iterative schedulers need at least one
+// stopping criterion (MaxIterations, TimeBudget, NoImprovement, a
+// false-returning OnProgress, or a cancellable context); constructive
+// heuristics run to completion regardless and ignore the bounds.
+type Budget struct {
+	// MaxIterations stops the run after this many iterations (0 = no
+	// iteration limit). One iteration is the scheduler's natural outer
+	// step: an SE generation, a GA generation, an SA temperature block, a
+	// tabu iteration.
+	MaxIterations int
+
+	// TimeBudget stops the run once wall-clock time is exhausted (0 = no
+	// time limit). The paper's Figures 5–7 race schedulers under equal
+	// time budgets.
+	TimeBudget time.Duration
+
+	// NoImprovement stops the run after this many consecutive iterations
+	// without improving the best schedule length (0 = disabled).
+	NoImprovement int
+
+	// OnProgress, when non-nil, is called once per iteration; returning
+	// false stops the run. The runner uses it for time-stamped best-so-far
+	// sampling.
+	OnProgress func(Progress) bool
+}
+
+// Progress is one iteration's observation, delivered to Budget.OnProgress
+// and collected into Result.Trace when tracing is enabled.
+type Progress struct {
+	// Iteration numbers iterations from 0.
+	Iteration int
+	// Current is the schedule length of the scheduler's current solution
+	// (for population schedulers, the best of the current generation).
+	Current float64
+	// Best is the best schedule length seen so far.
+	Best float64
+	// Selected is the size of SE's selection set this iteration (the
+	// quantity of the paper's Figure 3a). Zero for other schedulers.
+	Selected int
+	// Elapsed is wall-clock time since the run started.
+	Elapsed time.Duration
+}
+
+// Result is the uniform outcome of a Schedule call.
+type Result struct {
+	// Best is the best matching+scheduling string found.
+	Best schedule.String
+	// Makespan is Best's schedule length under the shared evaluator.
+	Makespan float64
+	// Iterations is the number of iterations executed (1 for constructive
+	// heuristics).
+	Iterations int
+	// Evaluations counts full schedule evaluations across all goroutines.
+	Evaluations uint64
+	// Elapsed is the total wall-clock duration of the run.
+	Elapsed time.Duration
+	// Trace holds per-iteration statistics when the scheduler was built
+	// with WithTrace.
+	Trace []Progress
+}
+
+// Scheduler is one matching-and-scheduling algorithm, configured and
+// ready to run. Implementations are safe for sequential reuse across
+// (graph, system) pairs; a Scheduler built with a fixed seed returns
+// identical results for identical inputs and budgets.
+type Scheduler interface {
+	// Name returns the registry name ("se", "heft", …).
+	Name() string
+	// Schedule matches and schedules g onto sys within b. Cancelling ctx
+	// stops the run at the next iteration boundary and returns ctx.Err().
+	Schedule(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error)
+}
+
+// funcScheduler adapts a closure to the Scheduler interface; every
+// registered algorithm wrapper is one of these.
+type funcScheduler struct {
+	name string
+	kind Kind
+	run  func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error)
+}
+
+func (f *funcScheduler) Name() string { return f.name }
+
+func (f *funcScheduler) Schedule(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// An iterative run must be bounded by the caller: the wrapper's own
+	// observation callback (tracing, cancellation checks) must not
+	// masquerade as a stopping criterion for the underlying algorithm.
+	// A cancellable context counts — cancelling it is how servers bound
+	// a run they cannot size in advance.
+	if f.kind == Metaheuristic &&
+		b.MaxIterations <= 0 && b.TimeBudget <= 0 && b.NoImprovement <= 0 &&
+		b.OnProgress == nil && ctx.Done() == nil {
+		return nil, fmt.Errorf("scheduler: %s: no stopping criterion set (Budget.MaxIterations, TimeBudget, NoImprovement, OnProgress, or a cancellable context)", f.name)
+	}
+	return f.run(ctx, g, sys, b)
+}
+
+// probe chains context cancellation, trace collection and the caller's
+// OnProgress into the single observation callback each underlying
+// algorithm exposes. When nothing observes the run (inactive probe), the
+// algorithm's callback is left nil, so a wrapped run is byte-identical to
+// a direct one.
+type probe struct {
+	ctx       context.Context
+	b         Budget
+	trace     bool
+	collected []Progress
+	cancelled bool
+}
+
+func newProbe(ctx context.Context, b Budget, trace bool) *probe {
+	return &probe{ctx: ctx, b: b, trace: trace}
+}
+
+// active reports whether the algorithm needs an observation callback.
+func (p *probe) active() bool {
+	return p.trace || p.b.OnProgress != nil || p.ctx.Done() != nil
+}
+
+// observe processes one iteration; returning false stops the run.
+func (p *probe) observe(pr Progress) bool {
+	if p.ctx.Err() != nil {
+		p.cancelled = true
+		return false
+	}
+	if p.trace {
+		p.collected = append(p.collected, pr)
+	}
+	if p.b.OnProgress != nil && !p.b.OnProgress(pr) {
+		return false
+	}
+	return true
+}
+
+// finish returns (res, nil), or (nil, ctx.Err()) when the run was stopped
+// by cancellation.
+func (p *probe) finish(res *Result) (*Result, error) {
+	if p.cancelled {
+		return nil, p.ctx.Err()
+	}
+	res.Trace = p.collected
+	return res, nil
+}

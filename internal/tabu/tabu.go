@@ -41,6 +41,22 @@ type Options struct {
 	Seed int64
 	// Initial, when non-nil, is the starting solution (cloned).
 	Initial schedule.String
+	// OnIteration, when non-nil, is called after each iteration; returning
+	// false stops the run. It observes the run only — the random sequence
+	// is identical with or without it.
+	OnIteration func(IterationStats) bool
+}
+
+// IterationStats describes one tabu-search iteration.
+type IterationStats struct {
+	// Iteration numbers iterations from 0.
+	Iteration int
+	// CurrentMakespan is the schedule length of the current solution.
+	CurrentMakespan float64
+	// BestMakespan is the best schedule length seen so far.
+	BestMakespan float64
+	// Elapsed is wall-clock time since the run started.
+	Elapsed time.Duration
 }
 
 // Result is the outcome of a tabu-search run.
@@ -48,7 +64,9 @@ type Result struct {
 	Best         schedule.String
 	BestMakespan float64
 	Iterations   int
-	Elapsed      time.Duration
+	// Evaluations counts full schedule evaluations.
+	Evaluations uint64
+	Elapsed     time.Duration
 }
 
 // Run executes tabu search on graph g over system sys.
@@ -56,8 +74,8 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	if g.NumTasks() != sys.NumTasks() {
 		return nil, fmt.Errorf("tabu: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
 	}
-	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 {
-		return nil, fmt.Errorf("tabu: no stopping criterion set (MaxIterations, TimeBudget or NoImprovement)")
+	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
+		return nil, fmt.Errorf("tabu: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
 	}
 	n := g.NumTasks()
 	if opts.Tenure <= 0 {
@@ -139,6 +157,14 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 		}
 
 		res.Iterations = iter + 1
+		if opts.OnIteration != nil && !opts.OnIteration(IterationStats{
+			Iteration:       iter,
+			CurrentMakespan: curMs,
+			BestMakespan:    bestMs,
+			Elapsed:         time.Since(start),
+		}) {
+			break
+		}
 		if opts.MaxIterations > 0 && iter+1 >= opts.MaxIterations {
 			break
 		}
@@ -152,6 +178,7 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 
 	res.Best = best
 	res.BestMakespan = bestMs
+	res.Evaluations = eval.Evaluations()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -135,3 +135,56 @@ func TestTenureBlocksImmediateRevisit(t *testing.T) {
 		t.Fatalf("invalid: %v", err)
 	}
 }
+
+func TestOnIterationObservesAndStops(t *testing.T) {
+	w := smallWorkload()
+	var calls int
+	res, err := tabu.Run(w.Graph, w.System, tabu.Options{
+		Seed: 1,
+		OnIteration: func(st tabu.IterationStats) bool {
+			if st.Iteration != calls {
+				t.Errorf("Iteration = %d, want %d", st.Iteration, calls)
+			}
+			if st.BestMakespan <= 0 {
+				t.Errorf("stats not populated: %+v", st)
+			}
+			calls++
+			return calls < 6
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 6 {
+		t.Errorf("OnIteration called %d times, want 6", calls)
+	}
+	if res.Iterations != 6 {
+		t.Errorf("Iterations = %d, want 6", res.Iterations)
+	}
+	if res.Evaluations == 0 {
+		t.Error("Evaluations = 0, want > 0")
+	}
+}
+
+func TestOnIterationDoesNotPerturbSearch(t *testing.T) {
+	w := smallWorkload()
+	plain, err := tabu.Run(w.Graph, w.System, tabu.Options{Seed: 5, MaxIterations: 40})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	observed, err := tabu.Run(w.Graph, w.System, tabu.Options{
+		Seed: 5, MaxIterations: 40,
+		OnIteration: func(tabu.IterationStats) bool { return true },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if plain.BestMakespan != observed.BestMakespan {
+		t.Errorf("observer changed the search: %v vs %v", plain.BestMakespan, observed.BestMakespan)
+	}
+	for i := range plain.Best {
+		if plain.Best[i] != observed.Best[i] {
+			t.Fatalf("observer changed the best string at gene %d", i)
+		}
+	}
+}
