@@ -174,6 +174,57 @@ func BenchmarkEvaluatorMakespan(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaMoveMakespan measures one incremental candidate
+// evaluation — a checkpointed suffix replay — on the same workload and
+// solution as BenchmarkEvaluatorMakespan, for a like-for-like comparison
+// of the two ways to score a move.
+func BenchmarkDeltaMoveMakespan(b *testing.B) {
+	w := benchWorkload(100, 20)
+	d := schedule.NewDeltaEvaluator(w.Graph, w.System)
+	s := heuristics.Random(w.Graph, w.System, 1).Solution
+	d.Pin(s)
+	n := w.Graph.NumTasks()
+	pos := make([]int, n)
+	s.Positions(pos)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % n
+		lo, hi := schedule.ValidRange(w.Graph, s, pos, idx)
+		q := lo + (i % (hi - lo + 1))
+		m := s[idx].Machine
+		d.MoveMakespan(idx, q, m, schedule.NoBound, schedule.NoBound)
+	}
+}
+
+// BenchmarkSEAllocationDeltaVsFull ablates the incremental evaluation
+// engine on the Figure-3 workload (large, highly connected — the same
+// parameters experiments.Fig3 uses at paper scale). The search is
+// byte-identical under both engines; the reported metric is the genes
+// evaluated per SE allocation sweep, the quantity the delta engine
+// shrinks (DESIGN.md §"Incremental evaluation").
+func BenchmarkSEAllocationDeltaVsFull(b *testing.B) {
+	w := benchWorkload(100, 20)
+	for _, tc := range []struct {
+		name string
+		full bool
+	}{
+		{"delta", false},
+		{"full", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			res, err := core.Run(w.Graph, w.System, core.Options{
+				MaxIterations: b.N, Seed: 1, Y: 9, FullEval: tc.full,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.GenesEvaluated)/float64(b.N), "genes/sweep")
+			b.ReportMetric(float64(res.Evaluations)/float64(b.N), "full-evals/sweep")
+			b.ReportMetric(float64(res.DeltaEvaluations)/float64(b.N), "delta-evals/sweep")
+		})
+	}
+}
+
 // BenchmarkSEIteration measures whole SE generations (evaluation,
 // selection, allocation) at paper scale.
 func BenchmarkSEIteration(b *testing.B) {

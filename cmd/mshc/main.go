@@ -33,6 +33,9 @@ type result struct {
 	makespan float64
 	elapsed  time.Duration
 	solution schedule.String
+	evals    uint64 // full evaluations (incl. delta-engine pins)
+	deltas   uint64 // checkpointed suffix replays
+	genes    uint64 // gene steps across both
 }
 
 func main() {
@@ -48,7 +51,8 @@ func main() {
 		yParam  = flag.Int("y", 0, "SE Y parameter: candidate machines per task (0 = all)")
 		pop     = flag.Int("pop", 0, "GA population size (0 = default 50)")
 		workers = flag.Int("workers", 0, "parallel workers for SE allocation / GA fitness (0 = serial)")
-		verbose = flag.Bool("v", false, "print the full schedule")
+		full    = flag.Bool("full-eval", false, "disable the incremental evaluation engine (identical results, more work)")
+		verbose = flag.Bool("v", false, "print the full schedule and evaluation counts")
 		gantt   = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
 	)
 	flag.Parse()
@@ -71,7 +75,7 @@ func main() {
 	}
 	var results []result
 	for _, name := range names {
-		r, err := runOne(name, w, *iters, *budget, *seed, *bias, *yParam, *pop, *workers)
+		r, err := runOne(name, w, *iters, *budget, *seed, *bias, *yParam, *pop, *workers, *full)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,6 +88,10 @@ func main() {
 		fmt.Printf("%-10s %14.0f %12s\n", r.name, r.makespan, r.elapsed.Round(time.Millisecond))
 	}
 	if *verbose {
+		fmt.Printf("\n%-10s %14s %14s %14s\n", "algo", "full-evals", "delta-evals", "genes")
+		for _, r := range results {
+			fmt.Printf("%-10s %14d %14d %14d\n", r.name, r.evals, r.deltas, r.genes)
+		}
 		best := results[0]
 		fmt.Printf("\nbest (%s) schedule:\n", best.name)
 		printSchedule(w, best.solution)
@@ -112,14 +120,18 @@ func loadWorkload(path string, figure1 bool) (*workload.Workload, error) {
 	}
 }
 
-func runOne(name string, w *workload.Workload, iters int, budget time.Duration, seed int64, bias float64, y, pop, workers int) (result, error) {
-	s, err := scheduler.Get(name,
+func runOne(name string, w *workload.Workload, iters int, budget time.Duration, seed int64, bias float64, y, pop, workers int, fullEval bool) (result, error) {
+	opts := []scheduler.Option{
 		scheduler.WithSeed(seed),
 		scheduler.WithWorkers(workers),
 		scheduler.WithBias(bias),
 		scheduler.WithY(y),
 		scheduler.WithPopulation(pop),
-	)
+	}
+	if fullEval {
+		opts = append(opts, scheduler.WithFullEval())
+	}
+	s, err := scheduler.Get(name, opts...)
 	if err != nil {
 		return result{}, err
 	}
@@ -131,7 +143,15 @@ func runOne(name string, w *workload.Workload, iters int, budget time.Duration, 
 	if err != nil {
 		return result{}, err
 	}
-	return result{name, res.Makespan, res.Elapsed, res.Best}, nil
+	return result{
+		name:     name,
+		makespan: res.Makespan,
+		elapsed:  res.Elapsed,
+		solution: res.Best,
+		evals:    res.Evaluations,
+		deltas:   res.DeltaEvaluations,
+		genes:    res.GenesEvaluated,
+	}, nil
 }
 
 func printSchedule(w *workload.Workload, s schedule.String) {

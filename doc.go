@@ -19,7 +19,7 @@
 //
 //	internal/taskgraph   task DAGs and data items
 //	internal/platform    machines, E and Tr matrices, interconnect topologies
-//	internal/schedule    solution encoding + makespan evaluator
+//	internal/schedule    solution encoding + full and incremental evaluators
 //	internal/workload    workload generator + the paper's Figure-1 example
 //	internal/core        the SE scheduler (the paper's contribution)
 //	internal/ga          the Wang et al. GA baseline

@@ -73,6 +73,14 @@ type Options struct {
 	// reduction); only wall-clock time changes.
 	Workers int
 
+	// FullEval disables the incremental evaluation engine
+	// (schedule.DeltaEvaluator) and scores every allocation candidate with
+	// a full left-to-right pass, the pre-optimization behaviour. The
+	// search is byte-identical either way — the delta engine is an exact
+	// evaluator — so this exists only for ablations and differential
+	// tests.
+	FullEval bool
+
 	// PerturbAfter, when > 0, kicks the search out of local optima: after
 	// this many consecutive non-improving generations the current solution
 	// is shuffled with random valid moves (the §4.2 perturbation) and the
@@ -122,8 +130,15 @@ type Result struct {
 	BestMakespan float64
 	// Iterations is the number of generations executed.
 	Iterations int
-	// Evaluations counts full schedule evaluations across all goroutines.
+	// Evaluations counts full schedule evaluations across all goroutines,
+	// including delta-engine pins (each pin is one full pass).
 	Evaluations uint64
+	// DeltaEvaluations counts checkpointed suffix replays by the
+	// incremental engine; zero when Options.FullEval is set.
+	DeltaEvaluations uint64
+	// GenesEvaluated counts individual gene evaluation steps across full
+	// and delta evaluations — the measure the incremental engine shrinks.
+	GenesEvaluated uint64
 	// Elapsed is the total wall-clock duration of the run.
 	Elapsed time.Duration
 	// Trace holds per-generation statistics when Options.RecordTrace is

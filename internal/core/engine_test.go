@@ -125,8 +125,11 @@ func TestAllocateRestrictsToTopYMachines(t *testing.T) {
 }
 
 func TestPoolBestMoveMatchesSerial(t *testing.T) {
+	// All four candidate scans — full serial, delta serial, full pool,
+	// delta pool — must pick the identical winning move.
 	e, w := testEngine(t, Options{Seed: 13})
-	pool := newAllocPool(w.Graph, w.System, 3)
+	deltaPool := newAllocPool(w.Graph, w.System, 3, false)
+	fullPool := newAllocPool(w.Graph, w.System, 3, true)
 	rng := rand.New(rand.NewSource(99))
 	pos := make([]int, w.Graph.NumTasks())
 	for trial := 0; trial < 50; trial++ {
@@ -136,9 +139,15 @@ func TestPoolBestMoveMatchesSerial(t *testing.T) {
 		machines := w.System.TopMachines(e.cur[idx].Task, 3)
 
 		sm, sq, smi := bestMoveSerial(e.eval, e.cur, e.moveBuf, idx, lo, hi, machines)
-		pm, pq, pmi := pool.bestMove(e.cur, idx, lo, hi, machines)
-		if sm != pm || sq != pq || smi != pmi {
-			t.Fatalf("trial %d: serial (%v,%d,%d) != pool (%v,%d,%d)", trial, sm, sq, smi, pm, pq, pmi)
+		dm, dq, dmi := bestMoveDelta(e.delta, e.cur, idx, lo, hi, machines)
+		if sm != dm || sq != dq || smi != dmi {
+			t.Fatalf("trial %d: serial (%v,%d,%d) != delta (%v,%d,%d)", trial, sm, sq, smi, dm, dq, dmi)
+		}
+		for name, pool := range map[string]*allocPool{"full": fullPool, "delta": deltaPool} {
+			pm, pq, pmi := pool.bestMove(e.cur, idx, lo, hi, machines)
+			if sm != pm || sq != pq || smi != pmi {
+				t.Fatalf("trial %d: serial (%v,%d,%d) != %s pool (%v,%d,%d)", trial, sm, sq, smi, name, pm, pq, pmi)
+			}
 		}
 		// Walk the current solution forward so trials see varied strings.
 		schedule.MoveInto(e.moveBuf, e.cur, idx, sq, machines[smi])
@@ -149,7 +158,7 @@ func TestPoolBestMoveMatchesSerial(t *testing.T) {
 func TestPoolMoreWorkersThanCandidates(t *testing.T) {
 	// Chunking must handle pools larger than the candidate count.
 	e, w := testEngine(t, Options{Seed: 17})
-	pool := newAllocPool(w.Graph, w.System, 16)
+	pool := newAllocPool(w.Graph, w.System, 16, false)
 	pos := make([]int, w.Graph.NumTasks())
 	e.cur.Positions(pos)
 	idx := 0

@@ -18,8 +18,9 @@ type allocPool struct {
 }
 
 type allocWorker struct {
-	eval *schedule.Evaluator
-	buf  schedule.String
+	eval  *schedule.Evaluator
+	delta *schedule.DeltaEvaluator // nil when the engine runs full evaluation
+	buf   schedule.String
 }
 
 type moveKey struct {
@@ -42,13 +43,17 @@ func (k moveKey) better(o moveKey) bool {
 	return k.mi < o.mi
 }
 
-func newAllocPool(g *taskgraph.Graph, sys *platform.System, n int) *allocPool {
+func newAllocPool(g *taskgraph.Graph, sys *platform.System, n int, fullEval bool) *allocPool {
 	p := &allocPool{workers: make([]*allocWorker, n)}
 	for i := range p.workers {
-		p.workers[i] = &allocWorker{
+		w := &allocWorker{
 			eval: schedule.NewEvaluator(g, sys),
 			buf:  make(schedule.String, g.NumTasks()),
 		}
+		if !fullEval {
+			w.delta = schedule.NewDeltaEvaluator(g, sys)
+		}
+		p.workers[i] = w
 	}
 	return p
 }
@@ -63,6 +68,9 @@ func (p *allocPool) bestMove(cur schedule.String, idx, lo, hi int, machines []ta
 	if total < 2*nw {
 		// Too little work to amortize goroutine wakeups.
 		w := p.workers[0]
+		if w.delta != nil {
+			return bestMoveDelta(w.delta, cur, idx, lo, hi, machines)
+		}
 		return bestMoveSerial(w.eval, cur, w.buf, idx, lo, hi, machines)
 	}
 	results := make([]moveKey, nw)
@@ -83,14 +91,37 @@ func (p *allocPool) bestMove(cur schedule.String, idx, lo, hi int, machines []ta
 			defer wg.Done()
 			w := p.workers[wi]
 			best := moveKey{ms: -1}
-			for i := start; i < end; i++ {
-				qq := lo + i/len(machines)
-				mm := i % len(machines)
-				schedule.MoveInto(w.buf, cur, idx, qq, machines[mm])
-				c, total := w.eval.MakespanTotal(w.buf)
-				k := moveKey{ms: c, total: total, q: qq, mi: mm}
-				if best.ms < 0 || k.better(best) {
-					best = k
+			if w.delta != nil {
+				// Each worker pins the shared base once and replays only
+				// its chunk's candidates, bounded by the chunk's local
+				// best. An aborted candidate exceeds that local best, so
+				// it can never be the chunk minimum — the deterministic
+				// reduction below is unchanged.
+				w.delta.Pin(cur)
+				boundMs, boundTotal := schedule.NoBound, schedule.NoBound
+				for i := start; i < end; i++ {
+					qq := lo + i/len(machines)
+					mm := i % len(machines)
+					c, total, ok := w.delta.MoveMakespan(idx, qq, machines[mm], boundMs, boundTotal)
+					if !ok {
+						continue
+					}
+					k := moveKey{ms: c, total: total, q: qq, mi: mm}
+					if best.ms < 0 || k.better(best) {
+						best = k
+						boundMs, boundTotal = best.ms, best.total
+					}
+				}
+			} else {
+				for i := start; i < end; i++ {
+					qq := lo + i/len(machines)
+					mm := i % len(machines)
+					schedule.MoveInto(w.buf, cur, idx, qq, machines[mm])
+					c, total := w.eval.MakespanTotal(w.buf)
+					k := moveKey{ms: c, total: total, q: qq, mi: mm}
+					if best.ms < 0 || k.better(best) {
+						best = k
+					}
 				}
 			}
 			results[wi] = best
@@ -109,11 +140,14 @@ func (p *allocPool) bestMove(cur schedule.String, idx, lo, hi int, machines []ta
 	return best.ms, best.q, best.mi
 }
 
-// evaluations sums full-evaluation counts over all workers.
-func (p *allocPool) evaluations() uint64 {
-	var n uint64
+// counts sums the evaluation-effort ledgers over all workers.
+func (p *allocPool) counts() schedule.EvalCounts {
+	var c schedule.EvalCounts
 	for _, w := range p.workers {
-		n += w.eval.Evaluations()
+		c = c.Add(w.eval.Counts())
+		if w.delta != nil {
+			c = c.Add(w.delta.Counts())
+		}
 	}
-	return n
+	return c
 }

@@ -22,11 +22,12 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 }
 
 type engine struct {
-	g    *taskgraph.Graph
-	sys  *platform.System
-	opts Options
-	rng  *rand.Rand
-	eval *schedule.Evaluator
+	g     *taskgraph.Graph
+	sys   *platform.System
+	opts  Options
+	rng   *rand.Rand
+	eval  *schedule.Evaluator
+	delta *schedule.DeltaEvaluator // incremental engine; nil under Options.FullEval
 
 	opt      []float64 // Oᵢ, fixed across generations
 	finish   []float64 // Cᵢ of the current solution
@@ -81,7 +82,11 @@ func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine,
 		e.cur = e.initialSolution()
 	}
 	if opts.Workers > 1 {
-		e.pool = newAllocPool(g, sys, opts.Workers)
+		e.pool = newAllocPool(g, sys, opts.Workers, opts.FullEval)
+	} else if !opts.FullEval {
+		// The pool's workers own their incremental evaluators; the serial
+		// one exists only on the serial path.
+		e.delta = schedule.NewDeltaEvaluator(g, sys)
 	}
 	return e, nil
 }
@@ -190,10 +195,16 @@ func (e *engine) run() *Result {
 	res.BestMakespan = bestMs
 	res.Iterations = iter
 	res.Elapsed = time.Since(start)
-	res.Evaluations = e.eval.Evaluations()
-	if e.pool != nil {
-		res.Evaluations += e.pool.evaluations()
+	counts := e.eval.Counts()
+	if e.delta != nil {
+		counts = counts.Add(e.delta.Counts())
 	}
+	if e.pool != nil {
+		counts = counts.Add(e.pool.counts())
+	}
+	res.Evaluations = counts.Full
+	res.DeltaEvaluations = counts.Delta
+	res.GenesEvaluated = counts.Genes
 	return res
 }
 
@@ -222,21 +233,29 @@ func (e *engine) selectTasks() {
 // positions in the task's valid range are combined with each of its Y
 // best-matching machines; the combination with the smallest overall
 // schedule length is applied before moving on to the next selected task.
+//
+// e.pos is rebuilt once per generation and then maintained incrementally:
+// applying a move idx→q only shifts the genes in [min(idx,q), max(idx,q)],
+// so only that span's entries are rewritten between selected tasks.
 func (e *engine) allocate() {
+	e.cur.Positions(e.pos)
 	for _, t := range e.selected {
-		e.cur.Positions(e.pos)
 		idx := e.pos[t]
 		lo, hi := schedule.ValidRange(e.g, e.cur, e.pos, idx)
 		machines := e.sys.TopMachines(t, e.opts.Y)
 
 		var bestQ, bestMI int
-		if e.pool != nil {
+		switch {
+		case e.pool != nil:
 			_, bestQ, bestMI = e.pool.bestMove(e.cur, idx, lo, hi, machines)
-		} else {
+		case e.delta != nil:
+			_, bestQ, bestMI = bestMoveDelta(e.delta, e.cur, idx, lo, hi, machines)
+		default:
 			_, bestQ, bestMI = bestMoveSerial(e.eval, e.cur, e.moveBuf, idx, lo, hi, machines)
 		}
 		schedule.MoveInto(e.moveBuf, e.cur, idx, bestQ, machines[bestMI])
 		copy(e.cur, e.moveBuf)
+		schedule.UpdatePositions(e.pos, e.cur, idx, bestQ)
 	}
 }
 
@@ -256,6 +275,32 @@ func bestMoveSerial(eval *schedule.Evaluator, cur, buf schedule.String, idx, lo,
 			k := moveKey{ms: c, total: total, q: qq, mi: mm}
 			if best.ms < 0 || k.better(best) {
 				best = k
+			}
+		}
+	}
+	return best.ms, best.q, best.mi
+}
+
+// bestMoveDelta is bestMoveSerial over the incremental engine: the base
+// string is pinned once and every candidate is answered by a checkpointed
+// suffix replay, bounded by the best candidate makespan seen so far. A
+// replay aborts only when its makespan strictly exceeds the bound, so
+// ties — which the total-finish criterion separates — are still fully
+// evaluated, and the scan picks the identical winner.
+func bestMoveDelta(d *schedule.DeltaEvaluator, cur schedule.String, idx, lo, hi int, machines []taskgraph.MachineID) (ms float64, q, mi int) {
+	d.Pin(cur)
+	best := moveKey{ms: -1}
+	boundMs, boundTotal := schedule.NoBound, schedule.NoBound
+	for qq := lo; qq <= hi; qq++ {
+		for mm, m := range machines {
+			c, total, ok := d.MoveMakespan(idx, qq, m, boundMs, boundTotal)
+			if !ok {
+				continue
+			}
+			k := moveKey{ms: c, total: total, q: qq, mi: mm}
+			if best.ms < 0 || k.better(best) {
+				best = k
+				boundMs, boundTotal = best.ms, best.total
 			}
 		}
 	}

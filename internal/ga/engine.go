@@ -46,7 +46,8 @@ type engine struct {
 	pop  []*chromosome
 	next []*chromosome
 
-	evals   []*schedule.Evaluator // one per worker (index 0 = serial path)
+	evals   []*schedule.Evaluator      // one per worker (index 0 = serial path)
+	deltas  []*schedule.DeltaEvaluator // one per worker; nil under FullEval
 	bufs    []schedule.String
 	posBuf  []int
 	fitness []float64
@@ -93,6 +94,9 @@ func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine,
 	for i := 0; i < workers; i++ {
 		e.evals = append(e.evals, schedule.NewEvaluator(g, sys))
 		e.bufs = append(e.bufs, make(schedule.String, g.NumTasks()))
+		if !opts.FullEval {
+			e.deltas = append(e.deltas, schedule.NewDeltaEvaluator(g, sys))
+		}
 	}
 	e.pop = e.initialPopulation()
 	e.next = make([]*chromosome, 0, opts.PopulationSize)
@@ -173,9 +177,16 @@ func (e *engine) run() *Result {
 	res.BestMakespan = best.cost
 	res.Generations = gen
 	res.Elapsed = time.Since(start)
+	var counts schedule.EvalCounts
 	for _, ev := range e.evals {
-		res.Evaluations += ev.Evaluations()
+		counts = counts.Add(ev.Counts())
 	}
+	for _, d := range e.deltas {
+		counts = counts.Add(d.Counts())
+	}
+	res.Evaluations = counts.Full
+	res.DeltaEvaluations = counts.Delta
+	res.GenesEvaluated = counts.Genes
 	return res
 }
 
@@ -199,14 +210,14 @@ func (e *engine) evaluate() (genBest *chromosome, genMean float64) {
 			go func(wi, lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					e.pop[i].cost = e.costOf(e.pop[i], wi)
+					e.pop[i].cost = e.costOf(e.pop[i], wi, i == lo)
 				}
 			}(wi, lo, hi)
 		}
 		wg.Wait()
 	} else {
-		for _, c := range e.pop {
-			c.cost = e.costOf(c, 0)
+		for i, c := range e.pop {
+			c.cost = e.costOf(c, 0, i == 0)
 		}
 	}
 	sum := 0.0
@@ -219,10 +230,36 @@ func (e *engine) evaluate() (genBest *chromosome, genMean float64) {
 	return genBest, sum / float64(len(e.pop))
 }
 
-func (e *engine) costOf(c *chromosome, worker int) float64 {
+// costOf computes one chromosome's schedule length. With the incremental
+// engine, each worker keeps one pinned chromosome: a string identical to
+// it — the elite, which worker 0 re-meets every stagnant generation — is
+// answered for free, one sharing a deep prefix (a clone whose mutation
+// landed late, an offspring cut far into the string) by replaying only
+// the differing suffix. Chunk-first chromosomes re-pin the base so it
+// tracks the population; everything else takes the plain full pass — a
+// shallow-prefix replay would cost more than it saves. All paths return
+// bit-identical costs.
+func (e *engine) costOf(c *chromosome, worker int, rebase bool) float64 {
 	buf := e.bufs[worker]
 	for i, t := range c.order {
 		buf[i] = schedule.Gene{Task: t, Machine: c.assign[t]}
+	}
+	if e.deltas == nil {
+		return e.evals[worker].Makespan(buf)
+	}
+	d := e.deltas[worker]
+	lcp := d.LCP(buf)
+	if lcp == len(buf) {
+		ms, _, _ := d.SharedPrefixMakespan(buf, schedule.NoBound)
+		return ms
+	}
+	if rebase {
+		ms, _ := d.Pin(buf)
+		return ms
+	}
+	if lcp >= 3*len(buf)/5 {
+		ms, _, _ := d.SharedPrefixMakespan(buf, schedule.NoBound)
+		return ms
 	}
 	return e.evals[worker].Makespan(buf)
 }

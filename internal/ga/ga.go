@@ -67,6 +67,11 @@ type Options struct {
 	// solution). It must be valid for the graph/system.
 	Initial schedule.String
 
+	// FullEval disables the incremental evaluation engine and scores
+	// every chromosome with a full pass. Fitness values are bit-identical
+	// either way; this exists for ablations and differential tests.
+	FullEval bool
+
 	// RecordTrace stores per-generation statistics in Result.Trace.
 	RecordTrace bool
 
@@ -113,8 +118,16 @@ type Result struct {
 	BestMakespan float64
 	// Generations is the number of generations executed.
 	Generations int
-	// Evaluations counts full schedule evaluations across all goroutines.
+	// Evaluations counts full schedule evaluations across all goroutines
+	// (including delta-engine pins).
 	Evaluations uint64
+	// DeltaEvaluations counts checkpointed suffix replays — chromosomes
+	// whose string shared a long enough prefix with the evaluator's pinned
+	// base; zero when Options.FullEval is set.
+	DeltaEvaluations uint64
+	// GenesEvaluated counts gene evaluation steps across full and delta
+	// evaluations.
+	GenesEvaluated uint64
 	// Elapsed is the total wall-clock duration of the run.
 	Elapsed time.Duration
 	// Trace holds per-generation statistics when Options.RecordTrace is

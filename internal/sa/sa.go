@@ -45,6 +45,10 @@ type Options struct {
 	// Initial, when non-nil, is the starting solution (cloned); otherwise
 	// a random valid solution is generated.
 	Initial schedule.String
+	// FullEval disables the incremental evaluation engine and scores every
+	// proposed move with a full pass. The walk is byte-identical either
+	// way; this exists for ablations and differential tests.
+	FullEval bool
 	// OnBlock, when non-nil, is called after each temperature block of
 	// MovesPerTemp moves; returning false stops the run. It observes the
 	// run only — the random sequence is identical with or without it.
@@ -75,9 +79,16 @@ type Result struct {
 	Accepted     int
 	// Blocks is the number of completed temperature blocks.
 	Blocks int
-	// Evaluations counts full schedule evaluations.
+	// Evaluations counts full schedule evaluations (including delta-engine
+	// pins).
 	Evaluations uint64
-	Elapsed     time.Duration
+	// DeltaEvaluations counts checkpointed suffix replays; zero when
+	// Options.FullEval is set.
+	DeltaEvaluations uint64
+	// GenesEvaluated counts gene evaluation steps across full and delta
+	// evaluations.
+	GenesEvaluated uint64
+	Elapsed        time.Duration
 }
 
 // Run executes simulated annealing on graph g over system sys.
@@ -100,6 +111,10 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	eval := schedule.NewEvaluator(g, sys)
+	var inc *schedule.DeltaEvaluator // incremental engine; nil under FullEval
+	if !opts.FullEval {
+		inc = schedule.NewDeltaEvaluator(g, sys)
+	}
 	n := g.NumTasks()
 
 	var cur schedule.String
@@ -116,7 +131,12 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 		cur = schedule.FromOrder(g.RandomTopoOrder(rng), assign)
 	}
 
-	curMs := eval.Makespan(cur)
+	var curMs float64
+	if inc != nil {
+		curMs, _ = inc.Pin(cur)
+	} else {
+		curMs = eval.Makespan(cur)
+	}
 	best := cur.Clone()
 	bestMs := curMs
 
@@ -127,6 +147,9 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 
 	cand := make(schedule.String, n)
 	pos := make([]int, n)
+	// cur only changes on acceptance, so positions are maintained
+	// incrementally there instead of being rebuilt per proposal.
+	cur.Positions(pos)
 
 	start := time.Now()
 	res := &Result{}
@@ -136,17 +159,32 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 			// Propose: random task to a random valid position on a random
 			// machine.
 			idx := rng.Intn(n)
-			cur.Positions(pos)
 			lo, hi := schedule.ValidRange(g, cur, pos, idx)
 			q := lo + rng.Intn(hi-lo+1)
 			m := taskgraph.MachineID(rng.Intn(sys.NumMachines()))
-			schedule.MoveInto(cand, cur, idx, q, m)
-			ms := eval.Makespan(cand)
+			var ms float64
+			if inc != nil {
+				// Metropolis needs the exact makespan even uphill, so the
+				// replay runs unbounded; the rejected-move common case
+				// costs only the suffix, with no string materialized.
+				ms, _, _ = inc.MoveMakespan(idx, q, m, schedule.NoBound, schedule.NoBound)
+			} else {
+				schedule.MoveInto(cand, cur, idx, q, m)
+				ms = eval.Makespan(cand)
+			}
 			res.Moves++
 
 			delta := ms - curMs
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				if inc != nil {
+					// The replay scratch already holds the accepted
+					// string's state; rebasing is bookkeeping, not a
+					// re-evaluation.
+					schedule.MoveInto(cand, cur, idx, q, m)
+					inc.CommitMove(idx, q, m)
+				}
 				copy(cur, cand)
+				schedule.UpdatePositions(pos, cur, idx, q)
 				curMs = ms
 				res.Accepted++
 				if curMs < bestMs {
@@ -185,7 +223,13 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	}
 	res.Best = best
 	res.BestMakespan = bestMs
-	res.Evaluations = eval.Evaluations()
+	counts := eval.Counts()
+	if inc != nil {
+		counts = counts.Add(inc.Counts())
+	}
+	res.Evaluations = counts.Full
+	res.DeltaEvaluations = counts.Delta
+	res.GenesEvaluated = counts.Genes
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

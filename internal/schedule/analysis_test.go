@@ -96,12 +96,15 @@ func TestPropertyAnalysisInvariants(t *testing.T) {
 		s := randomSolution(w, rng)
 		a := schedule.Analyze(w.Graph, w.System, s)
 
-		// Utilization and efficiency in (0, 1]; idle non-negative; busy sums
-		// bounded by machines × makespan.
+		// Utilization in (0, 1]; efficiency positive — it may exceed 1 on
+		// heterogeneous suites, where SerialTime is the best SINGLE
+		// machine's total but a parallel schedule runs each task on its
+		// own best-matching machine; idle non-negative; busy sums bounded
+		// by machines × makespan.
 		if a.Utilization <= 0 || a.Utilization > 1+1e-9 {
 			return false
 		}
-		if a.Efficiency <= 0 || a.Efficiency > 1+1e-9 {
+		if a.Efficiency <= 0 {
 			return false
 		}
 		for m := range a.BusyTime {

@@ -1,0 +1,686 @@
+package schedule
+
+import (
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// EvalCounts is the evaluation-effort ledger shared by Evaluator and
+// DeltaEvaluator: how many full left-to-right passes ran, how many
+// checkpointed suffix replays answered a candidate instead, how many of
+// those replays the early-exit bound aborted, and the total number of
+// genes stepped across all of them. Genes is the machine-level measure of
+// work — a full pass steps len(s) genes, a replay only its suffix — so
+// speedups show up here deterministically, before they show up on the
+// wall clock.
+type EvalCounts struct {
+	// Full counts complete left-to-right evaluations (including
+	// DeltaEvaluator pins, which are full passes that also capture
+	// checkpoints).
+	Full uint64
+	// Delta counts checkpointed suffix replays.
+	Delta uint64
+	// Aborted counts the subset of Delta that the early-exit bound cut
+	// short.
+	Aborted uint64
+	// Genes counts individual gene evaluation steps across Full and Delta.
+	Genes uint64
+}
+
+// Add returns the field-wise sum of c and o.
+func (c EvalCounts) Add(o EvalCounts) EvalCounts {
+	return EvalCounts{
+		Full:    c.Full + o.Full,
+		Delta:   c.Delta + o.Delta,
+		Aborted: c.Aborted + o.Aborted,
+		Genes:   c.Genes + o.Genes,
+	}
+}
+
+// NoBound disables the early-exit abort when passed as a bound argument
+// of MoveMakespan or SharedPrefixMakespan.
+var NoBound = math.Inf(1)
+
+// DeltaEvaluator answers "what would the makespan be after this move?"
+// without re-evaluating the whole string. It pins a base string, runs one
+// full left-to-right pass over it, and snapshots the evaluation state —
+// machine-ready times, running makespan, running finish-time sum — at
+// every stride-th prefix. Because a move of the gene at index idx to
+// index q can only change finish times from min(idx, q) onward, a
+// candidate is then answered by replaying only the suffix from the
+// nearest checkpoint at or below that point. Three further mechanisms cut
+// the replayed suffix down (see DESIGN.md):
+//
+//   - a lexicographic early-exit bound aborts a replay once the running
+//     (makespan, total) key provably loses to the best candidate so far;
+//   - a machine-scan memo snapshots the state just before the insertion
+//     point q, which is independent of the candidate machine, so the Y
+//     machines of one insertion point replay that prefix once;
+//   - a convergence cutoff detects that the disturbance has washed out —
+//     past the moved span, no diverged finish time can reach a remaining
+//     task and every machine still in use has its base ready time — and
+//     fast-forwards the rest from stored base finish times.
+//
+// The replay performs bit-for-bit the same float operations, in the same
+// order, as Evaluator would on the materialized moved string, so every
+// search that swaps full evaluation for delta evaluation returns
+// byte-identical schedules (the differential tests in delta_test.go and
+// the registry-wide equivalence tests enforce this).
+//
+// A DeltaEvaluator is not safe for concurrent use; create one per
+// goroutine, like Evaluator.
+type DeltaEvaluator struct {
+	g   *taskgraph.Graph
+	sys *platform.System
+
+	base       String                // pinned copy of the base string
+	basePos    []int                 // task → index within base
+	baseFinish []float64             // task → finish time under base
+	baseAssign []taskgraph.MachineID // task → machine under base
+	baseMs     float64
+	baseTotal  float64
+
+	// Checkpoint c holds the evaluation state after the first c*stride
+	// genes of base: ready times per machine (flattened rows of ckReady),
+	// the running makespan and the running finish-time sum. The prefix
+	// finish times themselves need no snapshot — they are identical to
+	// baseFinish for every task placed before the checkpoint.
+	stride  int
+	ckReady []float64
+	ckMax   []float64
+	ckTotal []float64
+
+	// work is the replay's finish-time array. The invariant is that every
+	// task placed before dirtyFrom in the base holds its base finish time,
+	// so predecessor reads during a replay are unconditional: a pred
+	// before the replay start is clean base state, a pred at or after it
+	// was stepped earlier in the same replay (topological order).
+	work      []float64
+	dirtyFrom int
+	assign    []taskgraph.MachineID // arbitrary-string replay scratch (replayFrom only)
+	ready     []float64             // machine → ready time during a replay
+
+	// lastUse[m] is the last base position occupied by a task on machine
+	// m (-1 when unused). The convergence cutoff ignores ready-time
+	// divergence on machines with no tasks left to run.
+	lastUse []int
+
+	// lastFrom is the first replayed position of the most recent
+	// successful evaluation (len(base) after a Pin), or -1 when the last
+	// replay aborted. FinishInto needs it to merge base and replayed
+	// finish times.
+	lastFrom int
+
+	// lastMove remembers the move of the most recent successful
+	// MoveMakespan so CommitMove can verify it is rebasing onto the state
+	// the work array actually holds.
+	lastMove struct {
+		idx, q int
+		m      taskgraph.MachineID
+		valid  bool
+	}
+
+	// memo caches the replay state just before position q of the moved
+	// string for the most recent (idx, q): that prefix is independent of
+	// the candidate machine, so scanning the Y machines of one insertion
+	// point replays it once instead of Y times.
+	memo struct {
+		valid        bool
+		idx, q, from int
+		maxInfl      int
+		ms, tot      float64
+		ready        []float64
+	}
+
+	counts EvalCounts
+}
+
+// NewDeltaEvaluator returns a DeltaEvaluator for g on sys. Pin must be
+// called before any replay.
+func NewDeltaEvaluator(g *taskgraph.Graph, sys *platform.System) *DeltaEvaluator {
+	n, l := g.NumTasks(), sys.NumMachines()
+	// Denser checkpoints cost l floats each at pin time; sparser ones
+	// lengthen every replay by up to stride genes. stride ≈ l/4 keeps the
+	// pin overhead near one extra machine-row per gene quartet while
+	// bounding the replay detour well below one full pass.
+	stride := (l + 3) / 4
+	numCk := (n-1)/stride + 1
+	d := &DeltaEvaluator{
+		g:          g,
+		sys:        sys,
+		basePos:    make([]int, n),
+		baseFinish: make([]float64, n),
+		baseAssign: make([]taskgraph.MachineID, n),
+		stride:     stride,
+		ckReady:    make([]float64, numCk*l),
+		ckMax:      make([]float64, numCk),
+		ckTotal:    make([]float64, numCk),
+		work:       make([]float64, n),
+		assign:     make([]taskgraph.MachineID, n),
+		ready:      make([]float64, l),
+		lastUse:    make([]int, l),
+		lastFrom:   -1,
+	}
+	d.memo.ready = make([]float64, l)
+	return d
+}
+
+// Graph returns the task graph the DeltaEvaluator is bound to.
+func (d *DeltaEvaluator) Graph() *taskgraph.Graph { return d.g }
+
+// System returns the platform the DeltaEvaluator is bound to.
+func (d *DeltaEvaluator) System() *platform.System { return d.sys }
+
+// Counts returns the evaluation-effort ledger so far.
+func (d *DeltaEvaluator) Counts() EvalCounts { return d.counts }
+
+// Stride returns the checkpoint spacing in gene positions.
+func (d *DeltaEvaluator) Stride() int { return d.stride }
+
+// Base returns the pinned base string (nil before the first Pin). The
+// caller must not modify it.
+func (d *DeltaEvaluator) Base() String { return d.base }
+
+// BaseMakespan returns the pinned base string's makespan.
+func (d *DeltaEvaluator) BaseMakespan() float64 { return d.baseMs }
+
+// Pin copies s as the new base string, evaluates it with one full pass,
+// and captures the prefix checkpoints subsequent replays start from. It
+// returns the base makespan and total finish time.
+func (d *DeltaEvaluator) Pin(s String) (makespan, total float64) {
+	n := len(s)
+	if d.base == nil {
+		d.base = make(String, n)
+	}
+	copy(d.base, s)
+	l := d.sys.NumMachines()
+	ready := d.ready
+	for m := range ready {
+		ready[m] = 0
+		d.lastUse[m] = -1
+	}
+	runningMax, runningTotal := 0.0, 0.0
+	for i, gene := range d.base {
+		if i%d.stride == 0 {
+			c := i / d.stride
+			copy(d.ckReady[c*l:(c+1)*l], ready)
+			d.ckMax[c] = runningMax
+			d.ckTotal[c] = runningTotal
+		}
+		t, m := gene.Task, gene.Machine
+		d.basePos[t] = i
+		d.baseAssign[t] = m
+		d.lastUse[m] = i
+		start := ready[m]
+		for _, p := range d.g.Preds(t) {
+			// Predecessors precede t in the string (topological order), so
+			// their finish times and machines are already set.
+			arr := d.baseFinish[p.Task] + d.sys.TransferTime(d.baseAssign[p.Task], m, p.Item)
+			if arr > start {
+				start = arr
+			}
+		}
+		f := start + d.sys.ExecTime(m, t)
+		d.baseFinish[t] = f
+		d.work[t] = f
+		ready[m] = f
+		if f > runningMax {
+			runningMax = f
+		}
+		runningTotal += f
+	}
+	d.baseMs, d.baseTotal = runningMax, runningTotal
+	d.counts.Full++
+	d.counts.Genes += uint64(n)
+	d.dirtyFrom = n
+	d.lastFrom = n
+	d.lastMove.valid = false
+	d.memo.valid = false
+	return runningMax, runningTotal
+}
+
+// restore loads the checkpoint covering position first and returns the
+// replay start position (the checkpoint's own position, ≤ first) together
+// with the checkpointed running makespan and total.
+func (d *DeltaEvaluator) restore(first int) (from int, runningMax, runningTotal float64) {
+	c := first / d.stride
+	from = c * d.stride
+	l := d.sys.NumMachines()
+	copy(d.ready, d.ckReady[c*l:(c+1)*l])
+	return from, d.ckMax[c], d.ckTotal[c]
+}
+
+// clean re-establishes the work-array invariant for a replay starting at
+// from: every entry for a task placed before from must hold its base
+// finish time. Only the span a previous replay dirtied needs rewriting.
+func (d *DeltaEvaluator) clean(from int) {
+	for j := d.dirtyFrom; j < from; j++ {
+		t := d.base[j].Task
+		d.work[t] = d.baseFinish[t]
+	}
+	d.dirtyFrom = from
+}
+
+// tailConverged reports whether a replay standing before checkpoint
+// position j has rejoined the base schedule: every machine with work
+// left at positions ≥ j must show exactly the base's checkpointed ready
+// time. Callers additionally ensure no diverged finish time can reach a
+// task at ≥ j through a data dependency (the maxInfl frontier); together
+// the two conditions make the remaining evaluation bit-identical to the
+// base's.
+func (d *DeltaEvaluator) tailConverged(j int) bool {
+	l := d.sys.NumMachines()
+	row := d.ckReady[(j/d.stride)*l:]
+	for mm := 0; mm < l; mm++ {
+		if d.lastUse[mm] >= j && d.ready[mm] != row[mm] {
+			return false
+		}
+	}
+	return true
+}
+
+// MoveMakespan answers the makespan and total finish time of the string
+// obtained from the pinned base by moving the gene at index idx to index
+// q (valid-range coordinates, see MoveInto) on machine m — without
+// materializing that string. Only the suffix from the checkpoint at or
+// below min(idx, q) is replayed, and of that suffix only the part the
+// memo, the convergence cutoff and the bound cannot rule out.
+//
+// (boundMs, boundTotal) is the early-exit threshold, the lexicographic
+// (makespan, total) key of the best candidate seen so far. Both running
+// quantities are monotone during a replay, so the replay aborts — ok =
+// false, meaningless makespan/total — as soon as the candidate provably
+// cannot beat that key: when the running makespan strictly exceeds
+// boundMs, or equals it while the running total has reached boundTotal
+// (an exact (makespan, total) tie also loses, because the scan visits
+// candidates in the tie-break order of the final key). A candidate whose
+// final key beats (boundMs, boundTotal) is never aborted. Pass NoBound
+// for either component to disable that part of the abort; SA passes both
+// (Metropolis needs exact values), tabu bounds only the makespan (its
+// selection ignores totals).
+func (d *DeltaEvaluator) MoveMakespan(idx, q int, m taskgraph.MachineID, boundMs, boundTotal float64) (makespan, total float64, ok bool) {
+	if d.base == nil {
+		panic("schedule: DeltaEvaluator.MoveMakespan called before Pin")
+	}
+	n := len(d.base)
+	first := idx
+	if q < first {
+		first = q
+	}
+	// The moved string's genes before position q do not depend on the
+	// candidate machine, so when the previous call evaluated the same
+	// (idx, q) the memoized before-q state replaces the prefix replay.
+	// maxInfl is the conservative frontier of divergence through data
+	// dependencies: one past the furthest position any diverged task's
+	// successor can occupy in the moved string; machine-order divergence
+	// is caught separately by tailConverged's ready comparison.
+	var from int
+	var ms, tot float64
+	maxInfl := 0
+	useMemo := d.memo.valid && d.memo.idx == idx && d.memo.q == q
+	if useMemo {
+		from = d.memo.from
+		copy(d.ready, d.memo.ready)
+		ms, tot, maxInfl = d.memo.ms, d.memo.tot, d.memo.maxInfl
+	} else {
+		d.memo.valid = false
+		from, ms, tot = d.restore(first)
+		d.clean(from)
+	}
+	if ms > boundMs || (ms == boundMs && tot >= boundTotal) {
+		// The prefix alone already loses to the bound key; the final
+		// makespan and total can only be larger.
+		d.counts.Delta++
+		d.counts.Aborted++
+		d.lastFrom = -1
+		d.lastMove.valid = false
+		return 0, 0, false
+	}
+	movedT := d.base[idx].Task
+	movedM := m
+	hi := q
+	if idx > hi {
+		hi = idx
+	}
+
+	// Once the influence frontier passes the last checkpoint no
+	// convergence cutoff can fire anymore, so tracking divergence is pure
+	// overhead — stop paying for it (broad disturbances, e.g. SA's random
+	// machine moves, hit this early). Failed convergence attempts back
+	// off exponentially so a replay that never converges pays O(log)
+	// attempts, not one per checkpoint.
+	stride := d.stride
+	lastCk := ((n - 1) / stride) * stride
+	track := maxInfl < lastCk
+	base, work, ready := d.base, d.work, d.ready
+	baseFinish, baseAssign := d.baseFinish, d.baseAssign
+	steps := 0
+	start := from
+	if useMemo {
+		start = q
+	}
+	nextAttempt := (hi/stride + 1) * stride // first checkpoint past hi
+	attemptGap := stride
+	ok = true
+
+	// Walk the moved string's suffix without building it: the base genes
+	// shift by one across [min(idx,q), max(idx,q)], the moved gene lands
+	// at q, and the tail holds the base genes at their base positions.
+	for p := start; p < n; p++ {
+		if p == nextAttempt {
+			// Tail convergence attempt: once the disturbance has provably
+			// washed out, the rest of the schedule IS the base schedule —
+			// fast-forward from stored finish times instead of
+			// re-stepping dependencies.
+			if p > maxInfl && d.tailConverged(p) {
+				for ; p < n; p++ {
+					t := base[p].Task
+					f := baseFinish[t]
+					work[t] = f
+					if f > ms {
+						ms = f
+						if ms > boundMs {
+							ok = false
+							break
+						}
+					}
+					tot += f
+					if ms == boundMs && tot >= boundTotal {
+						ok = false
+						break
+					}
+				}
+				break
+			}
+			if p > maxInfl {
+				nextAttempt = p + attemptGap
+				attemptGap *= 2
+			} else {
+				nextAttempt = p + stride
+			}
+			for nextAttempt%stride != 0 {
+				nextAttempt++
+			}
+		}
+		var t taskgraph.TaskID
+		var mm taskgraph.MachineID
+		switch {
+		case p == q:
+			if !useMemo {
+				// Snapshot the machine-independent before-q state for the
+				// other candidate machines of this insertion point.
+				d.memo.idx, d.memo.q, d.memo.from = idx, q, from
+				d.memo.ms, d.memo.tot, d.memo.maxInfl = ms, tot, maxInfl
+				copy(d.memo.ready, ready)
+				d.memo.valid = true
+			}
+			if track && movedM != baseAssign[movedT] {
+				// A machine change diverges the moved task's successors
+				// through their transfer times even when its finish time
+				// happens to tie the base value exactly, so the
+				// finish-equality test below cannot be trusted for it —
+				// extend the frontier unconditionally. (Per candidate, not
+				// memoized: the machine varies across the memo's users.)
+				for _, sc := range d.g.Succs(movedT) {
+					if sp := d.basePos[sc.Task] + 1; sp > maxInfl {
+						maxInfl = sp
+					}
+				}
+				if maxInfl >= lastCk {
+					track = false
+				}
+			}
+			t, mm = movedT, movedM
+		case p >= idx && p < q:
+			t, mm = base[p+1].Task, base[p+1].Machine
+		case p > q && p <= idx:
+			t, mm = base[p-1].Task, base[p-1].Machine
+		default:
+			t, mm = base[p].Task, base[p].Machine
+		}
+
+		st := ready[mm]
+		for _, pr := range d.g.Preds(t) {
+			pm := baseAssign[pr.Task]
+			if pr.Task == movedT {
+				pm = movedM
+			}
+			arr := work[pr.Task] + d.sys.TransferTime(pm, mm, pr.Item)
+			if arr > st {
+				st = arr
+			}
+		}
+		f := st + d.sys.ExecTime(mm, t)
+		work[t] = f
+		ready[mm] = f
+		steps++
+		if track && f != baseFinish[t] {
+			for _, sc := range d.g.Succs(t) {
+				if sp := d.basePos[sc.Task] + 1; sp > maxInfl {
+					maxInfl = sp
+				}
+			}
+			if maxInfl >= lastCk {
+				track = false
+			}
+		}
+		if f > ms {
+			ms = f
+			if ms > boundMs {
+				ok = false
+				break
+			}
+		}
+		tot += f
+		if ms == boundMs && tot >= boundTotal {
+			ok = false
+			break
+		}
+	}
+
+	d.counts.Delta++
+	d.counts.Genes += uint64(steps)
+	if !ok {
+		d.counts.Aborted++
+		d.lastFrom = -1
+		d.lastMove.valid = false
+		return 0, 0, false
+	}
+	d.lastFrom = from
+	d.lastMove.idx, d.lastMove.q, d.lastMove.m, d.lastMove.valid = idx, q, m, true
+	return ms, tot, true
+}
+
+// CommitMove rebases the evaluator onto the string the immediately
+// preceding successful MoveMakespan evaluated, without re-evaluating
+// anything: the work array already holds every affected finish time, so
+// only the base string, positions and checkpoints need updating — a walk
+// of the suffix with no predecessor or transfer-time work. It returns the
+// new base's makespan and total finish time (identical to what that
+// MoveMakespan returned).
+//
+// This is the accept path of SA and tabu: evaluate a candidate with
+// MoveMakespan, and if the search adopts it, CommitMove instead of a full
+// re-Pin. It panics when the last evaluation was not a successful
+// MoveMakespan of the same (idx, q, m).
+func (d *DeltaEvaluator) CommitMove(idx, q int, m taskgraph.MachineID) (makespan, total float64) {
+	if !d.lastMove.valid || d.lastMove.idx != idx || d.lastMove.q != q || d.lastMove.m != m {
+		panic("schedule: DeltaEvaluator.CommitMove does not match the last MoveMakespan")
+	}
+	n := len(d.base)
+	from := d.lastFrom
+
+	// Apply the move to the base string in place (copy handles the
+	// overlapping ranges) and refresh positions over the shifted span.
+	gene := d.base[idx]
+	gene.Machine = m
+	d.baseAssign[gene.Task] = m
+	if q >= idx {
+		copy(d.base[idx:q], d.base[idx+1:q+1])
+		d.base[q] = gene
+	} else {
+		copy(d.base[q+1:idx+1], d.base[q:idx])
+		d.base[q] = gene
+	}
+	UpdatePositions(d.basePos, d.base, idx, q)
+
+	// One walk of [from, n) — every shifted position is ≥ from because
+	// from ≤ min(idx, q) — adopts the replayed finish times, re-derives
+	// the checkpoints by rolling the known values forward (bookkeeping,
+	// not evaluation), and refreshes the machine-usage positions the
+	// convergence cutoff consults. A machine whose tasks all sit before
+	// from keeps its lastUse; one that lost its last task to the move may
+	// keep a stale-high value, which only makes tailConverged check an
+	// extra machine — conservative, never unsound.
+	l := d.sys.NumMachines()
+	c := from / d.stride
+	copy(d.ready, d.ckReady[c*l:(c+1)*l])
+	runningMax, runningTotal := d.ckMax[c], d.ckTotal[c]
+	for j := from; j < n; j++ {
+		if j%d.stride == 0 {
+			cc := j / d.stride
+			copy(d.ckReady[cc*l:(cc+1)*l], d.ready)
+			d.ckMax[cc] = runningMax
+			d.ckTotal[cc] = runningTotal
+		}
+		g := d.base[j]
+		f := d.work[g.Task]
+		d.baseFinish[g.Task] = f
+		d.lastUse[g.Machine] = j
+		d.ready[g.Machine] = f
+		if f > runningMax {
+			runningMax = f
+		}
+		runningTotal += f
+	}
+	d.dirtyFrom = n
+	d.baseMs, d.baseTotal = runningMax, runningTotal
+	d.lastFrom = n
+	d.lastMove.valid = false
+	d.memo.valid = false
+	return d.baseMs, d.baseTotal
+}
+
+// LCP returns the number of leading genes s shares with the pinned base
+// (0 before the first Pin or on length mismatch).
+func (d *DeltaEvaluator) LCP(s String) int {
+	if d.base == nil || len(s) != len(d.base) {
+		return 0
+	}
+	for i := range s {
+		if s[i] != d.base[i] {
+			return i
+		}
+	}
+	return len(s)
+}
+
+// SharedPrefixMakespan evaluates an arbitrary string s by replaying it
+// from the checkpoint under its longest common prefix with the pinned
+// base. GA fitness uses it for chromosomes that share a prefix with the
+// pinned one; a string with no shared prefix degenerates to a full
+// replay from position 0. bound behaves as MoveMakespan's boundMs.
+func (d *DeltaEvaluator) SharedPrefixMakespan(s String, bound float64) (makespan, total float64, ok bool) {
+	if d.base == nil {
+		panic("schedule: DeltaEvaluator.SharedPrefixMakespan called before Pin")
+	}
+	lcp := d.LCP(s)
+	if lcp == len(s) {
+		d.counts.Delta++
+		d.lastMove.valid = false
+		if d.baseMs > bound {
+			d.counts.Aborted++
+			d.lastFrom = -1
+			return 0, 0, false
+		}
+		d.lastFrom = len(s)
+		return d.baseMs, d.baseTotal, true
+	}
+	return d.replayFrom(s, lcp, bound)
+}
+
+func (d *DeltaEvaluator) replayFrom(s String, lcp int, bound float64) (makespan, total float64, ok bool) {
+	d.lastMove.valid = false
+	d.memo.valid = false
+	from, ms, tot := d.restore(lcp)
+	d.clean(from)
+	if ms > bound {
+		d.counts.Delta++
+		d.counts.Aborted++
+		d.lastFrom = -1
+		return 0, 0, false
+	}
+	steps := 0
+	for j := from; j < len(s); j++ {
+		t, m := s[j].Task, s[j].Machine
+		start := d.ready[m]
+		for _, p := range d.g.Preds(t) {
+			// A predecessor before the replay start is clean base state in
+			// work; one at or after it was stepped earlier in this replay.
+			// Its machine likewise comes from the base prefix or from this
+			// replay's assignment scratch.
+			var pm taskgraph.MachineID
+			if d.basePos[p.Task] < from {
+				pm = d.baseAssign[p.Task]
+			} else {
+				pm = d.assign[p.Task]
+			}
+			arr := d.work[p.Task] + d.sys.TransferTime(pm, m, p.Item)
+			if arr > start {
+				start = arr
+			}
+		}
+		f := start + d.sys.ExecTime(m, t)
+		d.work[t] = f
+		d.assign[t] = m
+		d.ready[m] = f
+		steps++
+		if f > ms {
+			ms = f
+			if ms > bound {
+				d.counts.Delta++
+				d.counts.Aborted++
+				d.counts.Genes += uint64(steps)
+				d.lastFrom = -1
+				return 0, 0, false
+			}
+		}
+		tot += f
+	}
+	d.counts.Delta++
+	d.counts.Genes += uint64(steps)
+	d.lastFrom = from
+	return ms, tot, true
+}
+
+// Makespan evaluates s adaptively: when s shares at least one checkpoint
+// stride with the pinned base (or equals it), the suffix is replayed;
+// otherwise s becomes the new pinned base via a full pass. Either way the
+// returned makespan is exactly Evaluator.Makespan(s).
+func (d *DeltaEvaluator) Makespan(s String) float64 {
+	if d.base != nil && d.LCP(s) >= d.stride {
+		ms, _, _ := d.SharedPrefixMakespan(s, NoBound)
+		return ms
+	}
+	ms, _ := d.Pin(s)
+	return ms
+}
+
+// FinishInto writes the per-task finish times of the most recent
+// successful (un-aborted) evaluation into out, indexed by TaskID with
+// length ≥ NumTasks. It panics when the last replay was aborted by its
+// bound.
+func (d *DeltaEvaluator) FinishInto(out []float64) {
+	if d.lastFrom < 0 {
+		panic("schedule: DeltaEvaluator.FinishInto after an aborted replay")
+	}
+	for t := 0; t < d.g.NumTasks(); t++ {
+		if d.basePos[t] < d.lastFrom {
+			out[t] = d.baseFinish[t]
+		} else {
+			out[t] = d.work[t]
+		}
+	}
+}

@@ -19,6 +19,7 @@ type Evaluator struct {
 	assign []taskgraph.MachineID // task → machine, filled during the pass
 	ready  []float64             // machine → time it becomes free
 	evals  uint64                // number of full evaluations, for ablations
+	genes  uint64                // gene steps performed, for ablations
 }
 
 // NewEvaluator returns an Evaluator for g on sys.
@@ -41,6 +42,13 @@ func (e *Evaluator) System() *platform.System { return e.sys }
 // Evaluations returns the number of full evaluations performed so far.
 func (e *Evaluator) Evaluations() uint64 { return e.evals }
 
+// Counts returns the evaluation-effort ledger: every evaluation here is a
+// full pass, so Delta and Aborted are always zero (compare
+// DeltaEvaluator.Counts).
+func (e *Evaluator) Counts() EvalCounts {
+	return EvalCounts{Full: e.evals, Genes: e.genes}
+}
+
 // Makespan returns the total execution time of the application under
 // solution s: the maximum finish time over all subtasks.
 //
@@ -59,6 +67,7 @@ func (e *Evaluator) Makespan(s String) float64 {
 // per-task finish times are the Cᵢ of SE's goodness measure.
 func (e *Evaluator) FinishInto(s String, out []float64) float64 {
 	e.evals++
+	e.genes += uint64(len(s))
 	finish := e.finish
 	assign := e.assign
 	ready := e.ready

@@ -66,6 +66,21 @@ func MoveInto(dst, s String, idx, q int, m taskgraph.MachineID) {
 	}
 }
 
+// UpdatePositions refreshes the task→index array pos after the move
+// idx→q was applied to s: only positions within [min(idx,q), max(idx,q)]
+// shifted, so only that span is rewritten. SE allocation, SA and tabu
+// maintain their position arrays with this instead of a full rebuild per
+// applied move.
+func UpdatePositions(pos []int, s String, idx, q int) {
+	lo, hi := idx, q
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for j := lo; j <= hi; j++ {
+		pos[s[j].Task] = j
+	}
+}
+
 // Moved is an allocating convenience wrapper around MoveInto.
 func Moved(s String, idx, q int, m taskgraph.MachineID) String {
 	dst := make(String, len(s))

@@ -38,6 +38,7 @@ func seScheduler(name string, cfg Config) Scheduler {
 	return &funcScheduler{name: name, kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
 		opts := core.Options{
 			Bias:          cfg.Bias,
+			FullEval:      cfg.FullEval,
 			Y:             cfg.Y,
 			Seed:          cfg.Seed,
 			Workers:       cfg.Workers,
@@ -64,11 +65,13 @@ func seScheduler(name string, cfg Config) Scheduler {
 			return nil, err
 		}
 		return p.finish(&Result{
-			Best:        r.Best,
-			Makespan:    r.BestMakespan,
-			Iterations:  r.Iterations,
-			Evaluations: r.Evaluations,
-			Elapsed:     r.Elapsed,
+			Best:             r.Best,
+			Makespan:         r.BestMakespan,
+			Iterations:       r.Iterations,
+			Evaluations:      r.Evaluations,
+			DeltaEvaluations: r.DeltaEvaluations,
+			GenesEvaluated:   r.GenesEvaluated,
+			Elapsed:          r.Elapsed,
 		})
 	}}
 }
@@ -77,6 +80,7 @@ func gaScheduler(cfg Config) Scheduler {
 	return &funcScheduler{name: "ga", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
 		opts := ga.Options{
 			PopulationSize: cfg.Population,
+			FullEval:       cfg.FullEval,
 			CrossoverRate:  cfg.Crossover,
 			MutationRate:   cfg.Mutation,
 			Elitism:        cfg.Elitism,
@@ -103,11 +107,13 @@ func gaScheduler(cfg Config) Scheduler {
 			return nil, err
 		}
 		return p.finish(&Result{
-			Best:        r.Best,
-			Makespan:    r.BestMakespan,
-			Iterations:  r.Generations,
-			Evaluations: r.Evaluations,
-			Elapsed:     r.Elapsed,
+			Best:             r.Best,
+			Makespan:         r.BestMakespan,
+			Iterations:       r.Generations,
+			Evaluations:      r.Evaluations,
+			DeltaEvaluations: r.DeltaEvaluations,
+			GenesEvaluated:   r.GenesEvaluated,
+			Elapsed:          r.Elapsed,
 		})
 	}}
 }
@@ -116,6 +122,7 @@ func saScheduler(cfg Config) Scheduler {
 	return &funcScheduler{name: "sa", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
 		opts := sa.Options{
 			InitialTemp:  cfg.InitialTemp,
+			FullEval:     cfg.FullEval,
 			Cooling:      cfg.Cooling,
 			MovesPerTemp: cfg.MovesPerTemp,
 			Seed:         cfg.Seed,
@@ -150,11 +157,13 @@ func saScheduler(cfg Config) Scheduler {
 			return nil, err
 		}
 		return p.finish(&Result{
-			Best:        r.Best,
-			Makespan:    r.BestMakespan,
-			Iterations:  r.Blocks,
-			Evaluations: r.Evaluations,
-			Elapsed:     r.Elapsed,
+			Best:             r.Best,
+			Makespan:         r.BestMakespan,
+			Iterations:       r.Blocks,
+			Evaluations:      r.Evaluations,
+			DeltaEvaluations: r.DeltaEvaluations,
+			GenesEvaluated:   r.GenesEvaluated,
+			Elapsed:          r.Elapsed,
 		})
 	}}
 }
@@ -163,6 +172,7 @@ func tabuScheduler(cfg Config) Scheduler {
 	return &funcScheduler{name: "tabu", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
 		opts := tabu.Options{
 			Tenure:        cfg.Tenure,
+			FullEval:      cfg.FullEval,
 			Neighborhood:  cfg.Neighborhood,
 			Seed:          cfg.Seed,
 			Initial:       cfg.Initial,
@@ -186,11 +196,13 @@ func tabuScheduler(cfg Config) Scheduler {
 			return nil, err
 		}
 		return p.finish(&Result{
-			Best:        r.Best,
-			Makespan:    r.BestMakespan,
-			Iterations:  r.Iterations,
-			Evaluations: r.Evaluations,
-			Elapsed:     r.Elapsed,
+			Best:             r.Best,
+			Makespan:         r.BestMakespan,
+			Iterations:       r.Iterations,
+			Evaluations:      r.Evaluations,
+			DeltaEvaluations: r.DeltaEvaluations,
+			GenesEvaluated:   r.GenesEvaluated,
+			Elapsed:          r.Elapsed,
 		})
 	}}
 }

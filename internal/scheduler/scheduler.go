@@ -79,8 +79,17 @@ type Result struct {
 	// Iterations is the number of iterations executed (1 for constructive
 	// heuristics).
 	Iterations int
-	// Evaluations counts full schedule evaluations across all goroutines.
+	// Evaluations counts full schedule evaluations across all goroutines,
+	// including incremental-engine pins (each pin is one full pass).
 	Evaluations uint64
+	// DeltaEvaluations counts checkpointed suffix replays by the
+	// incremental evaluation engine (schedule.DeltaEvaluator). Zero for
+	// constructive heuristics and for runs built WithFullEval.
+	DeltaEvaluations uint64
+	// GenesEvaluated counts individual gene evaluation steps across full
+	// and delta evaluations — the effort measure the incremental engine
+	// shrinks. Zero for constructive heuristics.
+	GenesEvaluated uint64
 	// Elapsed is the total wall-clock duration of the run.
 	Elapsed time.Duration
 	// Trace holds per-iteration statistics when the scheduler was built

@@ -41,6 +41,10 @@ type Options struct {
 	Seed int64
 	// Initial, when non-nil, is the starting solution (cloned).
 	Initial schedule.String
+	// FullEval disables the incremental evaluation engine and scores every
+	// sampled neighbour with a full pass. The search is byte-identical
+	// either way; this exists for ablations and differential tests.
+	FullEval bool
 	// OnIteration, when non-nil, is called after each iteration; returning
 	// false stops the run. It observes the run only — the random sequence
 	// is identical with or without it.
@@ -64,9 +68,16 @@ type Result struct {
 	Best         schedule.String
 	BestMakespan float64
 	Iterations   int
-	// Evaluations counts full schedule evaluations.
+	// Evaluations counts full schedule evaluations (including delta-engine
+	// pins).
 	Evaluations uint64
-	Elapsed     time.Duration
+	// DeltaEvaluations counts checkpointed suffix replays; zero when
+	// Options.FullEval is set.
+	DeltaEvaluations uint64
+	// GenesEvaluated counts gene evaluation steps across full and delta
+	// evaluations.
+	GenesEvaluated uint64
+	Elapsed        time.Duration
 }
 
 // Run executes tabu search on graph g over system sys.
@@ -90,6 +101,10 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	eval := schedule.NewEvaluator(g, sys)
+	var inc *schedule.DeltaEvaluator // incremental engine; nil under FullEval
+	if !opts.FullEval {
+		inc = schedule.NewDeltaEvaluator(g, sys)
+	}
 
 	var cur schedule.String
 	if opts.Initial != nil {
@@ -105,7 +120,12 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 		cur = schedule.FromOrder(g.RandomTopoOrder(rng), assign)
 	}
 
-	curMs := eval.Makespan(cur)
+	var curMs float64
+	if inc != nil {
+		curMs, _ = inc.Pin(cur)
+	} else {
+		curMs = eval.Makespan(cur)
+	}
 	best := cur.Clone()
 	bestMs := curMs
 
@@ -113,6 +133,10 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	cand := make(schedule.String, n)
 	applied := make(schedule.String, n)
 	pos := make([]int, n)
+	// cur only changes when a move is applied at the end of an iteration,
+	// so positions are maintained incrementally there instead of being
+	// rebuilt per sampled neighbour.
+	cur.Positions(pos)
 
 	start := time.Now()
 	res := &Result{}
@@ -121,15 +145,38 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 		// Sample the neighbourhood; keep the best admissible move.
 		bestMove := -1.0
 		moved := taskgraph.TaskID(-1)
+		var movedIdx, movedQ int
+		var movedM taskgraph.MachineID
 		for i := 0; i < opts.Neighborhood; i++ {
 			idx := rng.Intn(n)
 			t := cur[idx].Task
-			cur.Positions(pos)
 			lo, hi := schedule.ValidRange(g, cur, pos, idx)
 			q := lo + rng.Intn(hi-lo+1)
 			m := taskgraph.MachineID(rng.Intn(sys.NumMachines()))
-			schedule.MoveInto(cand, cur, idx, q, m)
-			ms := eval.Makespan(cand)
+			var ms float64
+			if inc != nil {
+				// A candidate only matters when it beats the iteration's
+				// best admissible move so far — and, for a tabu task, only
+				// when it also beats the global best (aspiration). Both
+				// tests are strict, so a replay aborted above the tighter
+				// of the two bounds is a candidate the full path would
+				// have discarded anyway.
+				bound := schedule.NoBound
+				if bestMove >= 0 {
+					bound = bestMove
+				}
+				if tabuUntil[t] > iter && bestMs < bound {
+					bound = bestMs
+				}
+				var ok bool
+				ms, _, ok = inc.MoveMakespan(idx, q, m, bound, schedule.NoBound)
+				if !ok {
+					continue
+				}
+			} else {
+				schedule.MoveInto(cand, cur, idx, q, m)
+				ms = eval.Makespan(cand)
+			}
 
 			admissible := tabuUntil[t] <= iter || ms < bestMs // aspiration
 			if !admissible {
@@ -138,11 +185,23 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 			if bestMove < 0 || ms < bestMove {
 				bestMove = ms
 				moved = t
-				copy(applied, cand)
+				movedIdx, movedQ, movedM = idx, q, m
+				if inc == nil {
+					copy(applied, cand)
+				}
 			}
 		}
 		if moved >= 0 {
+			if inc != nil {
+				// The winner is materialized once, here, rather than on
+				// every improvement during sampling; a second replay of it
+				// refreshes the scratch so the rebase is pure bookkeeping.
+				schedule.MoveInto(applied, cur, movedIdx, movedQ, movedM)
+				inc.MoveMakespan(movedIdx, movedQ, movedM, schedule.NoBound, schedule.NoBound)
+				inc.CommitMove(movedIdx, movedQ, movedM)
+			}
 			copy(cur, applied)
+			schedule.UpdatePositions(pos, cur, movedIdx, movedQ)
 			curMs = bestMove
 			tabuUntil[moved] = iter + 1 + opts.Tenure
 			if curMs < bestMs {
@@ -178,7 +237,13 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 
 	res.Best = best
 	res.BestMakespan = bestMs
-	res.Evaluations = eval.Evaluations()
+	counts := eval.Counts()
+	if inc != nil {
+		counts = counts.Add(inc.Counts())
+	}
+	res.Evaluations = counts.Full
+	res.DeltaEvaluations = counts.Delta
+	res.GenesEvaluated = counts.Genes
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
