@@ -10,7 +10,10 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,6 +23,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/sa"
 	"repro/internal/schedule"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -382,4 +386,71 @@ func BenchmarkSEvsSA(b *testing.B) {
 			b.ReportMetric(res.BestMakespan, "makespan")
 		}
 	})
+}
+
+// --- serving-layer benchmarks (internal/serve) ---
+
+// BenchmarkServeConcurrentSessions drives the full serving stack — HTTP
+// server, session manager, per-session pinned evaluators — with 8 parallel
+// sessions, each issuing a run plus a burst of move queries per iteration.
+// This is the batched multi-instance serving scenario of the ROADMAP: one
+// process answering concurrent search sessions, with same-session requests
+// serialized and distinct sessions in parallel. The reported metric is
+// session-iterations per second of wall clock.
+func BenchmarkServeConcurrentSessions(b *testing.B) {
+	mgr := serve.NewManager(serve.Options{MaxSessions: 32})
+	defer mgr.Close()
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	defer srv.Close()
+	client := serve.NewClient(srv.URL)
+	ctx := context.Background()
+
+	const sessions = 8
+	ids := make([]string, sessions)
+	for i := range ids {
+		p := workload.Params{
+			Tasks: 30, Machines: 6,
+			Connectivity:  workload.HighConnectivity,
+			Heterogeneity: workload.MediumHeterogeneity,
+			CCR:           0.5,
+			Seed:          int64(i + 1),
+		}
+		info, err := client.CreateSession(ctx, serve.CreateSessionRequest{Params: &p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				if _, err := client.Run(ctx, ids[s], serve.RunRequest{
+					Algorithm: "se", Seed: int64(i + 1), MaxIterations: 5,
+				}); err != nil {
+					errs <- err
+					return
+				}
+				for q := 0; q < 8; q++ {
+					if _, err := client.Move(ctx, ids[s], serve.MoveRequest{
+						Index: q, To: q, Machine: q % 6,
+					}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sessions*b.N)/b.Elapsed().Seconds(), "session-iters/s")
 }

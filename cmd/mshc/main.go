@@ -5,6 +5,11 @@
 // heuristics (heft, cpop, minmin, maxmin, sufferage, mct, random), or
 // all of them.
 //
+// Runs execute in-process by default; with -server they execute inside a
+// session of a running mshd daemon, over the same wire schema -json
+// emits, so offline and served runs are interchangeable (and, for equal
+// seeds and budgets, bit-identical).
+//
 // Usage:
 //
 //	mshc -list-algos
@@ -12,10 +17,14 @@
 //	mshc -algo heft -figure1
 //	mshc -algo all -figure1
 //	mshc -algo ga -budget 5s -workload w.json -v
+//	mshc -algo se -figure1 -json
+//	mshc -algo se -iters 500 -workload w.json -server http://localhost:8037
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,18 +34,9 @@ import (
 
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
-
-type result struct {
-	name     string
-	makespan float64
-	elapsed  time.Duration
-	solution schedule.String
-	evals    uint64 // full evaluations (incl. delta-engine pins)
-	deltas   uint64 // checkpointed suffix replays
-	genes    uint64 // gene steps across both
-}
 
 func main() {
 	var (
@@ -52,6 +52,8 @@ func main() {
 		pop     = flag.Int("pop", 0, "GA population size (0 = default 50)")
 		workers = flag.Int("workers", 0, "parallel workers for SE allocation / GA fitness (0 = serial)")
 		full    = flag.Bool("full-eval", false, "disable the incremental evaluation engine (identical results, more work)")
+		jsonOut = flag.Bool("json", false, "emit only a JSON array of results in the service wire schema (internal/serve)")
+		server  = flag.String("server", "", "run inside a session of the mshd daemon at this URL instead of in-process")
 		verbose = flag.Bool("v", false, "print the full schedule and evaluation counts")
 		gantt   = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
 	)
@@ -66,42 +68,144 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("workload: %s\n", w)
-	fmt.Printf("lower bound (contention-free critical path): %.0f\n\n", schedule.LowerBound(w.Graph, w.System))
+	if !*jsonOut {
+		fmt.Printf("workload: %s\n", w)
+		fmt.Printf("lower bound (contention-free critical path): %.0f\n\n", schedule.LowerBound(w.Graph, w.System))
+	}
 
 	names := []string{strings.TrimSpace(*algo)}
 	if names[0] == "all" {
 		names = scheduler.Names()
 	}
-	var results []result
-	for _, name := range names {
-		r, err := runOne(name, w, *iters, *budget, *seed, *bias, *yParam, *pop, *workers, *full)
-		if err != nil {
+
+	runs := make([]serve.RunRequest, len(names))
+	for i, name := range names {
+		runs[i] = serve.RunRequest{
+			Algorithm:  name,
+			Seed:       *seed,
+			Bias:       *bias,
+			Y:          *yParam,
+			Population: *pop,
+			Workers:    *workers,
+			FullEval:   *full,
+		}
+		if *budget > 0 {
+			// Float milliseconds: sub-ms -budget values survive exactly.
+			runs[i].TimeBudgetMS = float64(*budget) / float64(time.Millisecond)
+		} else {
+			runs[i].MaxIterations = *iters
+		}
+	}
+
+	var results []serve.Result
+	if *server != "" {
+		results, err = runServed(*server, w, runs)
+	} else {
+		results, err = runLocal(w, runs)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Makespan < results[j].Makespan })
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
 			fatal(err)
 		}
-		results = append(results, r)
+		return
 	}
-	sort.SliceStable(results, func(i, j int) bool { return results[i].makespan < results[j].makespan })
 
 	fmt.Printf("%-10s %14s %12s\n", "algo", "makespan", "time")
 	for _, r := range results {
-		fmt.Printf("%-10s %14.0f %12s\n", r.name, r.makespan, r.elapsed.Round(time.Millisecond))
+		fmt.Printf("%-10s %14.0f %12s\n", r.Algorithm, r.Makespan, elapsed(r).Round(time.Millisecond))
 	}
 	if *verbose {
 		fmt.Printf("\n%-10s %14s %14s %14s\n", "algo", "full-evals", "delta-evals", "genes")
 		for _, r := range results {
-			fmt.Printf("%-10s %14d %14d %14d\n", r.name, r.evals, r.deltas, r.genes)
+			fmt.Printf("%-10s %14d %14d %14d\n", r.Algorithm, r.Evaluations, r.DeltaEvaluations, r.GenesEvaluated)
 		}
-		best := results[0]
-		fmt.Printf("\nbest (%s) schedule:\n", best.name)
-		printSchedule(w, best.solution)
-		fmt.Printf("\nanalysis:\n%s", schedule.Analyze(w.Graph, w.System, best.solution).Report())
+		best, sol := bestSolution(results)
+		fmt.Printf("\nbest (%s) schedule:\n", best.Algorithm)
+		printSchedule(w, sol)
+		fmt.Printf("\nanalysis:\n%s", schedule.Analyze(w.Graph, w.System, sol).Report())
 	}
 	if *gantt {
-		best := results[0]
-		fmt.Printf("\nbest (%s) Gantt chart:\n", best.name)
-		fmt.Print(schedule.Gantt(w.Graph, w.System, best.solution, 72))
+		best, sol := bestSolution(results)
+		fmt.Printf("\nbest (%s) Gantt chart:\n", best.Algorithm)
+		fmt.Print(schedule.Gantt(w.Graph, w.System, sol, 72))
 	}
+}
+
+// runLocal executes every run in-process through the scheduler registry.
+func runLocal(w *workload.Workload, runs []serve.RunRequest) ([]serve.Result, error) {
+	var results []serve.Result
+	for _, req := range runs {
+		opts := []scheduler.Option{
+			scheduler.WithSeed(req.Seed),
+			scheduler.WithWorkers(req.Workers),
+			scheduler.WithBias(req.Bias),
+			scheduler.WithY(req.Y),
+			scheduler.WithPopulation(req.Population),
+		}
+		if req.FullEval {
+			opts = append(opts, scheduler.WithFullEval())
+		}
+		s, err := scheduler.Get(req.Algorithm, opts...)
+		if err != nil {
+			return nil, err
+		}
+		b := scheduler.Budget{
+			MaxIterations: req.MaxIterations,
+			TimeBudget:    time.Duration(req.TimeBudgetMS * float64(time.Millisecond)),
+		}
+		res, err := s.Schedule(context.Background(), w.Graph, w.System, b)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, serve.NewResult(req.Algorithm, req.Seed, res, false))
+	}
+	return results, nil
+}
+
+// runServed executes every run inside one session of an mshd daemon: the
+// workload is uploaded once, each algorithm runs against the pinned
+// session, and the session is torn down at the end.
+func runServed(base string, w *workload.Workload, runs []serve.RunRequest) ([]serve.Result, error) {
+	ctx := context.Background()
+	client := serve.NewClient(base)
+	var buf bytes.Buffer
+	if err := workload.Encode(&buf, w); err != nil {
+		return nil, err
+	}
+	info, err := client.CreateSession(ctx, serve.CreateSessionRequest{Workload: buf.Bytes()})
+	if err != nil {
+		return nil, err
+	}
+	defer client.DeleteSession(ctx, info.ID)
+	var results []serve.Result
+	for _, req := range runs {
+		res, err := client.Run(ctx, info.ID, req)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func bestSolution(results []serve.Result) (serve.Result, schedule.String) {
+	best := results[0]
+	sol, err := schedule.Parse(best.Solution)
+	if err != nil {
+		fatal(err)
+	}
+	return best, sol
+}
+
+func elapsed(r serve.Result) time.Duration {
+	return time.Duration(r.ElapsedMS * float64(time.Millisecond))
 }
 
 func loadWorkload(path string, figure1 bool) (*workload.Workload, error) {
@@ -118,40 +222,6 @@ func loadWorkload(path string, figure1 bool) (*workload.Workload, error) {
 	default:
 		return nil, fmt.Errorf("provide -workload FILE or -figure1")
 	}
-}
-
-func runOne(name string, w *workload.Workload, iters int, budget time.Duration, seed int64, bias float64, y, pop, workers int, fullEval bool) (result, error) {
-	opts := []scheduler.Option{
-		scheduler.WithSeed(seed),
-		scheduler.WithWorkers(workers),
-		scheduler.WithBias(bias),
-		scheduler.WithY(y),
-		scheduler.WithPopulation(pop),
-	}
-	if fullEval {
-		opts = append(opts, scheduler.WithFullEval())
-	}
-	s, err := scheduler.Get(name, opts...)
-	if err != nil {
-		return result{}, err
-	}
-	b := scheduler.Budget{MaxIterations: iters}
-	if budget > 0 {
-		b = scheduler.Budget{TimeBudget: budget}
-	}
-	res, err := s.Schedule(context.Background(), w.Graph, w.System, b)
-	if err != nil {
-		return result{}, err
-	}
-	return result{
-		name:     name,
-		makespan: res.Makespan,
-		elapsed:  res.Elapsed,
-		solution: res.Best,
-		evals:    res.Evaluations,
-		deltas:   res.DeltaEvaluations,
-		genes:    res.GenesEvaluated,
-	}, nil
 }
 
 func printSchedule(w *workload.Workload, s schedule.String) {

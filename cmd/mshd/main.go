@@ -1,0 +1,74 @@
+// Command mshd is the matching-and-scheduling daemon: a long-lived
+// HTTP/JSON service that pins many (workload, base-string) sessions in one
+// process and answers run, move and analysis queries for concurrent search
+// sessions, reusing the incremental evaluator's checkpoints across
+// requests (see internal/serve).
+//
+// Usage:
+//
+//	mshd -addr :8037
+//	mshd -addr :8037 -max-sessions 128 -idle-timeout 30m
+//
+// Quickstart (see README.md "Serving" for the full walkthrough):
+//
+//	curl -s localhost:8037/v1/sessions -d '{"preset":"small"}'
+//	curl -s localhost:8037/v1/sessions/s1/run -d '{"algorithm":"se","seed":1,"max_iterations":500}'
+//	curl -s localhost:8037/v1/sessions/s1/gantt
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8037", "listen address")
+		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessions, "session cap; creating past it evicts the least-recently-used session")
+		idleTimeout = flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle for this long (0 = never)")
+	)
+	flag.Parse()
+
+	mgr := serve.NewManager(serve.Options{
+		MaxSessions: *maxSessions,
+		IdleTimeout: *idleTimeout,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewServer(mgr),
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mshd: listening on %s (max-sessions %d, idle-timeout %v)\n",
+			*addr, *maxSessions, *idleTimeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mshd:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mshd: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mshd: shutdown:", err)
+		}
+		mgr.Close()
+	}
+}

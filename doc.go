@@ -28,10 +28,12 @@
 //	internal/tabu        tabu-search extension
 //	internal/scheduler   the common Scheduler interface + registry
 //	internal/runner      wall-clock races and parallel trials
+//	internal/serve       session-pinned batched serving layer + HTTP client
 //	internal/stats       series, summaries and quantiles
 //	internal/textplot    ASCII chart rendering
 //	internal/experiments one entry per paper figure
 //	cmd/mshc             schedule a workload from the command line
+//	cmd/mshd             HTTP/JSON scheduling daemon (see README "Serving")
 //	cmd/wlgen            generate workloads
 //	cmd/grid             factorial workload-class × scheduler comparison
 //	cmd/figures          regenerate the paper's figures

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -59,7 +60,7 @@ func main() {
 		contenders = append(contenders, runner.Entry(name, s, w.Graph, w.System))
 	}
 
-	series, err := runner.Race(*budget, contenders)
+	series, err := runner.Race(context.Background(), *budget, contenders)
 	if err != nil {
 		log.Fatal(err)
 	}

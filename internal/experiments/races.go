@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -97,7 +98,7 @@ func raceFigure(cfg Config, id, class string, w *workload.Workload) (Figure, err
 	if err != nil {
 		return Figure{}, err
 	}
-	series, err := runner.Race(cfg.Budget, contenders)
+	series, err := runner.Race(context.Background(), cfg.Budget, contenders)
 	if err != nil {
 		return Figure{}, err
 	}

@@ -18,11 +18,11 @@ import (
 )
 
 // Contender is one scheduler entered into a race. Run must respect the
-// budget, call record(elapsed, bestSoFar) as the run progresses, and return
-// the final best makespan.
+// budget and the context, call record(elapsed, bestSoFar) as the run
+// progresses, and return the final best makespan.
 type Contender struct {
 	Name string
-	Run  func(budget time.Duration, record func(time.Duration, float64)) (float64, error)
+	Run  func(ctx context.Context, budget time.Duration, record func(time.Duration, float64)) (float64, error)
 }
 
 // Entry adapts any scheduler.Scheduler to a race Contender: the race's
@@ -34,8 +34,8 @@ type Contender struct {
 func Entry(name string, s scheduler.Scheduler, g *taskgraph.Graph, sys *platform.System) Contender {
 	return Contender{
 		Name: name,
-		Run: func(budget time.Duration, record func(time.Duration, float64)) (float64, error) {
-			res, err := s.Schedule(context.Background(), g, sys, scheduler.Budget{
+		Run: func(ctx context.Context, budget time.Duration, record func(time.Duration, float64)) (float64, error) {
+			res, err := s.Schedule(ctx, g, sys, scheduler.Budget{
 				TimeBudget: budget,
 				OnProgress: func(p scheduler.Progress) bool {
 					record(p.Elapsed, p.Best)
@@ -54,12 +54,17 @@ func Entry(name string, s scheduler.Scheduler, g *taskgraph.Graph, sys *platform
 // Race runs every contender sequentially under the same wall-clock budget
 // and returns one best-so-far Series per contender (x = seconds, y = best
 // makespan). Contenders run sequentially — not concurrently — so that each
-// gets the whole machine, as in the paper's timed comparisons.
-func Race(budget time.Duration, contenders []Contender) ([]stats.Series, error) {
+// gets the whole machine, as in the paper's timed comparisons. Cancelling
+// ctx aborts the race between (and, through Entry, within) contenders —
+// long races started by a server or a session can be torn down cleanly.
+func Race(ctx context.Context, budget time.Duration, contenders []Contender) ([]stats.Series, error) {
 	out := make([]stats.Series, len(contenders))
 	for i, c := range contenders {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("runner: race cancelled before contender %s: %w", c.Name, err)
+		}
 		s := stats.Series{Name: c.Name}
-		final, err := c.Run(budget, func(elapsed time.Duration, best float64) {
+		final, err := c.Run(ctx, budget, func(elapsed time.Duration, best float64) {
 			// Record only improvements (plus the first sample) to keep
 			// traces compact; the series is a step function anyway.
 			if n := len(s.Points); n == 0 || best < s.Points[n-1].Y {

@@ -1,6 +1,7 @@
 package runner_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ func raceWorkload() *workload.Workload {
 
 func TestRaceProducesSeriesPerContender(t *testing.T) {
 	w := raceWorkload()
-	series, err := runner.Race(150*time.Millisecond, []runner.Contender{
+	series, err := runner.Race(context.Background(), 150*time.Millisecond, []runner.Contender{
 		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(1), scheduler.WithY(2)), w.Graph, w.System),
 		runner.Entry("GA", scheduler.MustGet("ga", scheduler.WithSeed(1)), w.Graph, w.System),
 		runner.Entry("SA", scheduler.MustGet("sa", scheduler.WithSeed(1)), w.Graph, w.System),
@@ -47,7 +48,7 @@ func TestRaceAcceptsEveryRegisteredScheduler(t *testing.T) {
 		contenders = append(contenders,
 			runner.Entry(name, scheduler.MustGet(name, scheduler.WithSeed(1)), w.Graph, w.System))
 	}
-	series, err := runner.Race(30*time.Millisecond, contenders)
+	series, err := runner.Race(context.Background(), 30*time.Millisecond, contenders)
 	if err != nil {
 		t.Fatalf("Race over all registered schedulers: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestRaceAcceptsEveryRegisteredScheduler(t *testing.T) {
 
 func TestRaceSeriesMonotone(t *testing.T) {
 	w := raceWorkload()
-	series, err := runner.Race(100*time.Millisecond, []runner.Contender{
+	series, err := runner.Race(context.Background(), 100*time.Millisecond, []runner.Contender{
 		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(3)), w.Graph, w.System),
 	})
 	if err != nil {
@@ -83,11 +84,11 @@ func TestRaceSeriesMonotone(t *testing.T) {
 func TestRacePropagatesErrors(t *testing.T) {
 	boom := runner.Contender{
 		Name: "boom",
-		Run: func(time.Duration, func(time.Duration, float64)) (float64, error) {
+		Run: func(context.Context, time.Duration, func(time.Duration, float64)) (float64, error) {
 			return 0, fmt.Errorf("exploded")
 		},
 	}
-	_, err := runner.Race(time.Millisecond, []runner.Contender{boom})
+	_, err := runner.Race(context.Background(), time.Millisecond, []runner.Contender{boom})
 	if err == nil {
 		t.Fatal("Race swallowed contender error")
 	}
@@ -154,5 +155,17 @@ func TestTrialsWithRegisteredScheduler(t *testing.T) {
 	}
 	if sum.Min > sum.Max {
 		t.Errorf("summary inconsistent: %+v", sum)
+	}
+}
+
+func TestRaceCancelledContext(t *testing.T) {
+	w := raceWorkload()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := runner.Race(ctx, time.Second, []runner.Contender{
+		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(1)), w.Graph, w.System),
+	})
+	if err == nil {
+		t.Fatal("Race on a cancelled context reported no error")
 	}
 }

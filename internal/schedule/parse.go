@@ -1,0 +1,51 @@
+package schedule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/taskgraph"
+)
+
+// Parse is the inverse of String.Format: it reads a solution in the
+// paper's visual layout "s0 m0 | s1 m1 | …" back into a String. It is the
+// wire encoding of the serving layer (internal/serve), so solutions
+// round-trip exactly between a daemon and its clients. Parse checks only
+// the syntax; callers holding the graph and system validate semantics with
+// Validate.
+func Parse(text string) (String, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil, fmt.Errorf("schedule: parse: empty solution string")
+	}
+	segments := strings.Split(text, "|")
+	s := make(String, 0, len(segments))
+	for i, seg := range segments {
+		fields := strings.Fields(seg)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("schedule: parse: segment %d %q, want \"s<task> m<machine>\"", i, strings.TrimSpace(seg))
+		}
+		t, err := parseIndex(fields[0], 's')
+		if err != nil {
+			return nil, fmt.Errorf("schedule: parse: segment %d: %w", i, err)
+		}
+		m, err := parseIndex(fields[1], 'm')
+		if err != nil {
+			return nil, fmt.Errorf("schedule: parse: segment %d: %w", i, err)
+		}
+		s = append(s, Gene{Task: taskgraph.TaskID(t), Machine: taskgraph.MachineID(m)})
+	}
+	return s, nil
+}
+
+func parseIndex(field string, prefix byte) (int, error) {
+	if len(field) < 2 || field[0] != prefix {
+		return 0, fmt.Errorf("bad token %q, want %q followed by an index", field, string(prefix))
+	}
+	v, err := strconv.Atoi(field[1:])
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad index in %q", field)
+	}
+	return v, nil
+}

@@ -157,20 +157,46 @@ func TestConformance(t *testing.T) {
 					}
 				})
 
+				// The serving layer (internal/serve) tears sessions down by
+				// cancelling the run's context and still records what the
+				// search found: every metaheuristic must return promptly
+				// after cancellation AND hand back a valid best-so-far
+				// result alongside context.Canceled.
 				t.Run("mid-run-cancellation", func(t *testing.T) {
+					type outcome struct {
+						res *scheduler.Result
+						err error
+					}
 					ctx, cancel := context.WithCancel(context.Background())
 					s := scheduler.MustGet(name, scheduler.WithSeed(1))
-					done := make(chan error, 1)
+					done := make(chan outcome, 1)
 					go func() {
-						_, err := s.Schedule(ctx, w.Graph, w.System, scheduler.Budget{})
-						done <- err
+						res, err := s.Schedule(ctx, w.Graph, w.System, scheduler.Budget{})
+						done <- outcome{res, err}
 					}()
 					time.Sleep(20 * time.Millisecond)
+					cancelled := time.Now()
 					cancel()
 					select {
-					case err := <-done:
-						if err != context.Canceled {
-							t.Errorf("mid-run cancel returned %v, want context.Canceled", err)
+					case o := <-done:
+						if since := time.Since(cancelled); since > 2*time.Second {
+							t.Errorf("scheduler took %v to return after cancellation", since)
+						}
+						if o.err != context.Canceled {
+							t.Errorf("mid-run cancel returned %v, want context.Canceled", o.err)
+						}
+						if o.res == nil {
+							t.Fatal("mid-run cancel returned no best-so-far result")
+						}
+						if err := schedule.Validate(o.res.Best, w.Graph, w.System); err != nil {
+							t.Fatalf("best-so-far after cancellation is invalid: %v", err)
+						}
+						got := schedule.NewEvaluator(w.Graph, w.System).Makespan(o.res.Best)
+						if math.Abs(got-o.res.Makespan) > 1e-9 {
+							t.Errorf("best-so-far Makespan = %v but re-evaluating gives %v", o.res.Makespan, got)
+						}
+						if o.res.Makespan < lb {
+							t.Errorf("best-so-far makespan %v below the lower bound %v", o.res.Makespan, lb)
 						}
 					case <-time.After(10 * time.Second):
 						t.Fatal("scheduler did not stop after cancellation")

@@ -105,7 +105,10 @@ type Scheduler interface {
 	// Name returns the registry name ("se", "heft", …).
 	Name() string
 	// Schedule matches and schedules g onto sys within b. Cancelling ctx
-	// stops the run at the next iteration boundary and returns ctx.Err().
+	// stops the run at the next iteration boundary and returns the
+	// best-so-far Result alongside ctx.Err() — servers tearing a session
+	// down cancel and still harvest the partial result. Only a context
+	// cancelled before the run starts yields a nil Result.
 	Schedule(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error)
 }
 
@@ -173,12 +176,13 @@ func (p *probe) observe(pr Progress) bool {
 	return true
 }
 
-// finish returns (res, nil), or (nil, ctx.Err()) when the run was stopped
-// by cancellation.
+// finish returns (res, nil), or (res, ctx.Err()) when the run was stopped
+// by cancellation: the best-so-far result survives so that a server
+// cancelling a session mid-run can still record what the search found.
 func (p *probe) finish(res *Result) (*Result, error) {
-	if p.cancelled {
-		return nil, p.ctx.Err()
-	}
 	res.Trace = p.collected
+	if p.cancelled {
+		return res, p.ctx.Err()
+	}
 	return res, nil
 }

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client speaks the service's wire format to a running mshd daemon. The
+// zero HTTP client is fine for short requests; long streamed runs rely on
+// the caller's context for cancellation, so the client sets no global
+// timeout.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a Client for the daemon at base (e.g.
+// "http://localhost:8037").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// Health checks daemon liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/v1/healthz", &struct{}{})
+}
+
+// Algorithms lists the daemon's scheduler registry.
+func (c *Client) Algorithms(ctx context.Context) ([]AlgorithmInfo, error) {
+	var out []AlgorithmInfo
+	err := c.get(ctx, "/v1/algorithms", &out)
+	return out, err
+}
+
+// CreateSession creates a session and returns its info.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (SessionInfo, error) {
+	var out SessionInfo
+	err := c.post(ctx, "/v1/sessions", req, &out)
+	return out, err
+}
+
+// Session fetches one session's info.
+func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
+	var out SessionInfo
+	err := c.get(ctx, "/v1/sessions/"+url.PathEscape(id), &out)
+	return out, err
+}
+
+// ListSessions lists every live session.
+func (c *Client) ListSessions(ctx context.Context) ([]SessionInfo, error) {
+	var out []SessionInfo
+	err := c.get(ctx, "/v1/sessions", &out)
+	return out, err
+}
+
+// DeleteSession tears a session down.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/sessions/"+url.PathEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return respError(resp)
+	}
+	return nil
+}
+
+// Run executes one algorithm in the session and returns its result.
+func (c *Client) Run(ctx context.Context, id string, req RunRequest) (Result, error) {
+	var out Result
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/run", req, &out)
+	return out, err
+}
+
+// RunStream executes one algorithm with streamed progress: onProgress is
+// called for every progress event the daemon emits, and the final result
+// is returned once the run completes.
+func (c *Client) RunStream(ctx context.Context, id string, req RunRequest, onProgress func(ProgressEvent)) (Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Result{}, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/sessions/"+url.PathEscape(id)+"/run?stream=1", bytes.NewReader(body))
+	if err != nil {
+		return Result{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return Result{}, respError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev RunEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return Result{}, fmt.Errorf("serve: bad stream event: %w", err)
+		}
+		switch {
+		case ev.Error != "":
+			return Result{}, fmt.Errorf("serve: run: %s", ev.Error)
+		case ev.Result != nil:
+			return *ev.Result, nil
+		case ev.Progress != nil && onProgress != nil:
+			onProgress(*ev.Progress)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Result{}, err
+	}
+	return Result{}, fmt.Errorf("serve: stream ended without a result event")
+}
+
+// Move evaluates (and optionally commits) one move against the session's
+// pinned base string.
+func (c *Client) Move(ctx context.Context, id string, req MoveRequest) (MoveResponse, error) {
+	var out MoveResponse
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/move", req, &out)
+	return out, err
+}
+
+// Schedule fetches the session's pinned base solution.
+func (c *Client) Schedule(ctx context.Context, id string) (ScheduleResponse, error) {
+	var out ScheduleResponse
+	err := c.get(ctx, "/v1/sessions/"+url.PathEscape(id)+"/schedule", &out)
+	return out, err
+}
+
+// Analysis fetches the schedule analysis of the session's base solution.
+func (c *Client) Analysis(ctx context.Context, id string) (AnalysisResponse, error) {
+	var out AnalysisResponse
+	err := c.get(ctx, "/v1/sessions/"+url.PathEscape(id)+"/analysis", &out)
+	return out, err
+}
+
+// Gantt fetches the text Gantt chart of the session's base solution.
+// width 0 uses the server default.
+func (c *Client) Gantt(ctx context.Context, id string, width int) (string, error) {
+	path := "/v1/sessions/" + url.PathEscape(id) + "/gantt"
+	if width > 0 {
+		path += fmt.Sprintf("?width=%d", width)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", respError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func (c *Client) get(ctx context.Context, path string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(req, dst)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, dst any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.doJSON(req, dst)
+}
+
+func (c *Client) doJSON(req *http.Request, dst any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return respError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// respError converts a non-2xx response into an error, surfacing the
+// service's error envelope when present.
+func respError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var eb ErrorBody
+	if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("serve: %s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+}

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/scheduler"
+)
+
+// maxBodyBytes bounds uploaded request bodies; workload uploads are the
+// largest legitimate payload and stay far below this.
+const maxBodyBytes = 32 << 20
+
+// progressInterval throttles streamed progress events: at most one per
+// interval plus the final iteration, so a tight search loop does not melt
+// the connection. Throttling is observation-only — it cannot change what
+// the algorithm computes.
+const progressInterval = 100 * time.Millisecond
+
+// Server exposes a Manager over HTTP/JSON. Routes:
+//
+//	GET    /v1/healthz                  liveness
+//	GET    /v1/algorithms               registry listing
+//	POST   /v1/sessions                 create a session
+//	GET    /v1/sessions                 list sessions
+//	GET    /v1/sessions/{id}            session info
+//	DELETE /v1/sessions/{id}            tear a session down
+//	POST   /v1/sessions/{id}/run        run an algorithm (?stream=1 → NDJSON)
+//	POST   /v1/sessions/{id}/move       query/commit a move
+//	GET    /v1/sessions/{id}/schedule   pinned base solution
+//	GET    /v1/sessions/{id}/analysis   schedule analysis
+//	GET    /v1/sessions/{id}/gantt      text Gantt chart (?width=N)
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wraps m in an HTTP handler.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/move", s.handleMove)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/analysis", s.handleAnalysis)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/gantt", s.handleGantt)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": s.m.Len()})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	infos := scheduler.Infos()
+	out := make([]AlgorithmInfo, len(infos))
+	for i, info := range infos {
+		out[i] = AlgorithmInfo{Name: info.Name, Kind: info.Kind.String(), Summary: info.Summary}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.m.Create(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.m.Info(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.m.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !queryBool(r, "stream") {
+		res, err := s.m.Run(r.Context(), r.PathValue("id"), req, nil)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+
+	// Streaming: NDJSON, one RunEvent per line — throttled progress
+	// events, then exactly one result or error event. Progress callbacks
+	// arrive from the session's worker goroutine, but only while this
+	// handler is blocked inside Run, so writes never interleave.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	var lastSent time.Time
+	emit := func(ev RunEvent) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, err := s.m.Run(r.Context(), r.PathValue("id"), req, func(p ProgressEvent) {
+		if now := time.Now(); now.Sub(lastSent) >= progressInterval {
+			lastSent = now
+			ev := p
+			emit(RunEvent{Progress: &ev})
+		}
+	})
+	if err != nil {
+		emit(RunEvent{Error: err.Error()})
+		return
+	}
+	emit(RunEvent{Result: &res})
+}
+
+func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	var req MoveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.m.Move(r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	res, err := s.m.Schedule(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	res, err := s.m.Analysis(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
+	width := 0
+	if q := r.URL.Query().Get("width"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, fmt.Errorf("%w: width %q", ErrBadRequest, q))
+			return
+		}
+		width = v
+	}
+	chart, err := s.m.Gantt(r.PathValue("id"), width)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, chart)
+}
+
+// queryBool reads a boolean query parameter: absent, "0" and "false" are
+// off; "1" and "true" (any ParseBool truth) are on.
+func queryBool(r *http.Request, name string) bool {
+	v, err := strconv.ParseBool(r.URL.Query().Get(name))
+	return err == nil && v
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, fmt.Errorf("%w: body: %v", ErrBadRequest, err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, ErrorBody{Error: err.Error()})
+}

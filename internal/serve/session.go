@@ -1,0 +1,635 @@
+// Package serve is the session-pinned batched serving layer: one process
+// pins many (workload, base-string) pairs and answers run, move and
+// analysis queries for concurrent search sessions, reusing the incremental
+// evaluation engine's prefix checkpoints across requests.
+//
+// A Session owns a decoded workload, a pinned schedule.DeltaEvaluator and
+// the best solution seen so far. Every session is backed by one worker
+// goroutine with a request queue, so requests for the same session
+// serialize — preserving the DeltaEvaluator's CommitMove rebase semantics
+// and the service's bit-identical determinism — while distinct sessions
+// run fully in parallel. The Manager owns the session table, an LRU
+// capacity cap, and idle-session eviction.
+//
+// cmd/mshd exposes a Manager over HTTP/JSON (see server.go and wire.go);
+// the Client in client.go and cmd/mshc's -server mode speak the same wire
+// format.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/heuristics"
+	"repro/internal/schedule"
+	"repro/internal/scheduler"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrNotFound marks an unknown session ID (HTTP 404).
+	ErrNotFound = errors.New("session not found")
+	// ErrBadRequest marks an invalid request body or parameter (HTTP 400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrClosed marks requests against a closed Manager or a session torn
+	// down mid-request (HTTP 409).
+	ErrClosed = errors.New("closed")
+)
+
+// DefaultMaxSessions is the Manager's session cap when Options.MaxSessions
+// is zero.
+const DefaultMaxSessions = 64
+
+// Options configures a Manager.
+type Options struct {
+	// MaxSessions caps the number of live sessions; creating one past the
+	// cap evicts the least-recently-used session. 0 = DefaultMaxSessions.
+	MaxSessions int
+	// IdleTimeout evicts sessions with no request activity for this long.
+	// 0 disables idle eviction.
+	IdleTimeout time.Duration
+
+	// now substitutes the clock in tests.
+	now func() time.Time
+}
+
+// Manager owns the session table.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	closed   bool
+
+	evictStop chan struct{}
+	evictDone chan struct{}
+}
+
+// Session is one pinned (workload, base-string) pair with its evaluation
+// state. All mutable scheduling state (delta, best, bestMs) is owned by
+// the session's worker goroutine and touched only inside queued requests;
+// the fields under statMu are the read-side mirror for non-blocking
+// status queries.
+type Session struct {
+	id      string
+	w       *workload.Workload
+	lower   float64
+	created time.Time
+
+	delta  *schedule.DeltaEvaluator
+	best   schedule.String
+	bestMs float64
+
+	statMu sync.Mutex
+	stat   sessionStatus
+
+	// lastUsed and pending are guarded by the Manager's mu.
+	lastUsed time.Time
+	pending  int
+
+	reqs   chan func()
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+type sessionStatus struct {
+	baseMakespan float64
+	bestMakespan float64
+	runs         int
+	commits      int
+}
+
+// NewManager returns a running Manager. Close it to tear every session
+// down.
+func NewManager(opts Options) *Manager {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	m := &Manager{
+		opts:     opts,
+		sessions: make(map[string]*Session),
+	}
+	if opts.IdleTimeout > 0 {
+		m.evictStop = make(chan struct{})
+		m.evictDone = make(chan struct{})
+		go m.evictLoop()
+	}
+	return m
+}
+
+func (m *Manager) evictLoop() {
+	defer close(m.evictDone)
+	interval := m.opts.IdleTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.evictStop:
+			return
+		case <-t.C:
+			m.EvictIdle()
+		}
+	}
+}
+
+// EvictIdle tears down every session whose last activity is older than
+// the idle timeout and which has no request in flight. It returns the IDs
+// evicted. The Manager's background loop calls this periodically;
+// exposing it keeps eviction testable without a real clock.
+func (m *Manager) EvictIdle() []string {
+	if m.opts.IdleTimeout <= 0 {
+		return nil
+	}
+	now := m.opts.now()
+	m.mu.Lock()
+	var victims []*Session
+	for _, s := range m.sessions {
+		if s.pending == 0 && now.Sub(s.lastUsed) > m.opts.IdleTimeout {
+			victims = append(victims, s)
+			delete(m.sessions, s.id)
+		}
+	}
+	m.mu.Unlock()
+	ids := make([]string, 0, len(victims))
+	for _, s := range victims {
+		s.cancel()
+		<-s.done
+		ids = append(ids, s.id)
+	}
+	return ids
+}
+
+// Create builds a session from req's workload source, pins its base
+// string, and returns the session's info. At the session cap, the
+// least-recently-used session is evicted first.
+func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
+	w, err := buildWorkload(req)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	var base schedule.String
+	if req.Initial != "" {
+		base, err = schedule.Parse(req.Initial)
+		if err != nil {
+			return SessionInfo{}, fmt.Errorf("%w: initial solution: %v", ErrBadRequest, err)
+		}
+		if err := schedule.Validate(base, w.Graph, w.System); err != nil {
+			return SessionInfo{}, fmt.Errorf("%w: initial solution: %v", ErrBadRequest, err)
+		}
+	} else {
+		// The best constructive solution is the deterministic default base:
+		// a strong warm start for move queries and FromBase runs.
+		base = heuristics.Best(w.Graph, w.System, 1).Solution
+	}
+
+	now := m.opts.now()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Session{
+		w:        w,
+		lower:    schedule.LowerBound(w.Graph, w.System),
+		created:  now,
+		lastUsed: now,
+		reqs:     make(chan func()),
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return SessionInfo{}, fmt.Errorf("serve: manager %w", ErrClosed)
+	}
+	var victims []*Session
+	for len(m.sessions) >= m.opts.MaxSessions {
+		lru := m.lruLocked()
+		if lru == nil {
+			break
+		}
+		delete(m.sessions, lru.id)
+		victims = append(victims, lru)
+	}
+	m.nextID++
+	s.id = fmt.Sprintf("s%d", m.nextID)
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+
+	for _, v := range victims {
+		v.cancel()
+		<-v.done
+	}
+
+	go s.loop()
+
+	// Pin inside the worker so the DeltaEvaluator is only ever touched on
+	// that goroutine.
+	err = m.do(s.id, func(s *Session) error {
+		s.delta = schedule.NewDeltaEvaluator(s.w.Graph, s.w.System)
+		ms, _ := s.delta.Pin(base)
+		s.best = base.Clone()
+		s.bestMs = ms
+		s.publishStatus()
+		return nil
+	})
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	// Read the info off the session directly: a concurrent LRU/idle
+	// eviction may already have removed it from the table, which must not
+	// turn a successful creation into a not-found error.
+	return s.info(), nil
+}
+
+// lruLocked returns the least-recently-used session, preferring one with
+// no request in flight. Callers hold m.mu.
+func (m *Manager) lruLocked() *Session {
+	var idle, any *Session
+	for _, s := range m.sessions {
+		if any == nil || s.lastUsed.Before(any.lastUsed) {
+			any = s
+		}
+		if s.pending == 0 && (idle == nil || s.lastUsed.Before(idle.lastUsed)) {
+			idle = s
+		}
+	}
+	if idle != nil {
+		return idle
+	}
+	return any
+}
+
+// loop is the session worker: it serializes every request against this
+// session's evaluation state until the session is torn down.
+func (s *Session) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case fn := <-s.reqs:
+			fn()
+		}
+	}
+}
+
+// publishStatus mirrors worker-owned state into the read side. Called only
+// on the worker goroutine.
+func (s *Session) publishStatus() {
+	s.statMu.Lock()
+	s.stat = sessionStatus{
+		baseMakespan: s.delta.BaseMakespan(),
+		bestMakespan: s.bestMs,
+		runs:         s.stat.runs,
+		commits:      s.stat.commits,
+	}
+	s.statMu.Unlock()
+}
+
+// do queues fn on the session's worker and waits for it. Requests for one
+// session execute strictly in submission order; sessions never share a
+// worker, so distinct sessions proceed in parallel.
+func (m *Manager) do(id string, fn func(*Session) error) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("serve: manager %w", ErrClosed)
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+	}
+	s.pending++
+	s.lastUsed = m.opts.now()
+	m.mu.Unlock()
+
+	defer func() {
+		m.mu.Lock()
+		s.pending--
+		s.lastUsed = m.opts.now()
+		m.mu.Unlock()
+	}()
+
+	errc := make(chan error, 1)
+	select {
+	case s.reqs <- func() { errc <- fn(s) }:
+		// Once accepted, fn runs to completion even if the session is
+		// cancelled mid-way: cancellation propagates into the running
+		// scheduler, which returns its best-so-far promptly.
+		return <-errc
+	case <-s.ctx.Done():
+		return fmt.Errorf("serve: session %q %w", id, ErrClosed)
+	}
+}
+
+// Run executes one registry algorithm inside the session and returns its
+// wire Result. onProgress, when non-nil, observes each iteration (from the
+// session's worker goroutine). The run is bounded by req's budget, the
+// caller's ctx, and the session's own lifetime: tearing the session down
+// cancels the run, which still returns its best-so-far (marked Cancelled).
+func (m *Manager) Run(ctx context.Context, id string, req RunRequest, onProgress func(ProgressEvent)) (Result, error) {
+	var out Result
+	err := m.do(id, func(s *Session) error {
+		info, ok := scheduler.Describe(req.Algorithm)
+		if !ok {
+			return fmt.Errorf("%w: unknown algorithm %q (registered: %v)", ErrBadRequest, req.Algorithm, scheduler.Names())
+		}
+		if info.Kind == scheduler.Metaheuristic &&
+			req.MaxIterations <= 0 && req.TimeBudgetMS <= 0 && req.NoImprovement <= 0 {
+			return fmt.Errorf("%w: algorithm %q needs a stopping criterion (max_iterations, time_budget_ms or no_improvement)", ErrBadRequest, req.Algorithm)
+		}
+		opts := []scheduler.Option{
+			scheduler.WithSeed(req.Seed),
+			scheduler.WithWorkers(req.Workers),
+			scheduler.WithBias(req.Bias),
+			scheduler.WithY(req.Y),
+			scheduler.WithPopulation(req.Population),
+		}
+		if req.FullEval {
+			opts = append(opts, scheduler.WithFullEval())
+		}
+		if req.FromBase {
+			opts = append(opts, scheduler.WithInitial(s.delta.Base().Clone()))
+		}
+		sched, err := scheduler.Get(req.Algorithm, opts...)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+
+		// The run stops when the request's context is cancelled (client
+		// gone), when the session is torn down, or when the budget is
+		// exhausted — whichever comes first.
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := context.AfterFunc(s.ctx, cancel)
+		defer stop()
+
+		b := scheduler.Budget{
+			MaxIterations: req.MaxIterations,
+			TimeBudget:    time.Duration(req.TimeBudgetMS * float64(time.Millisecond)),
+			NoImprovement: req.NoImprovement,
+		}
+		if onProgress != nil {
+			b.OnProgress = func(p scheduler.Progress) bool {
+				onProgress(newProgressEvent(p))
+				return true
+			}
+		}
+		res, err := sched.Schedule(runCtx, s.w.Graph, s.w.System, b)
+		cancelled := err != nil
+		if res == nil {
+			// A run cancelled before its first iteration has no best-so-far.
+			// When the cancellation came from session teardown, report the
+			// teardown (409), not a bare context error (500).
+			if s.ctx.Err() != nil {
+				return fmt.Errorf("serve: session %q %w", s.id, ErrClosed)
+			}
+			return err
+		}
+		s.statMu.Lock()
+		s.stat.runs++
+		s.statMu.Unlock()
+		if res.Makespan < s.bestMs {
+			// Re-pin the evaluator on the improved solution: subsequent
+			// move queries and FromBase runs replay from its checkpoints.
+			s.best = res.Best.Clone()
+			s.bestMs = res.Makespan
+			s.delta.Pin(s.best)
+		}
+		s.publishStatus()
+		out = NewResult(req.Algorithm, req.Seed, res, cancelled)
+		return nil
+	})
+	return out, err
+}
+
+// Move evaluates — and on req.Commit adopts — one move against the
+// session's pinned base string, reusing the evaluator's checkpoints
+// instead of re-evaluating the schedule.
+func (m *Manager) Move(id string, req MoveRequest) (MoveResponse, error) {
+	var out MoveResponse
+	err := m.do(id, func(s *Session) error {
+		base := s.delta.Base()
+		n := len(base)
+		if req.Index < 0 || req.Index >= n {
+			return fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadRequest, req.Index, n)
+		}
+		if req.Machine < 0 || req.Machine >= s.w.System.NumMachines() {
+			return fmt.Errorf("%w: machine %d out of range [0,%d)", ErrBadRequest, req.Machine, s.w.System.NumMachines())
+		}
+		pos := make([]int, n)
+		base.Positions(pos)
+		lo, hi := schedule.ValidRange(s.w.Graph, base, pos, req.Index)
+		if req.To < lo || req.To > hi {
+			return fmt.Errorf("%w: position %d violates data dependencies of task s%d (valid range [%d,%d])",
+				ErrBadRequest, req.To, base[req.Index].Task, lo, hi)
+		}
+		baseMs := s.delta.BaseMakespan()
+		ms, tot, _ := s.delta.MoveMakespan(req.Index, req.To, taskgraph.MachineID(req.Machine), schedule.NoBound, schedule.NoBound)
+		out = MoveResponse{
+			Makespan:     ms,
+			Total:        tot,
+			BaseMakespan: baseMs,
+			Improved:     ms < baseMs,
+		}
+		if req.Commit {
+			newMs, _ := s.delta.CommitMove(req.Index, req.To, taskgraph.MachineID(req.Machine))
+			out.Committed = true
+			out.BaseMakespan = newMs
+			s.statMu.Lock()
+			s.stat.commits++
+			s.statMu.Unlock()
+			if newMs < s.bestMs {
+				s.best = s.delta.Base().Clone()
+				s.bestMs = newMs
+			}
+			s.publishStatus()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Schedule returns the session's pinned base solution.
+func (m *Manager) Schedule(id string) (ScheduleResponse, error) {
+	var out ScheduleResponse
+	err := m.do(id, func(s *Session) error {
+		out = ScheduleResponse{
+			Solution: s.delta.Base().Format(),
+			Makespan: s.delta.BaseMakespan(),
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Analysis analyzes the session's pinned base solution.
+func (m *Manager) Analysis(id string) (AnalysisResponse, error) {
+	var out AnalysisResponse
+	err := m.do(id, func(s *Session) error {
+		a := schedule.Analyze(s.w.Graph, s.w.System, s.delta.Base())
+		out = AnalysisResponse{Analysis: a, Report: a.Report()}
+		return nil
+	})
+	return out, err
+}
+
+// Gantt renders the session's pinned base solution as a text Gantt chart.
+func (m *Manager) Gantt(id string, width int) (string, error) {
+	var out string
+	err := m.do(id, func(s *Session) error {
+		out = schedule.Gantt(s.w.Graph, s.w.System, s.delta.Base(), width)
+		return nil
+	})
+	return out, err
+}
+
+// Info returns the session's current status. Unlike the evaluation
+// endpoints it does not queue behind in-flight runs: status reads come
+// from the session's published mirror.
+func (m *Manager) Info(id string) (SessionInfo, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+	}
+	return s.info(), nil
+}
+
+func (s *Session) info() SessionInfo {
+	s.statMu.Lock()
+	st := s.stat
+	s.statMu.Unlock()
+	return SessionInfo{
+		ID:           s.id,
+		Workload:     s.w.Name,
+		Tasks:        s.w.Graph.NumTasks(),
+		Machines:     s.w.System.NumMachines(),
+		Items:        s.w.Graph.NumItems(),
+		LowerBound:   s.lower,
+		BaseMakespan: st.baseMakespan,
+		BestMakespan: st.bestMakespan,
+		Runs:         st.runs,
+		Commits:      st.commits,
+		Created:      s.created.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// List returns every live session's info, sorted by ID.
+func (m *Manager) List() []SessionInfo {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]SessionInfo, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.info()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Delete tears one session down: its context is cancelled (stopping any
+// in-flight run at the next iteration boundary) and its worker drained.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+	}
+	s.cancel()
+	<-s.done
+	return nil
+}
+
+// Close tears every session down and stops the eviction loop. The Manager
+// accepts no requests afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.sessions = map[string]*Session{}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.cancel()
+		<-s.done
+	}
+	if m.evictStop != nil {
+		close(m.evictStop)
+		<-m.evictDone
+	}
+}
+
+// buildWorkload resolves a CreateSessionRequest's workload source.
+func buildWorkload(req CreateSessionRequest) (*workload.Workload, error) {
+	sources := 0
+	if len(req.Workload) > 0 {
+		sources++
+	}
+	if req.Preset != "" {
+		sources++
+	}
+	if req.Params != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("%w: provide exactly one of workload, preset or params (got %d)", ErrBadRequest, sources)
+	}
+	switch {
+	case len(req.Workload) > 0:
+		w, err := workload.Decode(bytes.NewReader(req.Workload))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return w, nil
+	case req.Preset != "":
+		w, err := workload.Preset(req.Preset)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return w, nil
+	default:
+		w, err := workload.Generate(*req.Params)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return w, nil
+	}
+}

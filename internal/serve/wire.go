@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// This file is the wire schema of the scheduling service: every request
+// and response body exchanged between cmd/mshd, the Go Client, and
+// cmd/mshc's -json output. Solutions travel in the paper's visual layout
+// (schedule.String.Format / schedule.Parse), so they round-trip exactly;
+// makespans travel as JSON float64, which encoding/json round-trips
+// bit-for-bit. Together those two facts are what lets the service promise
+// bit-identical results to offline runs.
+
+// ErrorBody is the JSON envelope of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// CreateSessionRequest creates a session from exactly one workload source:
+// an uploaded workload document (the wlgen/workload.Encode schema), a
+// named deterministic preset, or explicit generator parameters.
+type CreateSessionRequest struct {
+	// Workload is an inline workload JSON document (see workload.Encode).
+	Workload json.RawMessage `json:"workload,omitempty"`
+	// Preset names a deterministic built-in workload (workload.Preset).
+	Preset string `json:"preset,omitempty"`
+	// Params generates a workload from explicit parameters.
+	Params *workload.Params `json:"params,omitempty"`
+	// Initial optionally pins this solution as the session's base string
+	// (schedule.Parse syntax). Empty pins the best constructive solution.
+	Initial string `json:"initial,omitempty"`
+}
+
+// SessionInfo describes one live session.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Tasks    int    `json:"tasks"`
+	Machines int    `json:"machines"`
+	Items    int    `json:"items"`
+	// LowerBound is the contention-free critical-path bound.
+	LowerBound float64 `json:"lower_bound"`
+	// BaseMakespan is the makespan of the currently pinned base string —
+	// the state move queries are answered against.
+	BaseMakespan float64 `json:"base_makespan"`
+	// BestMakespan is the best makespan any run or committed move in this
+	// session has reached.
+	BestMakespan float64 `json:"best_makespan"`
+	// Runs counts completed algorithm runs; Commits counts committed moves.
+	Runs    int    `json:"runs"`
+	Commits int    `json:"commits"`
+	Created string `json:"created"` // RFC 3339
+}
+
+// RunRequest runs one registry algorithm inside a session. Metaheuristics
+// need at least one stopping criterion; constructive heuristics ignore all
+// three.
+type RunRequest struct {
+	// Algorithm is a scheduler registry name ("se", "ga", "heft", …).
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed,omitempty"`
+
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// TimeBudgetMS is a float so that sub-millisecond budgets survive the
+	// wire exactly as cmd/mshc's -budget flag expresses them.
+	TimeBudgetMS  float64 `json:"time_budget_ms,omitempty"`
+	NoImprovement int     `json:"no_improvement,omitempty"`
+
+	// Algorithm tunables, mirroring cmd/mshc's flags.
+	Bias       float64 `json:"bias,omitempty"`
+	Y          int     `json:"y,omitempty"`
+	Population int     `json:"population,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	FullEval   bool    `json:"full_eval,omitempty"`
+
+	// FromBase seeds the run with the session's pinned base string, making
+	// successive runs iterative instead of independent.
+	FromBase bool `json:"from_base,omitempty"`
+}
+
+// Result is the uniform wire form of a scheduler.Result — the same schema
+// whether it came over HTTP from mshd or from an offline `mshc -json` run.
+type Result struct {
+	Algorithm        string  `json:"algorithm"`
+	Seed             int64   `json:"seed"`
+	Makespan         float64 `json:"makespan"`
+	Solution         string  `json:"solution"`
+	Iterations       int     `json:"iterations"`
+	Evaluations      uint64  `json:"evaluations"`
+	DeltaEvaluations uint64  `json:"delta_evaluations"`
+	GenesEvaluated   uint64  `json:"genes_evaluated"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+	// Cancelled marks a best-so-far result from a run stopped by session
+	// teardown or client disconnect.
+	Cancelled bool `json:"cancelled,omitempty"`
+}
+
+// NewResult converts a scheduler.Result to its wire form.
+func NewResult(algorithm string, seed int64, res *scheduler.Result, cancelled bool) Result {
+	return Result{
+		Algorithm:        algorithm,
+		Seed:             seed,
+		Makespan:         res.Makespan,
+		Solution:         res.Best.Format(),
+		Iterations:       res.Iterations,
+		Evaluations:      res.Evaluations,
+		DeltaEvaluations: res.DeltaEvaluations,
+		GenesEvaluated:   res.GenesEvaluated,
+		ElapsedMS:        float64(res.Elapsed) / float64(time.Millisecond),
+		Cancelled:        cancelled,
+	}
+}
+
+// ProgressEvent is one streamed iteration observation of a running
+// algorithm (scheduler.Progress on the wire).
+type ProgressEvent struct {
+	Iteration int     `json:"iteration"`
+	Current   float64 `json:"current"`
+	Best      float64 `json:"best"`
+	Selected  int     `json:"selected,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func newProgressEvent(p scheduler.Progress) ProgressEvent {
+	return ProgressEvent{
+		Iteration: p.Iteration,
+		Current:   p.Current,
+		Best:      p.Best,
+		Selected:  p.Selected,
+		ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// RunEvent is one line of a streamed run response (NDJSON): zero or more
+// progress events, then exactly one result or error event.
+type RunEvent struct {
+	Progress *ProgressEvent `json:"progress,omitempty"`
+	Result   *Result        `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// MoveRequest evaluates — and optionally commits — one move against the
+// session's pinned base string: the gene at Index is moved to position To
+// (valid-range coordinates, see schedule.ValidRange) on Machine.
+type MoveRequest struct {
+	Index   int  `json:"index"`
+	To      int  `json:"to"`
+	Machine int  `json:"machine"`
+	Commit  bool `json:"commit,omitempty"`
+}
+
+// MoveResponse reports the evaluated move. Makespan and Total are the
+// moved string's schedule length and summed finish times; BaseMakespan is
+// the pinned base's makespan after the request (changed only by a commit).
+type MoveResponse struct {
+	Makespan     float64 `json:"makespan"`
+	Total        float64 `json:"total"`
+	BaseMakespan float64 `json:"base_makespan"`
+	Committed    bool    `json:"committed"`
+	// Improved reports whether the move beat the base it was evaluated
+	// against.
+	Improved bool `json:"improved"`
+}
+
+// ScheduleResponse is the session's pinned base solution.
+type ScheduleResponse struct {
+	Solution string  `json:"solution"`
+	Makespan float64 `json:"makespan"`
+}
+
+// AnalysisResponse wraps schedule.Analyze output for the wire: the full
+// structured analysis plus the human-readable report block.
+type AnalysisResponse struct {
+	Analysis schedule.Analysis `json:"analysis"`
+	Report   string            `json:"report"`
+}
+
+// AlgorithmInfo is one registry entry (scheduler.Info on the wire).
+type AlgorithmInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Summary string `json:"summary"`
+}

@@ -51,14 +51,30 @@ func Encode(wr io.Writer, w *Workload) error {
 }
 
 // Decode reads a Workload previously written by Encode (or hand-authored in
-// the same schema) and re-validates the model.
+// the same schema) and re-validates the model. It is the entry point for
+// untrusted input — the serving layer (internal/serve) accepts uploaded
+// workloads — so every structural fault must surface as an error, never a
+// panic: task references, matrix shapes and cost signs are all checked
+// here or by the graph/platform constructors Decode defers to.
 func Decode(r io.Reader) (*Workload, error) {
+	dec := json.NewDecoder(r)
 	var ff fileFormat
-	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+	if err := dec.Decode(&ff); err != nil {
 		return nil, fmt.Errorf("workload: decode: %w", err)
 	}
 	if len(ff.Tasks) == 0 {
 		return nil, fmt.Errorf("workload: decode: no tasks")
+	}
+	if len(ff.Exec) == 0 {
+		return nil, fmt.Errorf("workload: decode: no machines (empty exec matrix)")
+	}
+	for i, it := range ff.Items {
+		if it.Producer < 0 || it.Producer >= len(ff.Tasks) {
+			return nil, fmt.Errorf("workload: decode: item %d: producer %d references no task (have %d tasks)", i, it.Producer, len(ff.Tasks))
+		}
+		if it.Consumer < 0 || it.Consumer >= len(ff.Tasks) {
+			return nil, fmt.Errorf("workload: decode: item %d: consumer %d references no task (have %d tasks)", i, it.Consumer, len(ff.Tasks))
+		}
 	}
 	b := taskgraph.NewBuilder(len(ff.Tasks))
 	for _, name := range ff.Tasks {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -122,5 +123,130 @@ func TestDecodeRejectsBadMatrix(t *testing.T) {
 	_, err := Decode(strings.NewReader(src))
 	if err == nil {
 		t.Error("Decode accepted ragged exec matrix")
+	}
+}
+
+// --- untrusted-upload error paths (the serving layer decodes uploads) ---
+
+func TestDecodeRejectsTruncatedInput(t *testing.T) {
+	w := MustGenerate(Params{Tasks: 12, Machines: 4, Connectivity: 2, Heterogeneity: 4, CCR: 0.5, Seed: 3})
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	full := buf.String()
+	// Cut the document at several points, including mid-token and just
+	// before the closing brace; every truncation must fail cleanly.
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+		cut := int(float64(len(full)) * frac)
+		if _, err := Decode(strings.NewReader(full[:cut])); err == nil {
+			t.Errorf("Decode accepted input truncated to %d/%d bytes", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownTaskReferences(t *testing.T) {
+	for _, tc := range []struct {
+		name, items string
+	}{
+		{"producer-too-big", `[{"producer": 7, "consumer": 1, "size": 1}]`},
+		{"consumer-too-big", `[{"producer": 0, "consumer": 9, "size": 1}]`},
+		{"producer-negative", `[{"producer": -1, "consumer": 1, "size": 1}]`},
+		{"consumer-negative", `[{"producer": 0, "consumer": -3, "size": 1}]`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := `{"name":"x","tasks":["a","b"],"items":` + tc.items + `,"exec":[[1,1]],"transfer":[]}`
+			_, err := Decode(strings.NewReader(src))
+			if err == nil || !strings.Contains(err.Error(), "references no task") {
+				t.Errorf("Decode: err = %v, want unknown-task-reference error", err)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsNegativeCosts(t *testing.T) {
+	t.Run("exec", func(t *testing.T) {
+		src := `{"name":"x","tasks":["a","b"],"items":[],"exec":[[1,-2]],"transfer":[]}`
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Error("Decode accepted a negative execution time")
+		}
+	})
+	t.Run("transfer", func(t *testing.T) {
+		src := `{
+			"name": "x", "tasks": ["a", "b"],
+			"items": [{"producer": 0, "consumer": 1, "size": 1}],
+			"exec": [[1, 1], [2, 2]],
+			"transfer": [[-5]]
+		}`
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Error("Decode accepted a negative transfer time")
+		}
+	})
+	t.Run("item-size", func(t *testing.T) {
+		src := `{
+			"name": "x", "tasks": ["a", "b"],
+			"items": [{"producer": 0, "consumer": 1, "size": -1}],
+			"exec": [[1, 1], [2, 2]],
+			"transfer": [[5]]
+		}`
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Error("Decode accepted a non-positive item size")
+		}
+	})
+}
+
+func TestDecodeRejectsWrongTransferShape(t *testing.T) {
+	// Two machines → one pair row; a three-row transfer matrix references
+	// machine pairs that do not exist.
+	src := `{
+		"name": "x", "tasks": ["a", "b"],
+		"items": [{"producer": 0, "consumer": 1, "size": 1}],
+		"exec": [[1, 1], [2, 2]],
+		"transfer": [[1], [1], [1]]
+	}`
+	if _, err := Decode(strings.NewReader(src)); err == nil {
+		t.Error("Decode accepted a transfer matrix with the wrong pair count")
+	}
+}
+
+func TestDecodeRejectsEmptyExec(t *testing.T) {
+	src := `{"name":"x","tasks":["a"],"items":[],"exec":[],"transfer":[]}`
+	_, err := Decode(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "no machines") {
+		t.Errorf("Decode: err = %v, want no-machines error", err)
+	}
+}
+
+// TestJSONRoundTripProperty encodes and re-decodes randomly generated
+// workloads across the generator's parameter space and requires the
+// reconstruction to be exact — the serving layer's session-creation path
+// is Decode∘Encode, so any loss here would silently change makespans.
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		p := Params{
+			Tasks:         1 + rng.Intn(40),
+			Machines:      1 + rng.Intn(10),
+			Connectivity:  rng.Float64() * 4,
+			Heterogeneity: 1 + rng.Float64()*15,
+			CCR:           rng.Float64(),
+			Seed:          rng.Int63n(1 << 30),
+		}
+		w, err := Generate(p)
+		if err != nil {
+			t.Fatalf("trial %d: Generate(%+v): %v", trial, p, err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, w); err != nil {
+			t.Fatalf("trial %d: Encode: %v", trial, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: Decode: %v", trial, err)
+		}
+		assertWorkloadsEqual(t, w, got)
+		if got.Params != w.Params {
+			t.Errorf("trial %d: Params = %+v, want %+v", trial, got.Params, w.Params)
+		}
 	}
 }

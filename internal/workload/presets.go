@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// presets are the named workload classes the serving layer (internal/serve)
+// exposes, so a session can be created without uploading a workload file.
+// Every preset is deterministic: the same name always yields the same
+// workload, which is what the service's determinism contract requires.
+//
+// "figure1" is the paper's worked example; the generated presets cover the
+// paper's scale range with its qualitative workload classes (§5).
+var presets = map[string]func() *Workload{
+	"figure1": Figure1,
+	"small": func() *Workload {
+		return MustGenerate(Params{
+			Tasks: 24, Machines: 5,
+			Connectivity: LowConnectivity, Heterogeneity: MediumHeterogeneity,
+			CCR: LowCCR, Seed: 1,
+		})
+	},
+	"medium": func() *Workload {
+		return MustGenerate(Params{
+			Tasks: 60, Machines: 12,
+			Connectivity: HighConnectivity, Heterogeneity: MediumHeterogeneity,
+			CCR: 0.5, Seed: 1,
+		})
+	},
+	"large": func() *Workload {
+		return MustGenerate(Params{
+			Tasks: 100, Machines: 20,
+			Connectivity: HighConnectivity, Heterogeneity: HighHeterogeneity,
+			CCR: HighCCR, Seed: 1,
+		})
+	},
+}
+
+// Preset returns the named deterministic workload. Unknown names return an
+// error listing every preset.
+func Preset(name string) (*Workload, error) {
+	build, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown preset %q (presets: %v)", name, PresetNames())
+	}
+	return build(), nil
+}
+
+// PresetNames returns every preset name, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+func TestPresetNamesAllBuild(t *testing.T) {
+	names := PresetNames()
+	if len(names) == 0 {
+		t.Fatal("no presets registered")
+	}
+	for _, name := range names {
+		w, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if w.Graph.NumTasks() < 1 || w.System.NumMachines() < 1 {
+			t.Errorf("Preset(%q) = %s, want non-empty workload", name, w)
+		}
+	}
+}
+
+func TestPresetDeterministic(t *testing.T) {
+	for _, name := range PresetNames() {
+		a, _ := Preset(name)
+		b, _ := Preset(name)
+		if a.Graph.NumTasks() != b.Graph.NumTasks() || a.Graph.NumItems() != b.Graph.NumItems() {
+			t.Fatalf("Preset(%q) shape differs across calls", name)
+		}
+		ae, be := a.System.ExecMatrix(), b.System.ExecMatrix()
+		for m := range ae {
+			for k := range ae[m] {
+				if ae[m][k] != be[m][k] {
+					t.Fatalf("Preset(%q) exec[%d][%d] differs across calls", name, m, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPresetUnknownName(t *testing.T) {
+	if _, err := Preset("no-such-preset"); err == nil {
+		t.Error("Preset accepted an unknown name")
+	}
+}
