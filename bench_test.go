@@ -23,6 +23,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/sa"
 	"repro/internal/schedule"
+	"repro/internal/scheduler"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -305,6 +306,48 @@ func BenchmarkAllocationWorkers(b *testing.B) {
 				total += res.Iterations
 			}
 			b.ReportMetric(float64(total)/float64(b.N), "iters/300ms")
+		})
+	}
+}
+
+// BenchmarkShardedVsSerialAllocation measures the sharding speedup README
+// "Scaling" reports: serial se against se-shard at equal generation
+// budgets on the 500-task xlarge preset (22 levels → 6 level-band
+// regions). Metrics are wall-clock ms per run and the final makespan;
+// TestShardedAllocationBeatsSerialWallClock enforces the ≥1.5× claim.
+func BenchmarkShardedVsSerialAllocation(b *testing.B) {
+	w, err := workload.Preset("xlarge")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const iters = 25
+	for _, tc := range []struct {
+		name   string
+		shards int // 0 = serial se
+	}{
+		{"serial", 0},
+		{"shards-4", 4},
+		{"shards-6", 6},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var (
+					res *scheduler.Result
+					err error
+				)
+				if tc.shards == 0 {
+					res, err = scheduler.MustGet("se", scheduler.WithSeed(1), scheduler.WithY(4)).
+						Schedule(context.Background(), w.Graph, w.System, scheduler.Budget{MaxIterations: iters})
+				} else {
+					res, err = scheduler.MustGet("se-shard", scheduler.WithSeed(1), scheduler.WithY(4),
+						scheduler.WithShards(tc.shards)).
+						Schedule(context.Background(), w.Graph, w.System, scheduler.Budget{MaxIterations: iters})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Makespan, "makespan")
+			}
 		})
 	}
 }

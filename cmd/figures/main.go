@@ -33,6 +33,7 @@ func main() {
 		budget   = flag.Duration("budget", 0, "override wall-clock budget (figures 5–7)")
 		seed     = flag.Int64("seed", 0, "override seed")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		shards   = flag.Int("shards", 0, "se-shard DAG region count when raced via -algos (0 = default)")
 		csvDir   = flag.String("csv", "", "directory to write one CSV per figure")
 		width    = flag.Int("width", 72, "chart width")
 		height   = flag.Int("height", 20, "chart height")
@@ -66,6 +67,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	cfg.Shards = *shards
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}

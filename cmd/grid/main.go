@@ -42,6 +42,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "small fast grid (40 tasks, 8 machines, 300ms, 2 trials)")
 		seed     = flag.Int64("seed", 1, "base seed")
 		algos    = flag.String("algos", "se,ga", "comma-separated registered algorithms (see -list-algos)")
+		shards   = flag.Int("shards", 0, "se-shard DAG region count (0 = default)")
 		list     = flag.Bool("list-algos", false, "list registered algorithms and exit")
 	)
 	flag.Parse()
@@ -84,7 +85,7 @@ func main() {
 		for _, h := range heterogeneities {
 			for _, r := range ccrs {
 				cell := fmt.Sprintf("%s+%s+%s", c.name, h.name, r.name)
-				means, err := runCell(names, *tasks, *machines, c.value, h.value, r.value, *budget, *trials, *seed)
+				means, err := runCell(names, *tasks, *machines, c.value, h.value, r.value, *budget, *trials, *seed, *shards)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "grid:", err)
 					os.Exit(1)
@@ -116,7 +117,7 @@ func main() {
 	}
 }
 
-func runCell(names []string, tasks, machines int, conn, het, ccr float64, budget time.Duration, trials int, baseSeed int64) ([]float64, error) {
+func runCell(names []string, tasks, machines int, conn, het, ccr float64, budget time.Duration, trials int, baseSeed int64, shards int) ([]float64, error) {
 	run := func(name string, seed int64) (float64, error) {
 		w, err := workload.Generate(workload.Params{
 			Tasks:         tasks,
@@ -129,7 +130,7 @@ func runCell(names []string, tasks, machines int, conn, het, ccr float64, budget
 		if err != nil {
 			return 0, err
 		}
-		s, err := scheduler.Get(name, experiments.TunedOptions(name, machines, seed, 0)...)
+		s, err := scheduler.Get(name, experiments.TunedOptions(name, machines, seed, 0, shards)...)
 		if err != nil {
 			return 0, err
 		}

@@ -1,9 +1,9 @@
 // Command mshc matches and schedules a workload onto a heterogeneous
 // machine suite using any scheduler in the registry: the paper's
-// simulated evolution (se), the GA baseline of Wang et al. (ga),
-// simulated annealing (sa), tabu search (tabu), the constructive
-// heuristics (heft, cpop, minmin, maxmin, sufferage, mct, random), or
-// all of them.
+// simulated evolution (se, plus the se-ils and sharded se-shard
+// variants), the GA baseline of Wang et al. (ga), simulated annealing
+// (sa), tabu search (tabu), the constructive heuristics (heft, cpop,
+// minmin, maxmin, sufferage, mct, random), or all of them.
 //
 // Runs execute in-process by default; with -server they execute inside a
 // session of a running mshd daemon, over the same wire schema -json
@@ -13,7 +13,9 @@
 // Usage:
 //
 //	mshc -list-algos
+//	mshc -list-presets
 //	mshc -algo se -iters 1000 -workload w.json
+//	mshc -algo se-shard -shards 6 -preset xlarge -iters 50
 //	mshc -algo heft -figure1
 //	mshc -algo all -figure1
 //	mshc -algo ga -budget 5s -workload w.json -v
@@ -40,22 +42,25 @@ import (
 
 func main() {
 	var (
-		path    = flag.String("workload", "", "workload JSON file (see wlgen)")
-		figure1 = flag.Bool("figure1", false, "use the paper's Figure-1 example workload")
-		algo    = flag.String("algo", "se", "registered algorithm name, or \"all\" (see -list-algos)")
-		list    = flag.Bool("list-algos", false, "list registered algorithms and exit")
-		iters   = flag.Int("iters", 1000, "iteration/generation/block budget")
-		budget  = flag.Duration("budget", 0, "wall-clock budget (overrides -iters when set)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		bias    = flag.Float64("bias", 0, "SE selection bias B (paper: -0.3…-0.1 small problems, 0…0.1 large)")
-		yParam  = flag.Int("y", 0, "SE Y parameter: candidate machines per task (0 = all)")
-		pop     = flag.Int("pop", 0, "GA population size (0 = default 50)")
-		workers = flag.Int("workers", 0, "parallel workers for SE allocation / GA fitness (0 = serial)")
-		full    = flag.Bool("full-eval", false, "disable the incremental evaluation engine (identical results, more work)")
-		jsonOut = flag.Bool("json", false, "emit only a JSON array of results in the service wire schema (internal/serve)")
-		server  = flag.String("server", "", "run inside a session of the mshd daemon at this URL instead of in-process")
-		verbose = flag.Bool("v", false, "print the full schedule and evaluation counts")
-		gantt   = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
+		path        = flag.String("workload", "", "workload JSON file (see wlgen)")
+		figure1     = flag.Bool("figure1", false, "use the paper's Figure-1 example workload")
+		preset      = flag.String("preset", "", "named built-in workload (see -list-presets)")
+		algo        = flag.String("algo", "se", "registered algorithm name, or \"all\" (see -list-algos)")
+		list        = flag.Bool("list-algos", false, "list registered algorithms and exit")
+		listPresets = flag.Bool("list-presets", false, "list built-in workload presets and exit")
+		iters       = flag.Int("iters", 1000, "iteration/generation/block budget")
+		budget      = flag.Duration("budget", 0, "wall-clock budget (overrides -iters when set)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		bias        = flag.Float64("bias", 0, "SE selection bias B (paper: -0.3…-0.1 small problems, 0…0.1 large)")
+		yParam      = flag.Int("y", 0, "SE Y parameter: candidate machines per task (0 = all)")
+		pop         = flag.Int("pop", 0, "GA population size (0 = default 50)")
+		workers     = flag.Int("workers", 0, "parallel workers for SE allocation / GA fitness (0 = serial); for se-shard, caps concurrent region sweeps (0 = no cap)")
+		shards      = flag.Int("shards", 0, "se-shard DAG region count (0 = default 4, clamped to DAG depth)")
+		full        = flag.Bool("full-eval", false, "disable the incremental evaluation engine (identical results, more work)")
+		jsonOut     = flag.Bool("json", false, "emit only a JSON array of results in the service wire schema (internal/serve)")
+		server      = flag.String("server", "", "run inside a session of the mshd daemon at this URL instead of in-process")
+		verbose     = flag.Bool("v", false, "print the full schedule and evaluation counts")
+		gantt       = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
 	)
 	flag.Parse()
 
@@ -63,8 +68,12 @@ func main() {
 		fmt.Print(scheduler.List())
 		return
 	}
+	if *listPresets {
+		fmt.Print(presetList())
+		return
+	}
 
-	w, err := loadWorkload(*path, *figure1)
+	w, err := loadWorkload(*path, *figure1, *preset)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,6 +96,7 @@ func main() {
 			Y:          *yParam,
 			Population: *pop,
 			Workers:    *workers,
+			Shards:     *shards,
 			FullEval:   *full,
 		}
 		if *budget > 0 {
@@ -148,6 +158,7 @@ func runLocal(w *workload.Workload, runs []serve.RunRequest) ([]serve.Result, er
 			scheduler.WithBias(req.Bias),
 			scheduler.WithY(req.Y),
 			scheduler.WithPopulation(req.Population),
+			scheduler.WithShards(req.Shards),
 		}
 		if req.FullEval {
 			opts = append(opts, scheduler.WithFullEval())
@@ -208,10 +219,12 @@ func elapsed(r serve.Result) time.Duration {
 	return time.Duration(r.ElapsedMS * float64(time.Millisecond))
 }
 
-func loadWorkload(path string, figure1 bool) (*workload.Workload, error) {
+func loadWorkload(path string, figure1 bool, preset string) (*workload.Workload, error) {
 	switch {
 	case figure1:
 		return workload.Figure1(), nil
+	case preset != "":
+		return workload.Preset(preset)
 	case path != "":
 		f, err := os.Open(path)
 		if err != nil {
@@ -220,8 +233,24 @@ func loadWorkload(path string, figure1 bool) (*workload.Workload, error) {
 		defer f.Close()
 		return workload.Decode(f)
 	default:
-		return nil, fmt.Errorf("provide -workload FILE or -figure1")
+		return nil, fmt.Errorf("provide -workload FILE, -preset NAME or -figure1")
 	}
+}
+
+// presetList renders the built-in presets as a table generated from the
+// presets map itself, so this output — and the README table a root test
+// checks against it — cannot drift from the code.
+func presetList() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %9s %6s\n", "name", "tasks", "machines", "items")
+	for _, name := range workload.PresetNames() {
+		w, err := workload.Preset(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %6d %9d %6d\n", name, w.Graph.NumTasks(), w.System.NumMachines(), w.Graph.NumItems())
+	}
+	return b.String()
 }
 
 func printSchedule(w *workload.Workload, s schedule.String) {

@@ -14,6 +14,11 @@
 // tabu-search extensions, and a figure-reproduction harness covering the
 // paper's entire evaluation section. All algorithms implement one common
 // Scheduler interface and are discovered through a name-keyed registry.
+// Beyond the paper, the repository scales the heuristic up: an
+// incremental evaluation engine answers candidate moves by checkpointed
+// suffix replay, a sharded runner partitions large DAGs into
+// weakly-coupled regions swept in parallel, and a session-pinned serving
+// layer exposes it all as a long-lived HTTP service (see DESIGN.md).
 //
 // Package layout:
 //
@@ -22,6 +27,7 @@
 //	internal/schedule    solution encoding + full and incremental evaluators
 //	internal/workload    workload generator + the paper's Figure-1 example
 //	internal/core        the SE scheduler (the paper's contribution)
+//	internal/shard       DAG region partitioning + parallel sharded SE
 //	internal/ga          the Wang et al. GA baseline
 //	internal/heuristics  HEFT, CPOP, Min-Min, Max-Min, Sufferage, MCT, random
 //	internal/sa          simulated-annealing extension

@@ -1,0 +1,77 @@
+// Doc-sync guards: the README's preset table and algorithm lists are
+// hand-written prose, so these tests regenerate the same facts from the
+// code (the presets map, the scheduler registry) and fail when the two
+// drift — the documentation equivalent of a golden test.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+func readme(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md: %v", err)
+	}
+	return string(b)
+}
+
+// TestReadmePresetTableMatchesCode parses the README preset table and
+// asserts it lists exactly workload.PresetNames() with the true task,
+// machine and item counts — the same numbers `mshc -list-presets`
+// generates from the presets map.
+func TestReadmePresetTableMatchesCode(t *testing.T) {
+	md := readme(t)
+	row := regexp.MustCompile("(?m)^\\| `([a-z0-9]+)` \\| (\\d+) \\| (\\d+) \\| (\\d+) \\|$")
+	documented := map[string][3]int{}
+	for _, m := range row.FindAllStringSubmatch(md, -1) {
+		tasks, _ := strconv.Atoi(m[2])
+		machines, _ := strconv.Atoi(m[3])
+		items, _ := strconv.Atoi(m[4])
+		documented[m[1]] = [3]int{tasks, machines, items}
+	}
+	names := workload.PresetNames()
+	if len(documented) != len(names) {
+		t.Errorf("README documents %d presets, code has %d (%v)", len(documented), len(names), names)
+	}
+	for _, name := range names {
+		got, ok := documented[name]
+		if !ok {
+			t.Errorf("preset %q missing from the README table", name)
+			continue
+		}
+		w, err := workload.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := [3]int{w.Graph.NumTasks(), w.System.NumMachines(), w.Graph.NumItems()}
+		if got != want {
+			t.Errorf("README row for %q = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestReadmeListsEveryRegisteredAlgorithm: each registry name must appear
+// in the README as inline code, and the "N registered algorithms" blurb
+// must state the real count.
+func TestReadmeListsEveryRegisteredAlgorithm(t *testing.T) {
+	md := readme(t)
+	for _, name := range scheduler.Names() {
+		if !strings.Contains(md, "`"+name+"`") {
+			t.Errorf("algorithm %q not mentioned in README", name)
+		}
+	}
+	count := fmt.Sprintf("%d registered algorithms", len(scheduler.Names()))
+	if !strings.Contains(md, count) {
+		t.Errorf("README does not state %q — the registry blurb drifted", count)
+	}
+}

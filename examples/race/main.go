@@ -53,7 +53,7 @@ func main() {
 	}
 	var contenders []runner.Contender
 	for _, name := range names {
-		s, err := scheduler.Get(name, experiments.TunedOptions(name, *machines, *seed, 0)...)
+		s, err := scheduler.Get(name, experiments.TunedOptions(name, *machines, *seed, 0, 0)...)
 		if err != nil {
 			log.Fatal(err)
 		}

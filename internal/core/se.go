@@ -259,6 +259,25 @@ func (e *engine) allocate() {
 	}
 }
 
+// BestMove is SE's allocation scan (§4.5) over the incremental engine,
+// exported for the sharded boundary-reconciliation pass (internal/shard),
+// which re-places cross-region tasks with exactly the move-selection
+// semantics the serial allocation uses: d is pinned on cur, every
+// (position, machine) candidate in [lo, hi] × machines is evaluated by
+// checkpointed suffix replay, and the winner under the lexicographic
+// (makespan, total, q, machine-rank) key is returned.
+func BestMove(d *schedule.DeltaEvaluator, cur schedule.String, idx, lo, hi int, machines []taskgraph.MachineID) (ms float64, q, mi int) {
+	return bestMoveDelta(d, cur, idx, lo, hi, machines)
+}
+
+// BestMoveFull is BestMove over full left-to-right evaluation — the
+// ablation twin internal/shard uses under Options.FullEval. buf is
+// scratch of length len(cur) that must not alias cur. Both scans rank
+// candidates under the same total key, so they pick identical winners.
+func BestMoveFull(eval *schedule.Evaluator, cur, buf schedule.String, idx, lo, hi int, machines []taskgraph.MachineID) (ms float64, q, mi int) {
+	return bestMoveSerial(eval, cur, buf, idx, lo, hi, machines)
+}
+
 // bestMoveSerial scans all (position, machine) combinations in ascending
 // (q, machine-rank) order and returns the first combination minimizing
 // (makespan, total finish time): candidates off the critical path tie on

@@ -1,8 +1,9 @@
 // Package experiments reproduces every figure of the paper's evaluation
 // (§5). Each FigNN function regenerates one figure's data as named series
 // plus machine-checked notes on the qualitative claim the paper makes
-// about that figure. cmd/figures renders them; bench_test.go wraps them as
-// benchmarks; EXPERIMENTS.md records paper-vs-measured outcomes.
+// about that figure. cmd/figures renders them; the benchmarks in the
+// repository root's bench_test.go wrap them so their output doubles as
+// the reproduction record.
 //
 // The paper reports no absolute numbers (its evaluation is seven plots on
 // unpublished random workloads), so reproduction here means matching the
@@ -34,6 +35,9 @@ type Config struct {
 	// Workers parallelizes SE allocation and GA fitness evaluation
 	// (0/1 = serial).
 	Workers int
+	// Shards is se-shard's requested DAG region count when it races
+	// (0 = shard.DefaultShards).
+	Shards int
 	// Algos names the registered schedulers raced in Figures 5–7
 	// (scheduler.Names() lists them). Empty means the paper's pairing,
 	// SE vs GA.

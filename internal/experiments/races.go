@@ -35,10 +35,10 @@ func Fig7(cfg Config) (Figure, error) {
 }
 
 // TunedOptions returns one algorithm's paper-tuned comparison
-// configuration for a given machine count: the shared seed and worker
-// count, plus the parameters the paper names. It is the single source of
-// this tuning for the figure races, cmd/grid and the examples.
-func TunedOptions(name string, machines int, seed int64, workers int) []scheduler.Option {
+// configuration for a given machine count: the shared seed, worker and
+// shard counts, plus the parameters the paper names. It is the single
+// source of this tuning for the figure races, cmd/grid and the examples.
+func TunedOptions(name string, machines int, seed int64, workers, shards int) []scheduler.Option {
 	opts := []scheduler.Option{
 		scheduler.WithSeed(seed),
 		scheduler.WithWorkers(workers),
@@ -49,6 +49,9 @@ func TunedOptions(name string, machines int, seed int64, workers int) []schedule
 		// and the paper's positive-bias advice trades quality for speed.
 		// Y is the paper's preferred middle value (9 of 20 machines, §5.2).
 		opts = append(opts, scheduler.WithBias(0), scheduler.WithY(yMid(machines)))
+	case "se-shard":
+		opts = append(opts, scheduler.WithBias(0), scheduler.WithY(yMid(machines)),
+			scheduler.WithShards(shards))
 	case "ga":
 		// Wang et al.'s large-population configuration (the GA the paper
 		// compares against): population 200, crossover 0.4, low mutation.
@@ -84,7 +87,7 @@ func raceContenders(cfg Config, w *workload.Workload) ([]runner.Contender, error
 	names := cfg.raceAlgos()
 	out := make([]runner.Contender, len(names))
 	for i, name := range names {
-		s, err := scheduler.Get(name, TunedOptions(name, cfg.Machines, cfg.Seed, cfg.Workers)...)
+		s, err := scheduler.Get(name, TunedOptions(name, cfg.Machines, cfg.Seed, cfg.Workers, cfg.Shards)...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,63 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func TestSubsystemRestrictsTasksAndItems(t *testing.T) {
+	exec := [][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+	}
+	transfer := [][]float64{ // pairs (0,1), (0,2), (1,2) × 2 items
+		{10, 20},
+		{30, 40},
+		{50, 60},
+	}
+	sys := MustNew(4, 2, exec, transfer)
+	sub, err := sys.Subsystem([]taskgraph.TaskID{2, 0}, []taskgraph.ItemID{1})
+	if err != nil {
+		t.Fatalf("Subsystem: %v", err)
+	}
+	if sub.NumMachines() != 3 || sub.NumTasks() != 2 || sub.NumItems() != 1 {
+		t.Fatalf("dims = %d/%d/%d, want 3/2/1", sub.NumMachines(), sub.NumTasks(), sub.NumItems())
+	}
+	// Local task 0 is parent task 2, local task 1 is parent task 0.
+	if got := sub.ExecTime(1, 0); got != 7 {
+		t.Errorf("ExecTime(1, local 0) = %v, want 7 (parent task 2)", got)
+	}
+	if got := sub.ExecTime(2, 1); got != 9 {
+		t.Errorf("ExecTime(2, local 1) = %v, want 9 (parent task 0)", got)
+	}
+	// Local item 0 is parent item 1.
+	if got := sub.TransferTime(0, 2, 0); got != 40 {
+		t.Errorf("TransferTime(0,2, local item 0) = %v, want 40", got)
+	}
+	if got := sub.TransferTime(1, 1, 0); got != 0 {
+		t.Errorf("intra-machine transfer = %v, want 0", got)
+	}
+}
+
+func TestSubsystemEmptyItems(t *testing.T) {
+	sys := MustNew(1, 1, [][]float64{{1}, {2}}, [][]float64{{3}})
+	sub, err := sys.Subsystem([]taskgraph.TaskID{0}, nil)
+	if err != nil {
+		t.Fatalf("Subsystem: %v", err)
+	}
+	if sub.NumItems() != 0 {
+		t.Errorf("NumItems = %d, want 0", sub.NumItems())
+	}
+}
+
+func TestSubsystemRejectsOutOfRange(t *testing.T) {
+	sys := MustNew(1, 1, [][]float64{{1}, {2}}, [][]float64{{3}})
+	if _, err := sys.Subsystem([]taskgraph.TaskID{1}, nil); err == nil {
+		t.Error("Subsystem accepted an out-of-range task")
+	}
+	if _, err := sys.Subsystem([]taskgraph.TaskID{0}, []taskgraph.ItemID{1}); err == nil {
+		t.Error("Subsystem accepted an out-of-range item")
+	}
+}

@@ -1,0 +1,50 @@
+package schedule
+
+import "repro/internal/taskgraph"
+
+// Repair returns a copy of s reordered into a valid topological string by
+// a stable Kahn pass: at every step the ready task with the smallest
+// original position is emitted. A string that is already a topological
+// order therefore comes back unchanged, and an invalid one keeps the
+// relative order of every task pair the DAG does not constrain. Machines
+// are preserved. s must contain every task exactly once.
+//
+// The sharded allocation layer (internal/shard) uses it as the
+// reconciliation safety net: level-band merges are precedence-valid by
+// construction, but reconciliation must never emit a violating schedule
+// no matter what it is handed.
+func Repair(g *taskgraph.Graph, s String) String {
+	n := len(s)
+	pos := make([]int, n)   // task → original index in s
+	indeg := make([]int, n) // remaining unplaced predecessors
+	for i, gene := range s {
+		pos[gene.Task] = i
+		indeg[gene.Task] = g.InDegree(gene.Task)
+	}
+	ready := make([]bool, n) // indexed by original position
+	for i, gene := range s {
+		if indeg[gene.Task] == 0 {
+			ready[i] = true
+		}
+	}
+	out := make(String, 0, n)
+	for len(out) < n {
+		i := -1
+		for j := 0; j < n; j++ {
+			if ready[j] {
+				i = j
+				break
+			}
+		}
+		ready[i] = false
+		gene := s[i]
+		out = append(out, gene)
+		for _, a := range g.Succs(gene.Task) {
+			indeg[a.Task]--
+			if indeg[a.Task] == 0 {
+				ready[pos[a.Task]] = true
+			}
+		}
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sa"
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
+	"repro/internal/shard"
 	"repro/internal/tabu"
 	"repro/internal/workload"
 )
@@ -85,6 +86,39 @@ func TestSEEquivalenceWithObservers(t *testing.T) {
 	assertSame(t, "se+observers", res.Best, res.Makespan, direct.Best, direct.BestMakespan)
 	if len(res.Trace) != direct.Iterations {
 		t.Errorf("trace entries = %d, want one per iteration (%d)", len(res.Trace), direct.Iterations)
+	}
+}
+
+func TestSEShardEquivalence(t *testing.T) {
+	w := equivalenceWorkload()
+	direct, err := shard.Run(w.Graph, w.System, shard.Options{
+		Shards: 3, Bias: -0.1, Y: 3, Seed: 9, MaxIterations: 40,
+	})
+	if err != nil {
+		t.Fatalf("shard.Run: %v", err)
+	}
+	res := mustSchedule(t, "se-shard", scheduler.Budget{MaxIterations: 40},
+		scheduler.WithShards(3), scheduler.WithBias(-0.1), scheduler.WithY(3), scheduler.WithSeed(9))
+	assertSame(t, "se-shard", res.Best, res.Makespan, direct.Best, direct.BestMakespan)
+	if res.Iterations != direct.Iterations || res.Evaluations != direct.Evaluations {
+		t.Errorf("se-shard: iterations/evaluations %d/%d != direct %d/%d",
+			res.Iterations, res.Evaluations, direct.Iterations, direct.Evaluations)
+	}
+}
+
+func TestSEShardSingleShardMatchesSerialSE(t *testing.T) {
+	// The registry-level differential guard: se-shard with one shard must
+	// be bit-identical to se for any shared configuration.
+	for _, seed := range []int64{3, 21} {
+		serial := mustSchedule(t, "se", scheduler.Budget{MaxIterations: 50},
+			scheduler.WithBias(-0.1), scheduler.WithY(4), scheduler.WithSeed(seed))
+		sharded := mustSchedule(t, "se-shard", scheduler.Budget{MaxIterations: 50},
+			scheduler.WithShards(1), scheduler.WithBias(-0.1), scheduler.WithY(4), scheduler.WithSeed(seed))
+		assertSame(t, "se-shard/1", sharded.Best, sharded.Makespan, serial.Best, serial.Makespan)
+		if sharded.Iterations != serial.Iterations || sharded.Evaluations != serial.Evaluations ||
+			sharded.DeltaEvaluations != serial.DeltaEvaluations || sharded.GenesEvaluated != serial.GenesEvaluated {
+			t.Errorf("seed %d: single-shard ledger differs from serial SE", seed)
+		}
 	}
 }
 

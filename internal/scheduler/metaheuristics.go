@@ -7,6 +7,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/platform"
 	"repro/internal/sa"
+	"repro/internal/shard"
 	"repro/internal/tabu"
 	"repro/internal/taskgraph"
 )
@@ -23,6 +24,9 @@ func init() {
 			}
 			return seScheduler("se-ils", cfg)
 		})
+	Register("se-shard", Metaheuristic,
+		"SE over weakly-coupled DAG regions in parallel, with boundary reconciliation",
+		seShardScheduler)
 	Register("ga", Metaheuristic,
 		"genetic-algorithm baseline of Wang et al. (JPDC 1997)",
 		gaScheduler)
@@ -61,6 +65,54 @@ func seScheduler(name string, cfg Config) Scheduler {
 			}
 		}
 		r, err := core.Run(g, sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		return p.finish(&Result{
+			Best:             r.Best,
+			Makespan:         r.BestMakespan,
+			Iterations:       r.Iterations,
+			Evaluations:      r.Evaluations,
+			DeltaEvaluations: r.DeltaEvaluations,
+			GenesEvaluated:   r.GenesEvaluated,
+			Elapsed:          r.Elapsed,
+		})
+	}}
+}
+
+func seShardScheduler(cfg Config) Scheduler {
+	return &funcScheduler{name: "se-shard", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
+		opts := shard.Options{
+			Shards:          cfg.Shards,
+			ReconcileSweeps: cfg.ReconcileSweeps,
+			Bias:            cfg.Bias,
+			Y:               cfg.Y,
+			PerturbAfter:    cfg.PerturbAfter,
+			FullEval:        cfg.FullEval,
+			Seed:            cfg.Seed,
+			Initial:         cfg.Initial,
+			MaxParallel:     cfg.Workers,
+			MaxIterations:   b.MaxIterations,
+			TimeBudget:      b.TimeBudget,
+			NoImprovement:   b.NoImprovement,
+		}
+		p := newProbe(ctx, b, cfg.Trace)
+		if p.active() {
+			// Region observations are serialized by the shard runner; Current
+			// and Selected are region-local, Best is the running max over
+			// region bests — a coarse lower estimate of the merged makespan
+			// until the final result corrects it.
+			opts.OnIteration = func(st shard.RegionStats) bool {
+				return p.observe(Progress{
+					Iteration: st.Iteration,
+					Current:   st.CurrentMakespan,
+					Best:      st.BestSoFar,
+					Selected:  st.Selected,
+					Elapsed:   st.Elapsed,
+				})
+			}
+		}
+		r, err := shard.Run(g, sys, opts)
 		if err != nil {
 			return nil, err
 		}

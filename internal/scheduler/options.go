@@ -10,7 +10,9 @@ type Config struct {
 	// Seed drives all randomness (every algorithm).
 	Seed int64
 	// Workers parallelizes SE allocation and GA fitness evaluation
-	// (0/1 = serial).
+	// (0/1 = serial). For se-shard — whose regions always fan out — it
+	// instead caps the number of regions sweeping concurrently, and 0
+	// means no cap.
 	Workers int
 	// Trace collects per-iteration Progress into Result.Trace.
 	Trace bool
@@ -51,6 +53,13 @@ type Config struct {
 	// Neighborhood is tabu search's sampled moves per iteration
 	// (0 = task count).
 	Neighborhood int
+
+	// Shards is se-shard's requested region count (0 = shard.DefaultShards;
+	// clamped to the DAG depth, so 1 effective region runs serial SE).
+	Shards int
+	// ReconcileSweeps bounds se-shard's boundary-reconciliation pass
+	// (0 = shard.DefaultReconcileSweeps, negative = none).
+	ReconcileSweeps int
 }
 
 // Option configures a scheduler at Get time.
@@ -59,7 +68,8 @@ type Option func(*Config)
 // WithSeed sets the random seed.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
-// WithWorkers sets the number of parallel evaluation workers.
+// WithWorkers sets the number of parallel evaluation workers (for
+// se-shard: the cap on concurrently sweeping regions).
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
 // WithTrace collects per-iteration Progress into Result.Trace.
@@ -107,3 +117,9 @@ func WithTenure(n int) Option { return func(c *Config) { c.Tenure = n } }
 
 // WithNeighborhood sets tabu search's sampled moves per iteration.
 func WithNeighborhood(n int) Option { return func(c *Config) { c.Neighborhood = n } }
+
+// WithShards sets se-shard's requested DAG region count.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithReconcileSweeps sets se-shard's boundary-reconciliation sweep count.
+func WithReconcileSweeps(n int) Option { return func(c *Config) { c.ReconcileSweeps = n } }

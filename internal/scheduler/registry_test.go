@@ -10,7 +10,7 @@ import (
 
 func TestGetKnownNames(t *testing.T) {
 	for _, name := range []string{
-		"se", "se-ils", "ga", "sa", "tabu",
+		"se", "se-ils", "se-shard", "ga", "sa", "tabu",
 		"heft", "cpop", "minmin", "maxmin", "sufferage", "mct", "random",
 	} {
 		s, err := Get(name, WithSeed(1))
@@ -71,8 +71,8 @@ func TestRegisterNilFactoryPanics(t *testing.T) {
 
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
-	if len(names) < 12 {
-		t.Fatalf("Names() = %v, want at least the 12 built-in schedulers", names)
+	if len(names) < 13 {
+		t.Fatalf("Names() = %v, want at least the 13 built-in schedulers", names)
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i] <= names[i-1] {

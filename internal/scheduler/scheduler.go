@@ -13,7 +13,7 @@
 //
 // Registered names:
 //
-//	metaheuristics  se, se-ils, ga, sa, tabu
+//	metaheuristics  se, se-ils, se-shard, ga, sa, tabu
 //	constructive    heft, cpop, minmin, maxmin, sufferage, mct, random
 package scheduler
 

@@ -1,0 +1,38 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/serve"
+)
+
+// ExampleClient drives the serving layer end to end through its real HTTP
+// stack: create a session from a named preset, run a constructive
+// heuristic inside it, and read the result. Deterministic algorithms give
+// deterministic wire results — the service's central contract.
+func ExampleClient() {
+	mgr := serve.NewManager(serve.Options{})
+	defer mgr.Close()
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	defer srv.Close()
+
+	ctx := context.Background()
+	client := serve.NewClient(srv.URL)
+	info, err := client.CreateSession(ctx, serve.CreateSessionRequest{Preset: "figure1"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := client.Run(ctx, info.ID, serve.RunRequest{Algorithm: "heft"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("session %s: %d tasks on %d machines\n", info.ID, info.Tasks, info.Machines)
+	fmt.Printf("%s makespan: %.0f\n", res.Algorithm, res.Makespan)
+	// Output:
+	// session s1: 7 tasks on 2 machines
+	// heft makespan: 2300
+}

@@ -93,6 +93,48 @@ func TestServiceMatchesOfflineRuns(t *testing.T) {
 	}
 }
 
+// TestShardedRunMatchesOffline extends the determinism contract to
+// sharded sessions: a se-shard run fans out to per-region workers inside
+// the service, and its merged result must still be bit-identical to the
+// offline run with the same shard count, seed and budget.
+func TestShardedRunMatchesOffline(t *testing.T) {
+	client, _ := newTestServer(t, serve.Options{})
+	ctx := context.Background()
+
+	p := workload.Params{
+		Tasks: 60, Machines: 6, Connectivity: 2.5, Heterogeneity: 6, CCR: 0.5, Seed: 19,
+	}
+	w := workload.MustGenerate(p)
+	info, err := client.CreateSession(ctx, serve.CreateSessionRequest{Params: &p})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	for _, shards := range []int{1, 4} {
+		s, err := scheduler.Get("se-shard", scheduler.WithSeed(5), scheduler.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Schedule(ctx, w.Graph, w.System, scheduler.Budget{MaxIterations: 20})
+		if err != nil {
+			t.Fatalf("offline se-shard: %v", err)
+		}
+		got, err := client.Run(ctx, info.ID, serve.RunRequest{
+			Algorithm: "se-shard", Seed: 5, Shards: shards, MaxIterations: 20,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got.Makespan != want.Makespan || got.Solution != want.Best.Format() {
+			t.Errorf("shards=%d: served result differs from offline:\n  service: %v %s\n  offline: %v %s",
+				shards, got.Makespan, got.Solution, want.Makespan, want.Best.Format())
+		}
+		if got.Evaluations != want.Evaluations || got.GenesEvaluated != want.GenesEvaluated {
+			t.Errorf("shards=%d: served counters (%d, %d) differ from offline (%d, %d)",
+				shards, got.Evaluations, got.GenesEvaluated, want.Evaluations, want.GenesEvaluated)
+		}
+	}
+}
+
 // TestStreamedRunMatchesUnstreamed: streamed progress observation must not
 // change what the algorithm computes.
 func TestStreamedRunMatchesUnstreamed(t *testing.T) {

@@ -360,6 +360,7 @@ func (m *Manager) Run(ctx context.Context, id string, req RunRequest, onProgress
 			scheduler.WithBias(req.Bias),
 			scheduler.WithY(req.Y),
 			scheduler.WithPopulation(req.Population),
+			scheduler.WithShards(req.Shards),
 		}
 		if req.FullEval {
 			opts = append(opts, scheduler.WithFullEval())

@@ -78,6 +78,11 @@ type RunRequest struct {
 	Population int     `json:"population,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
 	FullEval   bool    `json:"full_eval,omitempty"`
+	// Shards is se-shard's requested DAG region count. A sharded session
+	// run fans out to per-region workers inside the session's worker
+	// goroutine's request; the merged result keeps the service's
+	// bit-identical-to-offline contract.
+	Shards int `json:"shards,omitempty"`
 
 	// FromBase seeds the run with the session's pinned base string, making
 	// successive runs iterative instead of independent.

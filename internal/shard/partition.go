@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/taskgraph"
+)
+
+// Partition is a decomposition of a task DAG into weakly-coupled regions.
+// Regions are contiguous level bands, so every edge either stays inside a
+// region or points from a lower-indexed region to a higher-indexed one —
+// region order is a topological order of the region quotient graph, which
+// is what makes the merged string of per-region schedules precedence-valid
+// by construction (see reconcile.go).
+type Partition struct {
+	// Regions holds each region's tasks in the parent graph's
+	// deterministic topological order, so the slice is also a valid local
+	// evaluation order.
+	Regions [][]taskgraph.TaskID
+
+	// CutWeight is the total size of the data items whose producer and
+	// consumer fall in different regions — the coupling the partition
+	// heuristic minimizes and the reconciliation pass re-evaluates.
+	CutWeight float64
+
+	regionOf []int
+}
+
+// NumRegions returns the number of regions.
+func (p *Partition) NumRegions() int { return len(p.Regions) }
+
+// RegionOf returns the region index task t belongs to.
+func (p *Partition) RegionOf(t taskgraph.TaskID) int { return p.regionOf[t] }
+
+// Boundary returns every task that consumes a cross-region data item, in
+// ascending (DAG level, task ID) order — the order the reconciliation
+// sweep re-places them in, mirroring SE's selection-set ordering. Only
+// consumers are re-placed: they are the tasks whose input timing the
+// region sweeps could not see, and restricting the sweep to them keeps
+// reconciliation cost at one scan per cut edge head instead of two per
+// edge.
+func (p *Partition) Boundary(g *taskgraph.Graph) []taskgraph.TaskID {
+	mark := make([]bool, g.NumTasks())
+	for _, it := range g.Items() {
+		if p.regionOf[it.Producer] != p.regionOf[it.Consumer] {
+			mark[it.Consumer] = true
+		}
+	}
+	var out []taskgraph.TaskID
+	for t := range mark {
+		if mark[t] {
+			out = append(out, taskgraph.TaskID(t))
+		}
+	}
+	lv := g.Levels()
+	sort.Slice(out, func(i, j int) bool {
+		if lv[out[i]] != lv[out[j]] {
+			return lv[out[i]] < lv[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// PartitionLevelBands partitions g into at most k regions of contiguous
+// DAG levels, choosing the k−1 cut levels that minimize the communication
+// volume crossing them — a min-cut restricted to level boundaries — under
+// a balance guard that keeps any band from growing past ~1.5× its fair
+// share of tasks. The result is a pure function of (g, k): no randomness,
+// so sharded runs stay deterministic under a fixed seed. k is clamped to
+// [1, depth]; k ≤ 1 (or a single-level DAG) yields one region holding the
+// whole graph.
+func PartitionLevelBands(g *taskgraph.Graph, k int) *Partition {
+	n := g.NumTasks()
+	levels := g.Levels()
+	depth := g.Depth()
+	if k > depth {
+		k = depth
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// Tasks per level and the communication weight crossing each level
+	// boundary c (an edge level a → level b crosses every c in (a, b];
+	// accumulated with a difference array).
+	count := make([]int, depth)
+	for _, l := range levels {
+		count[l]++
+	}
+	crossDiff := make([]float64, depth+1)
+	total := 0.0
+	for _, it := range g.Items() {
+		a, b := levels[it.Producer], levels[it.Consumer]
+		crossDiff[a+1] += it.Size
+		crossDiff[b+1] -= it.Size
+		total += it.Size
+	}
+	cross := make([]float64, depth) // cross[c] = weight across boundary c, c ≥ 1
+	for c := 1; c < depth; c++ {
+		cross[c] = cross[c-1] + crossDiff[c]
+	}
+
+	// DP over level boundaries: dp[r][j] = min cost of splitting levels
+	// [0, j) into r bands, where a band of m tasks past the balance cap
+	// pays (m − cap)·BIG — balance dominates, cut weight breaks ties.
+	// choice[r][j] records the last cut for reconstruction; ties resolve
+	// to the smallest cut, keeping the partition deterministic.
+	capTasks := (3*n + 2*k - 1) / (2 * k) // ⌈1.5·n/k⌉
+	// An edge spanning several cuts pays each of them, so the cut cost of
+	// a partition can reach (k−1)·total; the overage penalty must exceed
+	// that for balance to truly dominate.
+	big := float64(k-1)*total + 1
+	penalty := func(m int) float64 {
+		if m <= capTasks {
+			return 0
+		}
+		return float64(m-capTasks) * big
+	}
+	prefix := make([]int, depth+1)
+	for l := 0; l < depth; l++ {
+		prefix[l+1] = prefix[l] + count[l]
+	}
+	const inf = 1e300
+	dp := make([][]float64, k+1)
+	choice := make([][]int, k+1)
+	for r := range dp {
+		dp[r] = make([]float64, depth+1)
+		choice[r] = make([]int, depth+1)
+		for j := range dp[r] {
+			dp[r][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for r := 1; r <= k; r++ {
+		for j := r; j <= depth; j++ {
+			for i := r - 1; i < j; i++ {
+				if dp[r-1][i] >= inf {
+					continue
+				}
+				cost := dp[r-1][i] + penalty(prefix[j]-prefix[i])
+				if i > 0 {
+					cost += cross[i]
+				}
+				if cost < dp[r][j] {
+					dp[r][j] = cost
+					choice[r][j] = i
+				}
+			}
+		}
+	}
+	cuts := make([]int, k+1)
+	cuts[k] = depth
+	for r := k; r >= 1; r-- {
+		cuts[r-1] = choice[r][cuts[r]]
+	}
+
+	// Materialize regions in the parent's deterministic topological order
+	// and measure the realized cut weight (each cross item counted once).
+	p := &Partition{
+		Regions:  make([][]taskgraph.TaskID, k),
+		regionOf: make([]int, n),
+	}
+	bandOf := make([]int, depth)
+	for r := 0; r < k; r++ {
+		for l := cuts[r]; l < cuts[r+1]; l++ {
+			bandOf[l] = r
+		}
+	}
+	for _, t := range g.TopoOrder() {
+		r := bandOf[levels[t]]
+		p.regionOf[t] = r
+		p.Regions[r] = append(p.Regions[r], t)
+	}
+	for _, it := range g.Items() {
+		if p.regionOf[it.Producer] != p.regionOf[it.Consumer] {
+			p.CutWeight += it.Size
+		}
+	}
+	return p
+}

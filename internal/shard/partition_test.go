@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+func partitionWorkload(tasks int, seed int64) *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks: tasks, Machines: 6, Connectivity: 2.5, Heterogeneity: 6, CCR: 0.5, Seed: seed,
+	})
+}
+
+func TestPartitionCoversTasksExactlyOnce(t *testing.T) {
+	w := partitionWorkload(60, 3)
+	for _, k := range []int{1, 2, 4, 7} {
+		p := PartitionLevelBands(w.Graph, k)
+		seen := make([]int, w.Graph.NumTasks())
+		for r, region := range p.Regions {
+			if len(region) == 0 {
+				t.Fatalf("k=%d: region %d is empty", k, r)
+			}
+			for _, task := range region {
+				seen[task]++
+				if p.RegionOf(task) != r {
+					t.Fatalf("k=%d: RegionOf(%d) = %d, listed in region %d", k, task, p.RegionOf(task), r)
+				}
+			}
+		}
+		for task, c := range seen {
+			if c != 1 {
+				t.Fatalf("k=%d: task %d appears in %d regions", k, task, c)
+			}
+		}
+	}
+}
+
+func TestPartitionEdgesNeverPointBackward(t *testing.T) {
+	// Level-band regions are the merge-validity invariant: every edge must
+	// stay inside a region or point to a strictly later one.
+	w := partitionWorkload(80, 9)
+	p := PartitionLevelBands(w.Graph, 5)
+	if p.NumRegions() < 2 {
+		t.Fatalf("expected a multi-region partition, got %d", p.NumRegions())
+	}
+	for _, it := range w.Graph.Items() {
+		if p.RegionOf(it.Producer) > p.RegionOf(it.Consumer) {
+			t.Fatalf("item d%d points backward: region %d → %d",
+				it.ID, p.RegionOf(it.Producer), p.RegionOf(it.Consumer))
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	w := partitionWorkload(60, 3)
+	a := PartitionLevelBands(w.Graph, 4)
+	b := PartitionLevelBands(w.Graph, 4)
+	if a.NumRegions() != b.NumRegions() || a.CutWeight != b.CutWeight {
+		t.Fatalf("partitions differ: %d/%v vs %d/%v", a.NumRegions(), a.CutWeight, b.NumRegions(), b.CutWeight)
+	}
+	for r := range a.Regions {
+		if len(a.Regions[r]) != len(b.Regions[r]) {
+			t.Fatalf("region %d sizes differ", r)
+		}
+		for i := range a.Regions[r] {
+			if a.Regions[r][i] != b.Regions[r][i] {
+				t.Fatalf("region %d task %d differs", r, i)
+			}
+		}
+	}
+}
+
+func TestPartitionClampsToDepth(t *testing.T) {
+	// A 3-level chain cannot split into more than 3 level bands.
+	b := taskgraph.NewBuilder(3)
+	t0 := b.AddTask("")
+	t1 := b.AddTask("")
+	t2 := b.AddTask("")
+	b.AddItem(t0, t1, 1)
+	b.AddItem(t1, t2, 1)
+	g := b.MustBuild()
+	if got := PartitionLevelBands(g, 10).NumRegions(); got != 3 {
+		t.Fatalf("NumRegions = %d, want 3 (clamped to depth)", got)
+	}
+	if got := PartitionLevelBands(g, 0).NumRegions(); got != 1 {
+		t.Fatalf("NumRegions = %d, want 1 for k=0", got)
+	}
+}
+
+func TestPartitionCutWeightMatchesCrossItems(t *testing.T) {
+	w := partitionWorkload(60, 7)
+	p := PartitionLevelBands(w.Graph, 4)
+	want := 0.0
+	for _, it := range w.Graph.Items() {
+		if p.RegionOf(it.Producer) != p.RegionOf(it.Consumer) {
+			want += it.Size
+		}
+	}
+	if p.CutWeight != want {
+		t.Fatalf("CutWeight = %v, want %v", p.CutWeight, want)
+	}
+}
+
+func TestPartitionPrefersLighterCuts(t *testing.T) {
+	// Two heavy chains joined by one light edge in the middle: the 2-way
+	// partition must cut at the light boundary, not a heavy one.
+	b := taskgraph.NewBuilder(6)
+	tasks := make([]taskgraph.TaskID, 6)
+	for i := range tasks {
+		tasks[i] = b.AddTask("")
+	}
+	// Chain with edge weights 100, 100, 1, 100, 100: levels 0..5.
+	weights := []float64{100, 100, 1, 100, 100}
+	for i, wgt := range weights {
+		b.AddItem(tasks[i], tasks[i+1], wgt)
+	}
+	g := b.MustBuild()
+	p := PartitionLevelBands(g, 2)
+	if p.NumRegions() != 2 {
+		t.Fatalf("NumRegions = %d, want 2", p.NumRegions())
+	}
+	if p.CutWeight != 1 {
+		t.Fatalf("CutWeight = %v, want 1 (the light middle edge)", p.CutWeight)
+	}
+}
+
+func TestBoundaryTasksAreExactlyCrossEdgeConsumers(t *testing.T) {
+	w := partitionWorkload(60, 5)
+	p := PartitionLevelBands(w.Graph, 4)
+	want := make(map[taskgraph.TaskID]bool)
+	for _, it := range w.Graph.Items() {
+		if p.RegionOf(it.Producer) != p.RegionOf(it.Consumer) {
+			want[it.Consumer] = true
+		}
+	}
+	got := p.Boundary(w.Graph)
+	if len(got) != len(want) {
+		t.Fatalf("Boundary has %d tasks, want %d", len(got), len(want))
+	}
+	lv := w.Graph.Levels()
+	for i, task := range got {
+		if !want[task] {
+			t.Fatalf("Boundary contains non-consumer task %d", task)
+		}
+		if i > 0 {
+			prev := got[i-1]
+			if lv[prev] > lv[task] || (lv[prev] == lv[task] && prev >= task) {
+				t.Fatalf("Boundary not ordered by (level, id) at %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// reconciler owns the merged-string boundary pass: after the per-region
+// sweeps are concatenated, the tasks consuming cross-region data items
+// were placed blind to their input timing, so each of them is re-placed
+// once per sweep with SE's allocation scan — every
+// position in its valid range × its Y best machines, winner by the
+// (makespan, total, q, machine-rank) key — evaluated on the full graph.
+// The number of sweeps bounds the repair: reconciliation is a local
+// polish, not a second global search.
+type reconciler struct {
+	g   *taskgraph.Graph
+	sys *platform.System
+	y   int
+
+	delta *schedule.DeltaEvaluator // nil under FullEval
+	eval  *schedule.Evaluator      // full-evaluation twin
+
+	pos []int
+	buf schedule.String
+}
+
+func newReconciler(g *taskgraph.Graph, sys *platform.System, y int, fullEval bool) *reconciler {
+	r := &reconciler{
+		g:    g,
+		sys:  sys,
+		y:    y,
+		pos:  make([]int, g.NumTasks()),
+		buf:  make(schedule.String, g.NumTasks()),
+		eval: schedule.NewEvaluator(g, sys),
+	}
+	if !fullEval {
+		r.delta = schedule.NewDeltaEvaluator(g, sys)
+	}
+	return r
+}
+
+// run repairs s (schedule.Repair, a no-op for valid merges), applies the
+// bounded boundary sweeps in place, and returns the reconciled string
+// with its makespan.
+func (r *reconciler) run(s schedule.String, boundary []taskgraph.TaskID, sweeps int) (schedule.String, float64) {
+	s = schedule.Repair(r.g, s)
+	for sweep := 0; sweep < sweeps; sweep++ {
+		s.Positions(r.pos)
+		for _, t := range boundary {
+			idx := r.pos[t]
+			lo, hi := schedule.ValidRange(r.g, s, r.pos, idx)
+			machines := r.sys.TopMachines(t, r.y)
+			var q, mi int
+			if r.delta != nil {
+				_, q, mi = core.BestMove(r.delta, s, idx, lo, hi, machines)
+			} else {
+				_, q, mi = core.BestMoveFull(r.eval, s, r.buf, idx, lo, hi, machines)
+			}
+			schedule.MoveInto(r.buf, s, idx, q, machines[mi])
+			copy(s, r.buf)
+			schedule.UpdatePositions(r.pos, s, idx, q)
+		}
+	}
+	var ms float64
+	if r.delta != nil {
+		ms, _ = r.delta.Pin(s)
+	} else {
+		ms = r.eval.Makespan(s)
+	}
+	return s, ms
+}
+
+// counts returns the reconciliation's evaluation-effort ledger.
+func (r *reconciler) counts() schedule.EvalCounts {
+	c := r.eval.Counts()
+	if r.delta != nil {
+		c = c.Add(r.delta.Counts())
+	}
+	return c
+}

@@ -1,0 +1,363 @@
+// Package shard scales simulated evolution to large task DAGs by spatial
+// decomposition: the DAG is partitioned into weakly-coupled regions
+// (contiguous level bands cut where the crossing communication volume is
+// smallest, see PartitionLevelBands), each region runs its own SE
+// allocation sweep in parallel — with its own rng stream and its own
+// incremental evaluator pinning region-local checkpoints — and a bounded
+// boundary-reconciliation pass then re-evaluates the cross-region edges on
+// the merged string and re-places the tasks consuming them.
+//
+// The exploitable structure is the same one the incremental evaluation
+// engine's convergence cutoff measures (see DESIGN.md): most allocation
+// disturbances stay local, so distant parts of a large string rarely
+// interact within a sweep. Sharding turns that observation into
+// parallelism — per-generation allocation cost falls superlinearly with
+// region size while the regions run concurrently — at the price of
+// searching cross-region placements only during reconciliation.
+//
+// Determinism: the partition is a pure function of (graph, shard count),
+// each region's seed derives deterministically from Options.Seed and the
+// region index, regions do not share mutable state, and the merge and
+// reconciliation are sequential — so a sharded run is reproducible under a
+// fixed seed. A run that partitions into a single region delegates to
+// core.Run unchanged and is bit-identical to serial SE (enforced by the
+// differential tests).
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// DefaultShards is the region count used when Options.Shards is zero.
+const DefaultShards = 4
+
+// DefaultReconcileSweeps is the boundary-sweep count used when
+// Options.ReconcileSweeps is zero.
+const DefaultReconcileSweeps = 1
+
+// Options configures one sharded SE run. Like core.Options, at least one
+// stopping criterion (MaxIterations, TimeBudget, NoImprovement or a
+// false-returning OnIteration) must be set; it bounds every region's
+// sweep.
+type Options struct {
+	// Shards is the requested region count (0 = DefaultShards). The
+	// effective count is clamped to the DAG depth; one effective region
+	// delegates to serial SE.
+	Shards int
+
+	// ReconcileSweeps bounds the boundary-reconciliation pass: each sweep
+	// re-places every cross-region task once on the merged string
+	// (0 = DefaultReconcileSweeps, negative = no sweeps).
+	ReconcileSweeps int
+
+	// MaxParallel caps the number of regions sweeping concurrently
+	// (0 = all at once).
+	MaxParallel int
+
+	// Bias, Y, InitialMoves, PerturbAfter and FullEval configure each
+	// region's SE engine exactly as in core.Options; Y also bounds the
+	// candidate machines of the reconciliation scan.
+	Bias         float64
+	Y            int
+	InitialMoves int
+	PerturbAfter int
+	FullEval     bool
+
+	// Seed drives all randomness. Region r runs under a seed derived
+	// deterministically from (Seed, r); equal Options and inputs give
+	// identical results.
+	Seed int64
+
+	// Initial, when non-nil, seeds the run: each region starts from the
+	// projection of this solution onto its tasks (the subsequence of the
+	// string restricted to the region, machines preserved), which is a
+	// valid region solution because any subsequence of a topological
+	// order is a topological order of the induced subgraph. It must be
+	// valid for the full graph/system.
+	Initial schedule.String
+
+	// MaxIterations, TimeBudget and NoImprovement bound each region's
+	// sweep, with core.Options semantics. Regions run concurrently, so
+	// TimeBudget is wall-clock for the whole fan-out, not a sum.
+	MaxIterations int
+	TimeBudget    time.Duration
+	NoImprovement int
+
+	// OnIteration, when non-nil, observes every region generation. Calls
+	// are serialized across regions; returning false stops all regions at
+	// their next generation boundary, after which the merged best-so-far
+	// is still reconciled and returned.
+	OnIteration func(RegionStats) bool
+}
+
+// RegionStats is one region generation's observation.
+type RegionStats struct {
+	// Region is the reporting region's index; Regions the region count.
+	Region  int
+	Regions int
+	// BestSoFar is the max over all regions' best region makespans seen
+	// so far — a coarse lower estimate of the merged schedule length
+	// (cross-region transfers can only push it up).
+	BestSoFar float64
+	// IterationStats is the region-local generation observation; its
+	// makespans refer to the region subproblem, not the whole DAG.
+	core.IterationStats
+}
+
+// Result is the outcome of a sharded run.
+type Result struct {
+	// Best is the reconciled merged solution for the whole DAG.
+	Best schedule.String
+	// BestMakespan is Best's schedule length under the full-graph
+	// evaluator.
+	BestMakespan float64
+	// Regions is the effective region count; CutWeight the communication
+	// volume crossing region boundaries; BoundaryTasks the number of
+	// tasks the reconciliation sweeps re-place.
+	Regions       int
+	CutWeight     float64
+	BoundaryTasks int
+	// Iterations is the maximum generation count over all regions.
+	Iterations int
+	// Evaluations, DeltaEvaluations and GenesEvaluated aggregate the
+	// evaluation-effort ledger over every region engine and the
+	// reconciliation pass (see schedule.EvalCounts).
+	Evaluations      uint64
+	DeltaEvaluations uint64
+	GenesEvaluated   uint64
+	// Elapsed is the total wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// regionSeed derives region r's rng seed from the run seed: a fixed
+// odd multiplier (the 64-bit golden-ratio constant) keeps the streams
+// decorrelated and the derivation deterministic.
+func regionSeed(seed int64, r int) int64 {
+	return int64(uint64(seed) + uint64(r+1)*0x9E3779B97F4A7C15)
+}
+
+// Run partitions g, sweeps every region in parallel and returns the
+// reconciled merged solution.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	if g.NumTasks() != sys.NumTasks() {
+		return nil, fmt.Errorf("shard: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
+	}
+	if g.NumItems() != sys.NumItems() {
+		return nil, fmt.Errorf("shard: graph has %d items but system is sized for %d", g.NumItems(), sys.NumItems())
+	}
+	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
+		return nil, fmt.Errorf("shard: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("shard: Shards = %d, want >= 0", opts.Shards)
+	}
+	shards := opts.Shards
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	start := time.Now()
+	part := PartitionLevelBands(g, shards)
+	if part.NumRegions() == 1 {
+		return runSingle(g, sys, opts, start)
+	}
+
+	k := part.NumRegions()
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("shard: Options.Initial: %w", err)
+		}
+	}
+	type regionProblem struct {
+		induced *taskgraph.Induced
+		sys     *platform.System
+		initial schedule.String
+	}
+	problems := make([]regionProblem, k)
+	for r, tasks := range part.Regions {
+		induced, err := g.Induce(tasks)
+		if err != nil {
+			return nil, fmt.Errorf("shard: region %d: %w", r, err)
+		}
+		subsys, err := sys.Subsystem(induced.Tasks, induced.Items)
+		if err != nil {
+			return nil, fmt.Errorf("shard: region %d: %w", r, err)
+		}
+		problems[r] = regionProblem{induced: induced, sys: subsys}
+		if opts.Initial != nil {
+			local := make([]taskgraph.TaskID, g.NumTasks()) // parent → local
+			for i := range local {
+				local[i] = -1
+			}
+			for i, parent := range induced.Tasks {
+				local[parent] = taskgraph.TaskID(i)
+			}
+			init := make(schedule.String, 0, len(tasks))
+			for _, gene := range opts.Initial {
+				if l := local[gene.Task]; l != -1 {
+					init = append(init, schedule.Gene{Task: l, Machine: gene.Machine})
+				}
+			}
+			problems[r].initial = init
+		}
+	}
+
+	observe := newRegionObserver(opts.OnIteration, k)
+	var sem chan struct{}
+	if opts.MaxParallel > 0 && opts.MaxParallel < k {
+		sem = make(chan struct{}, opts.MaxParallel)
+	}
+	results := make([]*core.Result, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for r := range problems {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			copts := regionOptions(opts, r, observe)
+			copts.Initial = problems[r].initial
+			results[r], errs[r] = core.Run(problems[r].induced.Graph, problems[r].sys, copts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: region %d: %w", r, err)
+		}
+	}
+
+	// Merge in band order: cross-region edges all point from lower to
+	// higher bands, so the concatenation of the regions' topological
+	// strings is a topological string of the whole DAG.
+	merged := make(schedule.String, 0, g.NumTasks())
+	for r, res := range results {
+		for _, gene := range res.Best {
+			merged = append(merged, schedule.Gene{
+				Task:    problems[r].induced.ParentTask(gene.Task),
+				Machine: gene.Machine,
+			})
+		}
+	}
+	sweeps := opts.ReconcileSweeps
+	if sweeps == 0 {
+		sweeps = DefaultReconcileSweeps
+	} else if sweeps < 0 {
+		sweeps = 0
+	}
+	boundary := part.Boundary(g)
+	rec := newReconciler(g, sys, opts.Y, opts.FullEval)
+	best, ms := rec.run(merged, boundary, sweeps)
+
+	out := &Result{
+		Best:          best,
+		BestMakespan:  ms,
+		Regions:       k,
+		CutWeight:     part.CutWeight,
+		BoundaryTasks: len(boundary),
+		Elapsed:       time.Since(start),
+	}
+	counts := rec.counts()
+	for _, res := range results {
+		if res.Iterations > out.Iterations {
+			out.Iterations = res.Iterations
+		}
+		counts.Full += res.Evaluations
+		counts.Delta += res.DeltaEvaluations
+		counts.Genes += res.GenesEvaluated
+	}
+	out.Evaluations = counts.Full
+	out.DeltaEvaluations = counts.Delta
+	out.GenesEvaluated = counts.Genes
+	return out, nil
+}
+
+// runSingle is the one-region degenerate case: the region is the whole
+// DAG, so the region sweep is serial SE itself — delegate, keeping
+// single-shard runs bit-identical to core.Run.
+func runSingle(g *taskgraph.Graph, sys *platform.System, opts Options, start time.Time) (*Result, error) {
+	observe := newRegionObserver(opts.OnIteration, 1)
+	copts := regionOptions(opts, 0, observe)
+	// One region is serial SE on the whole DAG: run it under the caller's
+	// own seed and initial solution so the result is bit-identical to
+	// core.Run with the same Options — the differential tests pin this
+	// down.
+	copts.Seed = opts.Seed
+	copts.Initial = opts.Initial
+	res, err := core.Run(g, sys, copts)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	return &Result{
+		Best:             res.Best,
+		BestMakespan:     res.BestMakespan,
+		Regions:          1,
+		Iterations:       res.Iterations,
+		Evaluations:      res.Evaluations,
+		DeltaEvaluations: res.DeltaEvaluations,
+		GenesEvaluated:   res.GenesEvaluated,
+		Elapsed:          time.Since(start),
+	}, nil
+}
+
+// regionOptions builds region r's core.Options from the shard Options.
+func regionOptions(opts Options, r int, observe func(int, core.IterationStats) bool) core.Options {
+	c := core.Options{
+		Bias:          opts.Bias,
+		Y:             opts.Y,
+		InitialMoves:  opts.InitialMoves,
+		PerturbAfter:  opts.PerturbAfter,
+		FullEval:      opts.FullEval,
+		Seed:          regionSeed(opts.Seed, r),
+		MaxIterations: opts.MaxIterations,
+		TimeBudget:    opts.TimeBudget,
+		NoImprovement: opts.NoImprovement,
+	}
+	if observe != nil {
+		c.OnIteration = func(st core.IterationStats) bool { return observe(r, st) }
+	}
+	return c
+}
+
+// newRegionObserver serializes region callbacks into the caller's
+// OnIteration and fans a false return back out to every region as a stop
+// flag. It returns nil when nothing observes the run, so the region
+// engines keep their callback-free fast path.
+func newRegionObserver(onIteration func(RegionStats) bool, k int) func(int, core.IterationStats) bool {
+	if onIteration == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	stopped := false
+	regionBest := make([]float64, k)
+	return func(r int, st core.IterationStats) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return false
+		}
+		if regionBest[r] == 0 || st.BestMakespan < regionBest[r] {
+			regionBest[r] = st.BestMakespan
+		}
+		agg := 0.0
+		for _, b := range regionBest {
+			if b > agg {
+				agg = b
+			}
+		}
+		if !onIteration(RegionStats{Region: r, Regions: k, BestSoFar: agg, IterationStats: st}) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+}

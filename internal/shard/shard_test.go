@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func shardWorkload(tasks int, seed int64) *workload.Workload {
+	return workload.MustGenerate(workload.Params{
+		Tasks: tasks, Machines: 6, Connectivity: 2.5, Heterogeneity: 8, CCR: 0.5, Seed: seed,
+	})
+}
+
+// TestSingleShardBitIdenticalToSerialSE is the differential guard of the
+// degenerate case: with one region the sharded runner must return exactly
+// what serial SE returns — same best string, makespan, iterations and
+// evaluation ledger.
+func TestSingleShardBitIdenticalToSerialSE(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		w := shardWorkload(40, seed)
+		direct, err := core.Run(w.Graph, w.System, core.Options{
+			Bias: -0.1, Y: 3, Seed: seed, MaxIterations: 40,
+		})
+		if err != nil {
+			t.Fatalf("core.Run: %v", err)
+		}
+		sharded, err := Run(w.Graph, w.System, Options{
+			Shards: 1, Bias: -0.1, Y: 3, Seed: seed, MaxIterations: 40,
+		})
+		if err != nil {
+			t.Fatalf("shard.Run: %v", err)
+		}
+		if sharded.Regions != 1 {
+			t.Fatalf("Regions = %d, want 1", sharded.Regions)
+		}
+		if sharded.BestMakespan != direct.BestMakespan {
+			t.Errorf("seed %d: makespan %v != serial %v", seed, sharded.BestMakespan, direct.BestMakespan)
+		}
+		for i := range direct.Best {
+			if sharded.Best[i] != direct.Best[i] {
+				t.Fatalf("seed %d: best strings differ at gene %d", seed, i)
+			}
+		}
+		if sharded.Iterations != direct.Iterations ||
+			sharded.Evaluations != direct.Evaluations ||
+			sharded.DeltaEvaluations != direct.DeltaEvaluations ||
+			sharded.GenesEvaluated != direct.GenesEvaluated {
+			t.Errorf("seed %d: ledger differs from serial SE", seed)
+		}
+	}
+}
+
+func TestShardedRunValidAndDeterministic(t *testing.T) {
+	w := shardWorkload(60, 11)
+	run := func() *Result {
+		res, err := Run(w.Graph, w.System, Options{
+			Shards: 4, Y: 3, Seed: 11, MaxIterations: 25,
+		})
+		if err != nil {
+			t.Fatalf("shard.Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Regions < 2 {
+		t.Fatalf("Regions = %d, want a real multi-region run", a.Regions)
+	}
+	if err := schedule.Validate(a.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("sharded best is invalid: %v", err)
+	}
+	if got := schedule.NewEvaluator(w.Graph, w.System).Makespan(a.Best); got != a.BestMakespan {
+		t.Errorf("BestMakespan = %v but re-evaluating gives %v", a.BestMakespan, got)
+	}
+	if lb := schedule.LowerBound(w.Graph, w.System); a.BestMakespan < lb {
+		t.Errorf("makespan %v below lower bound %v", a.BestMakespan, lb)
+	}
+	if a.BestMakespan != b.BestMakespan || a.Evaluations != b.Evaluations || a.GenesEvaluated != b.GenesEvaluated {
+		t.Errorf("same seed, different outcomes: %v/%d/%d vs %v/%d/%d",
+			a.BestMakespan, a.Evaluations, a.GenesEvaluated, b.BestMakespan, b.Evaluations, b.GenesEvaluated)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatalf("same seed, best strings differ at gene %d", i)
+		}
+	}
+}
+
+func TestShardedDeltaVsFullIdentical(t *testing.T) {
+	// The incremental engine must be invisible in sharded results too:
+	// regions and the reconciliation pass both have full-evaluation twins.
+	w := shardWorkload(50, 13)
+	opts := Options{Shards: 3, Y: 3, Seed: 5, MaxIterations: 20}
+	delta, err := Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.FullEval = true
+	full, err := Run(w.Graph, w.System, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.BestMakespan != full.BestMakespan {
+		t.Errorf("delta makespan %v != full %v", delta.BestMakespan, full.BestMakespan)
+	}
+	for i := range delta.Best {
+		if delta.Best[i] != full.Best[i] {
+			t.Fatalf("delta and full best strings differ at gene %d", i)
+		}
+	}
+	if full.DeltaEvaluations != 0 {
+		t.Errorf("full run reported %d delta evaluations, want 0", full.DeltaEvaluations)
+	}
+	if delta.DeltaEvaluations == 0 {
+		t.Error("delta run reported no delta evaluations")
+	}
+	if delta.GenesEvaluated >= full.GenesEvaluated {
+		t.Errorf("delta run evaluated %d genes, full %d — no saving", delta.GenesEvaluated, full.GenesEvaluated)
+	}
+}
+
+// TestReconciliationNeverViolatesPrecedence is the reconciliation
+// invariant as a property test: across random workloads, shard counts and
+// seeds, the merged-and-reconciled schedule must always be a valid
+// solution.
+func TestReconciliationNeverViolatesPrecedence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		w := workload.MustGenerate(workload.Params{
+			Tasks:         20 + rng.Intn(60),
+			Machines:      2 + rng.Intn(6),
+			Connectivity:  1 + 3*rng.Float64(),
+			Heterogeneity: 1 + 10*rng.Float64(),
+			CCR:           rng.Float64(),
+			Seed:          rng.Int63(),
+		})
+		res, err := Run(w.Graph, w.System, Options{
+			Shards:          2 + rng.Intn(5),
+			Y:               1 + rng.Intn(3),
+			ReconcileSweeps: rng.Intn(3) - 1, // exercise none, default and 1
+			Seed:            rng.Int63(),
+			MaxIterations:   5 + rng.Intn(10),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+			t.Fatalf("trial %d: reconciled schedule violates precedence: %v", trial, err)
+		}
+	}
+}
+
+func TestScheduleRepairIdentityOnValidStrings(t *testing.T) {
+	w := shardWorkload(40, 17)
+	res, err := core.Run(w.Graph, w.System, core.Options{Seed: 1, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := schedule.Repair(w.Graph, res.Best)
+	for i := range res.Best {
+		if repaired[i] != res.Best[i] {
+			t.Fatalf("repair changed a valid string at gene %d", i)
+		}
+	}
+}
+
+func TestScheduleRepairFixesInvalidStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := shardWorkload(40, 17)
+	res, err := core.Run(w.Graph, w.System, core.Options{Seed: 1, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		// Shuffle segments of a valid string into an (almost surely)
+		// invalid order; repair must restore validity while preserving
+		// machines and the task multiset.
+		broken := res.Best.Clone()
+		rng.Shuffle(len(broken), func(i, j int) { broken[i], broken[j] = broken[j], broken[i] })
+		repaired := schedule.Repair(w.Graph, broken)
+		if err := schedule.Validate(repaired, w.Graph, w.System); err != nil {
+			t.Fatalf("trial %d: repaired string invalid: %v", trial, err)
+		}
+		machines := res.Best.Assignment()
+		for _, gene := range repaired {
+			if machines[gene.Task] != gene.Machine {
+				t.Fatalf("trial %d: repair changed task %d's machine", trial, gene.Task)
+			}
+		}
+	}
+}
+
+func TestObserverStopsAllRegions(t *testing.T) {
+	w := shardWorkload(60, 11)
+	calls := 0
+	res, err := Run(w.Graph, w.System, Options{
+		Shards: 4, Seed: 1, MaxIterations: 10_000,
+		OnIteration: func(st RegionStats) bool {
+			calls++
+			if st.BestSoFar <= 0 {
+				t.Errorf("BestSoFar = %v, want > 0", st.BestSoFar)
+			}
+			return calls < 6
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 10 {
+		t.Errorf("observer stop left regions running: %d iterations", res.Iterations)
+	}
+	if err := schedule.Validate(res.Best, w.Graph, w.System); err != nil {
+		t.Fatalf("stopped run returned invalid best: %v", err)
+	}
+}
+
+func TestRunRejectsUnboundedAndBadOptions(t *testing.T) {
+	w := shardWorkload(30, 1)
+	if _, err := Run(w.Graph, w.System, Options{Shards: 2}); err == nil {
+		t.Error("Run accepted a run with no stopping criterion")
+	}
+	if _, err := Run(w.Graph, w.System, Options{Shards: -1, MaxIterations: 5}); err == nil {
+		t.Error("Run accepted negative Shards")
+	}
+}

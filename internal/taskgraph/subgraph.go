@@ -1,0 +1,65 @@
+package taskgraph
+
+import "fmt"
+
+// Induced is the subgraph of a parent Graph induced by a task subset,
+// together with the mapping from its dense local IDs back to the parent's.
+// The shard layer (internal/shard) pairs it with platform.Subsystem to
+// build per-region subproblems that every scheduler can run on unchanged.
+type Induced struct {
+	// Graph is the induced sub-DAG: the selected tasks plus every data
+	// item whose producer and consumer both lie in the selection.
+	Graph *Graph
+	// Tasks maps local task ID → parent task ID. Local IDs follow the
+	// order the tasks were given to Induce.
+	Tasks []TaskID
+	// Items maps local item ID → parent item ID, in ascending parent
+	// item-ID order.
+	Items []ItemID
+}
+
+// ParentTask returns the parent task ID of local task t.
+func (in *Induced) ParentTask(t TaskID) TaskID { return in.Tasks[t] }
+
+// Induce builds the subgraph of g induced by the given tasks: those tasks
+// (with their parent names) and every data item internal to the set. Items
+// with exactly one endpoint in the set are dropped — they become the
+// cross-region edges a caller like internal/shard reconciles separately.
+// Duplicate or out-of-range tasks are an error; the induced graph is
+// always a valid DAG because the parent is.
+func (g *Graph) Induce(tasks []TaskID) (*Induced, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("taskgraph: Induce with no tasks")
+	}
+	n := g.NumTasks()
+	local := make([]TaskID, n) // parent → local, -1 when absent
+	for t := range local {
+		local[t] = -1
+	}
+	b := NewBuilder(len(tasks))
+	for i, t := range tasks {
+		if t < 0 || int(t) >= n {
+			return nil, fmt.Errorf("taskgraph: Induce: task %d out of range [0,%d)", t, n)
+		}
+		if local[t] != -1 {
+			return nil, fmt.Errorf("taskgraph: Induce: task %d listed twice", t)
+		}
+		local[t] = TaskID(i)
+		b.AddTask(g.Name(t))
+	}
+	in := &Induced{Tasks: append([]TaskID(nil), tasks...)}
+	for _, it := range g.Items() {
+		p, c := local[it.Producer], local[it.Consumer]
+		if p == -1 || c == -1 {
+			continue
+		}
+		b.AddItem(p, c, it.Size)
+		in.Items = append(in.Items, it.ID)
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("taskgraph: Induce: %w", err)
+	}
+	in.Graph = sub
+	return in, nil
+}

@@ -1,0 +1,64 @@
+package taskgraph
+
+import "testing"
+
+// subgraphDiamond builds s0 → {s1, s2} → s3 with item sizes 1, 2, 3, 4.
+func subgraphDiamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	t0 := b.AddTask("a")
+	t1 := b.AddTask("b")
+	t2 := b.AddTask("c")
+	t3 := b.AddTask("d")
+	b.AddItem(t0, t1, 1)
+	b.AddItem(t0, t2, 2)
+	b.AddItem(t1, t3, 3)
+	b.AddItem(t2, t3, 4)
+	return b.MustBuild()
+}
+
+func TestInduceKeepsInternalEdgesOnly(t *testing.T) {
+	g := subgraphDiamond(t)
+	in, err := g.Induce([]TaskID{0, 1, 3})
+	if err != nil {
+		t.Fatalf("Induce: %v", err)
+	}
+	if in.Graph.NumTasks() != 3 {
+		t.Fatalf("NumTasks = %d, want 3", in.Graph.NumTasks())
+	}
+	// Internal items: 0→1 (size 1) and 1→3 (size 3); 0→2 and 2→3 are cut.
+	if in.Graph.NumItems() != 2 {
+		t.Fatalf("NumItems = %d, want 2", in.Graph.NumItems())
+	}
+	if len(in.Items) != 2 || in.Items[0] != 0 || in.Items[1] != 2 {
+		t.Fatalf("Items = %v, want [0 2]", in.Items)
+	}
+	if got := in.Graph.Item(0).Size; got != 1 {
+		t.Errorf("item 0 size = %v, want 1", got)
+	}
+	if got := in.Graph.Item(1).Size; got != 3 {
+		t.Errorf("item 1 size = %v, want 3", got)
+	}
+	// Names and parent mapping follow the given task order.
+	for i, parent := range []TaskID{0, 1, 3} {
+		if in.ParentTask(TaskID(i)) != parent {
+			t.Errorf("ParentTask(%d) = %d, want %d", i, in.ParentTask(TaskID(i)), parent)
+		}
+		if in.Graph.Name(TaskID(i)) != g.Name(parent) {
+			t.Errorf("name of local %d = %q, want %q", i, in.Graph.Name(TaskID(i)), g.Name(parent))
+		}
+	}
+}
+
+func TestInduceRejectsBadInput(t *testing.T) {
+	g := subgraphDiamond(t)
+	if _, err := g.Induce(nil); err == nil {
+		t.Error("Induce accepted an empty task set")
+	}
+	if _, err := g.Induce([]TaskID{0, 4}); err == nil {
+		t.Error("Induce accepted an out-of-range task")
+	}
+	if _, err := g.Induce([]TaskID{1, 1}); err == nil {
+		t.Error("Induce accepted a duplicated task")
+	}
+}

@@ -35,6 +35,16 @@ var presets = map[string]func() *Workload{
 			CCR: HighCCR, Seed: 1,
 		})
 	},
+	// xlarge is the sharding scale: deep enough for ≥4 weakly-coupled
+	// level bands, large enough that serial allocation sweeps dominate
+	// wall clock (see the root sharding benchmark).
+	"xlarge": func() *Workload {
+		return MustGenerate(Params{
+			Tasks: 500, Machines: 24,
+			Connectivity: HighConnectivity, Heterogeneity: HighHeterogeneity,
+			CCR: 0.5, Seed: 1,
+		})
+	},
 }
 
 // Preset returns the named deterministic workload. Unknown names return an
