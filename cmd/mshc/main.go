@@ -21,6 +21,15 @@
 //	mshc -algo ga -budget 5s -workload w.json -v
 //	mshc -algo se -figure1 -json
 //	mshc -algo se -iters 500 -workload w.json -server http://localhost:8037
+//
+// Runs are resumable: -snapshot FILE serializes the search's complete
+// state (rng stream position included) after the budget, and -resume FILE
+// continues a snapshotted search for another budget — bit-identical to
+// never having stopped, so a 10-iteration run snapshotted and resumed for
+// 10 more equals one 20-iteration run exactly:
+//
+//	mshc -algo se -iters 10 -seed 7 -preset large -snapshot se.snap
+//	mshc -resume se.snap -iters 10 -preset large
 package main
 
 import (
@@ -55,12 +64,14 @@ func main() {
 		yParam      = flag.Int("y", 0, "SE Y parameter: candidate machines per task (0 = all)")
 		pop         = flag.Int("pop", 0, "GA population size (0 = default 50)")
 		workers     = flag.Int("workers", 0, "parallel workers for SE allocation / GA fitness (0 = serial); for se-shard, caps concurrent region sweeps (0 = no cap)")
-		shards      = flag.Int("shards", 0, "se-shard DAG region count (0 = default 4, clamped to DAG depth)")
+		shards      = flag.Int("shards", 0, "se-shard DAG region count (0 = adaptive from depth/coupling/GOMAXPROCS, clamped to DAG depth)")
 		full        = flag.Bool("full-eval", false, "disable the incremental evaluation engine (identical results, more work)")
 		jsonOut     = flag.Bool("json", false, "emit only a JSON array of results in the service wire schema (internal/serve)")
 		server      = flag.String("server", "", "run inside a session of the mshd daemon at this URL instead of in-process")
 		verbose     = flag.Bool("v", false, "print the full schedule and evaluation counts")
 		gantt       = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
+		snapshot    = flag.String("snapshot", "", "write the search's resumable snapshot to this file after the budget")
+		resume      = flag.String("resume", "", "resume the search snapshotted in this file (algorithm comes from the snapshot) for another budget")
 	)
 	flag.Parse()
 
@@ -108,9 +119,20 @@ func main() {
 	}
 
 	var results []serve.Result
-	if *server != "" {
+	switch {
+	case *snapshot != "" || *resume != "":
+		if *server != "" {
+			fatal(fmt.Errorf("-snapshot/-resume drive the search locally; use the /search endpoints for served sessions"))
+		}
+		if len(runs) != 1 {
+			fatal(fmt.Errorf("-snapshot/-resume need a single algorithm, not -algo all"))
+		}
+		var res serve.Result
+		res, err = runResumable(w, runs[0], *snapshot, *resume)
+		results = []serve.Result{res}
+	case *server != "":
 		results, err = runServed(*server, w, runs)
-	} else {
+	default:
 		results, err = runLocal(w, runs)
 	}
 	if err != nil {
@@ -178,6 +200,59 @@ func runLocal(w *workload.Workload, runs []serve.RunRequest) ([]serve.Result, er
 		results = append(results, serve.NewResult(req.Algorithm, req.Seed, res, false))
 	}
 	return results, nil
+}
+
+// runResumable opens (or, with resumePath, restores) one resumable
+// search, drives it to the request's budget with the scheduler's standard
+// Drive loop, and optionally snapshots the paused search to snapPath. A
+// snapshotted-and-resumed run is bit-identical to an uninterrupted one.
+func runResumable(w *workload.Workload, req serve.RunRequest, snapPath, resumePath string) (serve.Result, error) {
+	var s scheduler.Search
+	var err error
+	algo := req.Algorithm
+	if resumePath != "" {
+		data, rerr := os.ReadFile(resumePath)
+		if rerr != nil {
+			return serve.Result{}, rerr
+		}
+		if algo, err = scheduler.SnapshotAlgorithm(data); err != nil {
+			return serve.Result{}, err
+		}
+		s, err = scheduler.Restore(algo, data, w.Graph, w.System)
+	} else {
+		opts := []scheduler.Option{
+			scheduler.WithSeed(req.Seed),
+			scheduler.WithWorkers(req.Workers),
+			scheduler.WithBias(req.Bias),
+			scheduler.WithY(req.Y),
+			scheduler.WithPopulation(req.Population),
+			scheduler.WithShards(req.Shards),
+		}
+		if req.FullEval {
+			opts = append(opts, scheduler.WithFullEval())
+		}
+		s, err = scheduler.Open(algo, w.Graph, w.System, opts...)
+	}
+	if err != nil {
+		return serve.Result{}, err
+	}
+	res, err := scheduler.Drive(context.Background(), s, scheduler.Budget{
+		MaxIterations: req.MaxIterations,
+		TimeBudget:    time.Duration(req.TimeBudgetMS * float64(time.Millisecond)),
+	})
+	if err != nil {
+		return serve.Result{}, err
+	}
+	if snapPath != "" {
+		data, serr := s.Snapshot()
+		if serr != nil {
+			return serve.Result{}, serr
+		}
+		if serr := os.WriteFile(snapPath, data, 0o644); serr != nil {
+			return serve.Result{}, serr
+		}
+	}
+	return serve.NewResult(algo, req.Seed, res, false), nil
 }
 
 // runServed executes every run inside one session of an mshd daemon: the

@@ -17,8 +17,12 @@
 // Beyond the paper, the repository scales the heuristic up: an
 // incremental evaluation engine answers candidate moves by checkpointed
 // suffix replay, a sharded runner partitions large DAGs into
-// weakly-coupled regions swept in parallel, and a session-pinned serving
-// layer exposes it all as a long-lived HTTP service (see DESIGN.md).
+// weakly-coupled regions swept in parallel, every algorithm is a
+// resumable search engine (Open/Step/Snapshot/Restore, with versioned
+// snapshots that continue bit-identically after a restore), and a
+// session-pinned serving layer exposes it all — pinned live searches,
+// step/snapshot/resume and whole-session evict/revive included — as a
+// long-lived HTTP service (see DESIGN.md).
 //
 // Package layout:
 //
@@ -26,13 +30,15 @@
 //	internal/platform    machines, E and Tr matrices, interconnect topologies
 //	internal/schedule    solution encoding + full and incremental evaluators
 //	internal/workload    workload generator + the paper's Figure-1 example
-//	internal/core        the SE scheduler (the paper's contribution)
+//	internal/core        the SE engine (the paper's contribution), steppable
 //	internal/shard       DAG region partitioning + parallel sharded SE
 //	internal/ga          the Wang et al. GA baseline
 //	internal/heuristics  HEFT, CPOP, Min-Min, Max-Min, Sufferage, MCT, random
 //	internal/sa          simulated-annealing extension
 //	internal/tabu        tabu-search extension
-//	internal/scheduler   the common Scheduler interface + registry
+//	internal/scheduler   Scheduler interface, registry + resumable Search API
+//	internal/snap        versioned binary snapshot codec
+//	internal/xrand       draw-counting, restorable random source
 //	internal/runner      wall-clock races and parallel trials
 //	internal/serve       session-pinned batched serving layer + HTTP client
 //	internal/stats       series, summaries and quantiles

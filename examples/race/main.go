@@ -53,11 +53,8 @@ func main() {
 	}
 	var contenders []runner.Contender
 	for _, name := range names {
-		s, err := scheduler.Get(name, experiments.TunedOptions(name, *machines, *seed, 0, 0)...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		contenders = append(contenders, runner.Entry(name, s, w.Graph, w.System))
+		contenders = append(contenders, runner.Entry(name, name, w.Graph, w.System,
+			experiments.TunedOptions(name, *machines, *seed, 0, 0)...))
 	}
 
 	series, err := runner.Race(context.Background(), *budget, contenders)

@@ -13,7 +13,7 @@ import (
 	"repro/internal/workload"
 )
 
-func testEngine(t *testing.T, opts Options) (*engine, *workload.Workload) {
+func testEngine(t *testing.T, opts Options) (*Engine, *workload.Workload) {
 	t.Helper()
 	w := workload.MustGenerate(workload.Params{
 		Tasks: 24, Machines: 5, Connectivity: 2.5, Heterogeneity: 6, CCR: 0.8, Seed: 31,

@@ -9,23 +9,59 @@ import (
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/taskgraph"
+	"repro/internal/xrand"
 )
 
 // Run executes the SE heuristic on graph g over system sys and returns the
-// best solution found.
+// best solution found. It is a budget loop over an Engine: NewEngine +
+// repeated Step calls produce the bit-identical search, one generation at
+// a time, for callers that need to pause, observe, snapshot or resume the
+// run (see the resumable-search API in internal/scheduler).
 func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
-	e, err := newEngine(g, sys, opts)
+	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
+		return nil, fmt.Errorf("core: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
+	}
+	e, err := NewEngine(g, sys, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(), nil
+	start := time.Now()
+	var trace []IterationStats
+	for {
+		st := e.Step()
+		if opts.RecordTrace {
+			trace = append(trace, st)
+		}
+		if opts.OnIteration != nil && !opts.OnIteration(st) {
+			break
+		}
+		if opts.MaxIterations > 0 && e.iter >= opts.MaxIterations {
+			break
+		}
+		if opts.TimeBudget > 0 && time.Since(start) >= opts.TimeBudget {
+			break
+		}
+		if opts.NoImprovement > 0 && e.sinceImproved >= opts.NoImprovement {
+			break
+		}
+	}
+	res := e.Result()
+	res.Trace = trace
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
-type engine struct {
+// Engine is one SE search in progress: the paper's
+// evaluation–selection–allocation loop with its state held between
+// generations, so a caller can drive it one Step at a time, read the best
+// solution mid-run, and Snapshot/Restore it across process boundaries.
+// Engines are not safe for concurrent use.
+type Engine struct {
 	g     *taskgraph.Graph
 	sys   *platform.System
 	opts  Options
 	rng   *rand.Rand
+	src   *xrand.Source // rng's counting source, for snapshots
 	eval  *schedule.Evaluator
 	delta *schedule.DeltaEvaluator // incremental engine; nil under Options.FullEval
 
@@ -39,39 +75,28 @@ type engine struct {
 	moveBuf  schedule.String // scratch for applying the winning move
 	selected []taskgraph.TaskID
 
+	best          schedule.String
+	bestMs        float64
+	iter          int
+	sinceImproved int
+	// pendingKick defers a stagnation perturbation to the start of the
+	// next Step, exactly where the pre-resumable loop applied it (after
+	// the stopping checks), so a run stopped at the stagnant generation
+	// never pays the kick.
+	pendingKick bool
+	mover       *schedule.Mover // lazily created for PerturbAfter kicks
+	elapsed     time.Duration   // accumulated Step time, survives snapshots
+
 	pool *allocPool // nil when running serially
 }
 
-func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine, error) {
-	if g.NumTasks() != sys.NumTasks() {
-		return nil, fmt.Errorf("core: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
-	}
-	if g.NumItems() != sys.NumItems() {
-		return nil, fmt.Errorf("core: graph has %d items but system is sized for %d", g.NumItems(), sys.NumItems())
-	}
-	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
-		return nil, fmt.Errorf("core: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
-	}
-	if opts.MaxIterations < 0 {
-		return nil, fmt.Errorf("core: MaxIterations = %d, want >= 0", opts.MaxIterations)
-	}
-	if opts.Y < 0 {
-		return nil, fmt.Errorf("core: Y = %d, want >= 0", opts.Y)
-	}
-	n := g.NumTasks()
-	e := &engine{
-		g:        g,
-		sys:      sys,
-		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		eval:     schedule.NewEvaluator(g, sys),
-		opt:      OptimalFinishTimes(g, sys),
-		finish:   make([]float64, n),
-		goodness: make([]float64, n),
-		levels:   g.Levels(),
-		pos:      make([]int, n),
-		moveBuf:  make(schedule.String, n),
-		selected: make([]taskgraph.TaskID, 0, n),
+// NewEngine validates opts and builds a ready-to-Step engine positioned
+// before its first generation. Unlike Run, no stopping criterion is
+// required: the caller's Step loop bounds the search.
+func NewEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
+	e, err := newShell(g, sys, opts)
+	if err != nil {
+		return nil, err
 	}
 	if opts.Initial != nil {
 		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
@@ -80,6 +105,44 @@ func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine,
 		e.cur = opts.Initial.Clone()
 	} else {
 		e.cur = e.initialSolution()
+	}
+	e.best = e.cur.Clone()
+	e.bestMs = e.eval.Makespan(e.best)
+	return e, nil
+}
+
+// newShell builds an engine with everything but the search state (current
+// and best solutions, counters): the shared half of NewEngine and the
+// snapshot Restore path.
+func newShell(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
+	if g.NumTasks() != sys.NumTasks() {
+		return nil, fmt.Errorf("core: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
+	}
+	if g.NumItems() != sys.NumItems() {
+		return nil, fmt.Errorf("core: graph has %d items but system is sized for %d", g.NumItems(), sys.NumItems())
+	}
+	if opts.MaxIterations < 0 {
+		return nil, fmt.Errorf("core: MaxIterations = %d, want >= 0", opts.MaxIterations)
+	}
+	if opts.Y < 0 {
+		return nil, fmt.Errorf("core: Y = %d, want >= 0", opts.Y)
+	}
+	n := g.NumTasks()
+	rng, src := xrand.New(opts.Seed)
+	e := &Engine{
+		g:        g,
+		sys:      sys,
+		opts:     opts,
+		rng:      rng,
+		src:      src,
+		eval:     schedule.NewEvaluator(g, sys),
+		opt:      OptimalFinishTimes(g, sys),
+		finish:   make([]float64, n),
+		goodness: make([]float64, n),
+		levels:   g.Levels(),
+		pos:      make([]int, n),
+		moveBuf:  make(schedule.String, n),
+		selected: make([]taskgraph.TaskID, 0, n),
 	}
 	if opts.Workers > 1 {
 		e.pool = newAllocPool(g, sys, opts.Workers, opts.FullEval)
@@ -91,11 +154,16 @@ func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine,
 	return e, nil
 }
 
+// newEngine is kept for the in-package unit tests.
+func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
+	return NewEngine(g, sys, opts)
+}
+
 // initialSolution implements §4.2: random machine per task, tasks laid out
 // in (deterministic) topological order, then a random number of random
 // position moves within valid ranges. The perturbation moves positions
 // only — machines stay as initially drawn — matching the paper's wording.
-func (e *engine) initialSolution() schedule.String {
+func (e *Engine) initialSolution() schedule.String {
 	n := e.g.NumTasks()
 	assign := make([]taskgraph.MachineID, n)
 	for t := range assign {
@@ -120,81 +188,97 @@ func (e *engine) initialSolution() schedule.String {
 	return s
 }
 
-func (e *engine) run() *Result {
-	start := time.Now()
-	res := &Result{}
-	best := e.cur.Clone()
-	bestMs := e.eval.Makespan(best)
-	sinceImproved := 0
-	var mover *schedule.Mover // lazily created for PerturbAfter kicks
-
-	iter := 0
-	for {
-		// Evaluation (§4.3): finish times of the current solution give Cᵢ.
-		curMs := e.eval.FinishInto(e.cur, e.finish)
-		if curMs < bestMs {
-			bestMs = curMs
-			copy(best, e.cur)
-			sinceImproved = 0
-		} else {
-			sinceImproved++
+// Step runs one SE generation — evaluation (§4.3), selection (§4.4) and
+// allocation (§4.5), plus any perturbation kick left pending by the
+// previous generation — and returns the generation's statistics. The
+// stats are captured after selection, before allocation, matching what
+// Options.OnIteration historically observed.
+func (e *Engine) Step() IterationStats {
+	stepStart := time.Now()
+	if e.pendingKick {
+		// Iterated-local-search kick (extension, see Options): shuffle
+		// the stagnated solution and let the next generations descend
+		// into a new basin. The best solution is already kept aside.
+		if e.mover == nil {
+			e.mover = schedule.NewMover(e.g)
 		}
-		Goodness(e.goodness, e.opt, e.finish)
-
-		// Selection (§4.4).
-		e.selectTasks()
-
-		stats := IterationStats{
-			Iteration:       iter,
-			Selected:        len(e.selected),
-			CurrentMakespan: curMs,
-			BestMakespan:    bestMs,
-			Elapsed:         time.Since(start),
-		}
-		if e.opts.RecordTrace {
-			res.Trace = append(res.Trace, stats)
-		}
-		if e.opts.OnIteration != nil && !e.opts.OnIteration(stats) {
-			iter++
-			break
-		}
-
-		// Allocation (§4.5).
-		e.allocate()
-
-		iter++
-		if e.opts.MaxIterations > 0 && iter >= e.opts.MaxIterations {
-			break
-		}
-		if e.opts.TimeBudget > 0 && time.Since(start) >= e.opts.TimeBudget {
-			break
-		}
-		if e.opts.NoImprovement > 0 && sinceImproved >= e.opts.NoImprovement {
-			break
-		}
-		if e.opts.PerturbAfter > 0 && sinceImproved > 0 && sinceImproved%e.opts.PerturbAfter == 0 {
-			// Iterated-local-search kick (extension, see Options): shuffle
-			// the stagnated solution and let the next generations descend
-			// into a new basin. The best solution is already kept aside.
-			if mover == nil {
-				mover = schedule.NewMover(e.g)
-			}
-			mover.Shuffle(e.rng, e.cur, e.sys.NumMachines(), e.g.NumTasks())
-		}
+		e.mover.Shuffle(e.rng, e.cur, e.sys.NumMachines(), e.g.NumTasks())
+		e.pendingKick = false
 	}
 
-	// The final generation's allocation may have improved on the last
-	// recorded best.
-	finalMs := e.eval.Makespan(e.cur)
-	if finalMs < bestMs {
-		bestMs = finalMs
-		copy(best, e.cur)
+	// Evaluation (§4.3): finish times of the current solution give Cᵢ.
+	curMs := e.eval.FinishInto(e.cur, e.finish)
+	if curMs < e.bestMs {
+		e.bestMs = curMs
+		copy(e.best, e.cur)
+		e.sinceImproved = 0
+	} else {
+		e.sinceImproved++
+	}
+	Goodness(e.goodness, e.opt, e.finish)
+
+	// Selection (§4.4).
+	e.selectTasks()
+
+	stats := IterationStats{
+		Iteration:       e.iter,
+		Selected:        len(e.selected),
+		CurrentMakespan: curMs,
+		BestMakespan:    e.bestMs,
+		Elapsed:         e.elapsed + time.Since(stepStart),
 	}
 
-	res.Best = best
-	res.BestMakespan = bestMs
-	res.Iterations = iter
-	res.Elapsed = time.Since(start)
+	// Allocation (§4.5).
+	e.allocate()
+
+	e.iter++
+	if e.opts.PerturbAfter > 0 && e.sinceImproved > 0 && e.sinceImproved%e.opts.PerturbAfter == 0 {
+		e.pendingKick = true
+	}
+	e.elapsed += time.Since(stepStart)
+	return stats
+}
+
+// Iterations returns the number of completed generations.
+func (e *Engine) Iterations() int { return e.iter }
+
+// SinceImproved returns the count of consecutive completed generations
+// without a best-makespan improvement — the quantity Options.NoImprovement
+// bounds.
+func (e *Engine) SinceImproved() int { return e.sinceImproved }
+
+// Elapsed returns the accumulated in-Step wall-clock time, including time
+// accumulated before a snapshot/restore cycle.
+func (e *Engine) Elapsed() time.Duration { return e.elapsed }
+
+// Result finalizes the engine's state into a Result. The final
+// generation's allocation may have improved on the last recorded best, so
+// the current solution is evaluated once more — exactly the closing step
+// of the pre-resumable run loop. The comparison is kept off the engine's
+// own best-so-far state: a mid-run Result call must not suppress the
+// improvement bookkeeping (sinceImproved resets) a later generation would
+// perform, or a search inspected mid-run would diverge from an
+// uninspected one. The engine remains steppable afterwards.
+func (e *Engine) Result() *Result {
+	best, bestMs := e.best, e.bestMs
+	if finalMs := e.eval.Makespan(e.cur); finalMs < bestMs {
+		best, bestMs = e.cur, finalMs
+	}
+	counts := e.Counts()
+	return &Result{
+		Best:             best.Clone(),
+		BestMakespan:     bestMs,
+		Iterations:       e.iter,
+		Evaluations:      counts.Full,
+		DeltaEvaluations: counts.Delta,
+		GenesEvaluated:   counts.Genes,
+		Elapsed:          e.elapsed,
+	}
+}
+
+// Counts returns the engine's evaluation-effort ledger summed over the
+// serial evaluators and any worker pool.
+func (e *Engine) Counts() schedule.EvalCounts {
 	counts := e.eval.Counts()
 	if e.delta != nil {
 		counts = counts.Add(e.delta.Counts())
@@ -202,17 +286,14 @@ func (e *engine) run() *Result {
 	if e.pool != nil {
 		counts = counts.Add(e.pool.counts())
 	}
-	res.Evaluations = counts.Full
-	res.DeltaEvaluations = counts.Delta
-	res.GenesEvaluated = counts.Genes
-	return res
+	return counts
 }
 
 // selectTasks fills e.selected with the selection set S: task sᵢ is selected
 // when a uniform draw in [0,1) is greater than gᵢ + B. The set is then
 // ordered by ascending DAG level (ties by task ID), the order in which
 // allocation will reconsider the tasks.
-func (e *engine) selectTasks() {
+func (e *Engine) selectTasks() {
 	e.selected = e.selected[:0]
 	for t := 0; t < e.g.NumTasks(); t++ {
 		if e.rng.Float64() > e.goodness[t]+e.opts.Bias {
@@ -237,7 +318,7 @@ func (e *engine) selectTasks() {
 // e.pos is rebuilt once per generation and then maintained incrementally:
 // applying a move idx→q only shifts the genes in [min(idx,q), max(idx,q)],
 // so only that span's entries are rewritten between selected tasks.
-func (e *engine) allocate() {
+func (e *Engine) allocate() {
 	e.cur.Positions(e.pos)
 	for _, t := range e.selected {
 		idx := e.pos[t]

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/snap"
+	"repro/internal/taskgraph"
+	"repro/internal/xrand"
+)
+
+// Snapshot format: magic + version gate the layout; bump engineSnapVersion
+// on any field change.
+const (
+	engineSnapMagic   = "SEEN"
+	engineSnapVersion = 1
+)
+
+// Snapshot encodes the engine's complete search state — options, rng
+// stream position, current and best solutions, counters and pending
+// perturbation — as a versioned, deterministic byte string. An engine
+// restored from it continues bit-identically to this one. The evaluators'
+// checkpoints are not encoded: they are a pure function of the current
+// solution and are rebuilt (re-pinned) on the first post-restore
+// allocation. The effort ledger (Counts) restarts at zero in the restored
+// process.
+func (e *Engine) Snapshot() ([]byte, error) {
+	w := snap.NewWriter(engineSnapMagic, engineSnapVersion)
+	w.F64(e.opts.Bias)
+	w.Int(e.opts.Y)
+	w.Int(e.opts.PerturbAfter)
+	w.Int(e.opts.Workers)
+	w.Bool(e.opts.FullEval)
+	seed, draws := e.src.Snapshot()
+	w.I64(seed)
+	w.U64(draws)
+	schedule.AppendSnap(w, e.cur)
+	schedule.AppendSnap(w, e.best)
+	w.F64(e.bestMs)
+	w.Int(e.iter)
+	w.Int(e.sinceImproved)
+	w.Bool(e.pendingKick)
+	w.I64(int64(e.elapsed))
+	return w.Bytes(), nil
+}
+
+// RestoreEngine rebuilds an Engine from a Snapshot against the same
+// (graph, system) pair the snapshot was taken on. Mismatched workloads,
+// truncated or corrupted bytes surface as errors, never panics.
+func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engine, error) {
+	r, err := snap.NewReader(data, engineSnapMagic, engineSnapVersion)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	var opts Options
+	opts.Bias = r.F64()
+	opts.Y = r.Int()
+	opts.PerturbAfter = r.Int()
+	opts.Workers = r.Int()
+	opts.FullEval = r.Bool()
+	seed := r.I64()
+	draws := r.U64()
+	cur := schedule.ReadSnap(r)
+	best := schedule.ReadSnap(r)
+	bestMs := r.F64()
+	iter := r.Int()
+	sinceImproved := r.Int()
+	pendingKick := r.Bool()
+	elapsed := time.Duration(r.I64())
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	if iter < 0 || sinceImproved < 0 || elapsed < 0 {
+		return nil, fmt.Errorf("core: restore: negative counters (iter %d, sinceImproved %d, elapsed %v)", iter, sinceImproved, elapsed)
+	}
+	opts.Seed = seed
+	e, err := newShell(g, sys, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	if err := schedule.Validate(cur, g, sys); err != nil {
+		return nil, fmt.Errorf("core: restore: current solution: %w", err)
+	}
+	if err := schedule.Validate(best, g, sys); err != nil {
+		return nil, fmt.Errorf("core: restore: best solution: %w", err)
+	}
+	e.rng, e.src = xrand.NewRestored(seed, draws)
+	e.cur = cur
+	e.best = best
+	e.bestMs = bestMs
+	e.iter = iter
+	e.sinceImproved = sinceImproved
+	e.pendingKick = pendingKick
+	e.elapsed = elapsed
+	return e, nil
+}

@@ -36,7 +36,7 @@ type Config struct {
 	// (0/1 = serial).
 	Workers int
 	// Shards is se-shard's requested DAG region count when it races
-	// (0 = shard.DefaultShards).
+	// (0 = adaptive, see shard.AdaptiveShards).
 	Shards int
 	// Algos names the registered schedulers raced in Figures 5–7
 	// (scheduler.Names() lists them). Empty means the paper's pairing,

@@ -87,11 +87,8 @@ func raceContenders(cfg Config, w *workload.Workload) ([]runner.Contender, error
 	names := cfg.raceAlgos()
 	out := make([]runner.Contender, len(names))
 	for i, name := range names {
-		s, err := scheduler.Get(name, TunedOptions(name, cfg.Machines, cfg.Seed, cfg.Workers, cfg.Shards)...)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = runner.Entry(displayName(name), s, w.Graph, w.System)
+		out[i] = runner.Entry(displayName(name), name, w.Graph, w.System,
+			TunedOptions(name, cfg.Machines, cfg.Seed, cfg.Workers, cfg.Shards)...)
 	}
 	return out, nil
 }

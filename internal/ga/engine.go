@@ -10,16 +10,43 @@ import (
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/taskgraph"
+	"repro/internal/xrand"
 )
 
 // Run executes the GA on graph g over system sys and returns the best
-// solution found.
+// solution found: a budget loop over an Engine, one generation per Step.
 func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
-	e, err := newEngine(g, sys, opts)
+	if opts.MaxGenerations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnGeneration == nil {
+		return nil, fmt.Errorf("ga: no stopping criterion set (MaxGenerations, TimeBudget, NoImprovement or OnGeneration)")
+	}
+	e, err := NewEngine(g, sys, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(), nil
+	start := time.Now()
+	var trace []GenerationStats
+	for {
+		st := e.Step()
+		if opts.RecordTrace {
+			trace = append(trace, st)
+		}
+		if opts.OnGeneration != nil && !opts.OnGeneration(st) {
+			break
+		}
+		if opts.MaxGenerations > 0 && e.gen >= opts.MaxGenerations {
+			break
+		}
+		if opts.TimeBudget > 0 && time.Since(start) >= opts.TimeBudget {
+			break
+		}
+		if opts.NoImprovement > 0 && e.sinceImproved >= opts.NoImprovement {
+			break
+		}
+	}
+	res := e.Result()
+	res.Trace = trace
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
 // chromosome is Wang et al.'s two-string representation.
@@ -37,14 +64,23 @@ func (c *chromosome) clone() *chromosome {
 	}
 }
 
-type engine struct {
+// Engine is one GA search in progress, steppable one generation at a time
+// and snapshottable between generations (see the resumable-search API in
+// internal/scheduler). Engines are not safe for concurrent use.
+type Engine struct {
 	g    *taskgraph.Graph
 	sys  *platform.System
 	opts Options
 	rng  *rand.Rand
+	src  *xrand.Source
 
 	pop  []*chromosome
 	next []*chromosome
+
+	best          *chromosome // best ever seen; nil before the first Step
+	gen           int
+	sinceImproved int
+	elapsed       time.Duration
 
 	evals   []*schedule.Evaluator      // one per worker (index 0 = serial path)
 	deltas  []*schedule.DeltaEvaluator // one per worker; nil under FullEval
@@ -53,12 +89,28 @@ type engine struct {
 	fitness []float64
 }
 
-func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine, error) {
+// NewEngine validates opts and builds a ready-to-Step engine with its
+// initial population drawn. Unlike Run, no stopping criterion is
+// required: the caller's Step loop bounds the search.
+func NewEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
+	e, err := newShell(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("ga: Options.Initial: %w", err)
+		}
+	}
+	e.pop = e.initialPopulation()
+	return e, nil
+}
+
+// newShell builds an engine with everything but the population — the
+// shared half of NewEngine and the snapshot Restore path.
+func newShell(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
 	if g.NumTasks() != sys.NumTasks() {
 		return nil, fmt.Errorf("ga: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
-	}
-	if opts.MaxGenerations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnGeneration == nil {
-		return nil, fmt.Errorf("ga: no stopping criterion set (MaxGenerations, TimeBudget, NoImprovement or OnGeneration)")
 	}
 	opts = opts.withDefaults()
 	if opts.PopulationSize < 2 {
@@ -73,21 +125,18 @@ func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine,
 	if opts.MutationRate < 0 || opts.MutationRate > 1 {
 		return nil, fmt.Errorf("ga: MutationRate = %v, want in [0,1]", opts.MutationRate)
 	}
-	if opts.Initial != nil {
-		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
-			return nil, fmt.Errorf("ga: Options.Initial: %w", err)
-		}
-	}
 
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	e := &engine{
+	rng, src := xrand.New(opts.Seed)
+	e := &Engine{
 		g:       g,
 		sys:     sys,
 		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		rng:     rng,
+		src:     src,
 		posBuf:  make([]int, g.NumTasks()),
 		fitness: make([]float64, opts.PopulationSize),
 	}
@@ -98,7 +147,6 @@ func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine,
 			e.deltas = append(e.deltas, schedule.NewDeltaEvaluator(g, sys))
 		}
 	}
-	e.pop = e.initialPopulation()
 	e.next = make([]*chromosome, 0, opts.PopulationSize)
 	return e, nil
 }
@@ -106,7 +154,7 @@ func newEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*engine,
 // initialPopulation draws random matchings and uniformly random topological
 // orders; when Options.Initial is set, chromosome 0 carries that solution
 // (Wang et al. seed the population with a baseline heuristic).
-func (e *engine) initialPopulation() []*chromosome {
+func (e *Engine) initialPopulation() []*chromosome {
 	pop := make([]*chromosome, e.opts.PopulationSize)
 	for i := range pop {
 		n := e.g.NumTasks()
@@ -128,55 +176,60 @@ func (e *engine) initialPopulation() []*chromosome {
 	return pop
 }
 
-func (e *engine) run() *Result {
+// Generations returns the number of completed generations.
+func (e *Engine) Generations() int { return e.gen }
+
+// SinceImproved returns the count of consecutive completed generations
+// without a best-makespan improvement — the quantity
+// Options.NoImprovement bounds.
+func (e *Engine) SinceImproved() int { return e.sinceImproved }
+
+// Elapsed returns the accumulated in-Step wall-clock time, including time
+// accumulated before a snapshot/restore cycle.
+func (e *Engine) Elapsed() time.Duration { return e.elapsed }
+
+// Step runs one GA generation — fitness evaluation, then selection,
+// crossover and mutation into the next population — and returns the
+// generation's statistics (captured after evaluation, before evolution,
+// matching what Options.OnGeneration historically observed).
+func (e *Engine) Step() GenerationStats {
 	start := time.Now()
-	res := &Result{}
-	var best *chromosome
-	sinceImproved := 0
-
-	gen := 0
-	for {
-		genBest, genMean := e.evaluate()
-		if best == nil || genBest.cost < best.cost {
-			best = genBest.clone()
-			sinceImproved = 0
-		} else {
-			sinceImproved++
-		}
-
-		stats := GenerationStats{
-			Generation:     gen,
-			BestMakespan:   best.cost,
-			GenerationBest: genBest.cost,
-			GenerationMean: genMean,
-			Elapsed:        time.Since(start),
-		}
-		if e.opts.RecordTrace {
-			res.Trace = append(res.Trace, stats)
-		}
-		if e.opts.OnGeneration != nil && !e.opts.OnGeneration(stats) {
-			gen++
-			break
-		}
-
-		e.evolve()
-
-		gen++
-		if e.opts.MaxGenerations > 0 && gen >= e.opts.MaxGenerations {
-			break
-		}
-		if e.opts.TimeBudget > 0 && time.Since(start) >= e.opts.TimeBudget {
-			break
-		}
-		if e.opts.NoImprovement > 0 && sinceImproved >= e.opts.NoImprovement {
-			break
-		}
+	genBest, genMean := e.evaluate()
+	if e.best == nil || genBest.cost < e.best.cost {
+		e.best = genBest.clone()
+		e.sinceImproved = 0
+	} else {
+		e.sinceImproved++
 	}
+	stats := GenerationStats{
+		Generation:     e.gen,
+		BestMakespan:   e.best.cost,
+		GenerationBest: genBest.cost,
+		GenerationMean: genMean,
+		Elapsed:        e.elapsed + time.Since(start),
+	}
+	e.evolve()
+	e.gen++
+	e.elapsed += time.Since(start)
+	return stats
+}
 
-	res.Best = schedule.FromOrder(best.order, best.assign)
-	res.BestMakespan = best.cost
-	res.Generations = gen
-	res.Elapsed = time.Since(start)
+// Result finalizes the engine's state into a Result. Before the first
+// Step the best chromosome is undefined, so Result evaluates the initial
+// population's chromosome 0 to return something valid. The engine remains
+// steppable afterwards.
+func (e *Engine) Result() *Result {
+	best := e.best
+	if best == nil {
+		c := e.pop[0]
+		best = &chromosome{order: c.order, assign: c.assign, cost: e.costOf(c, 0, true)}
+	}
+	res := &Result{
+		Best:         schedule.FromOrder(best.order, best.assign),
+		BestMakespan: best.cost,
+		Generations:  e.gen,
+		Elapsed:      e.elapsed,
+	}
 	var counts schedule.EvalCounts
 	for _, ev := range e.evals {
 		counts = counts.Add(ev.Counts())
@@ -193,7 +246,7 @@ func (e *engine) run() *Result {
 // evaluate computes every chromosome's schedule length, optionally fanned
 // out over the worker evaluators, and returns the generation's best
 // chromosome and mean cost.
-func (e *engine) evaluate() (genBest *chromosome, genMean float64) {
+func (e *Engine) evaluate() (genBest *chromosome, genMean float64) {
 	nw := len(e.evals)
 	if nw > 1 && len(e.pop) >= 2*nw {
 		var wg sync.WaitGroup
@@ -239,7 +292,7 @@ func (e *engine) evaluate() (genBest *chromosome, genMean float64) {
 // tracks the population; everything else takes the plain full pass — a
 // shallow-prefix replay would cost more than it saves. All paths return
 // bit-identical costs.
-func (e *engine) costOf(c *chromosome, worker int, rebase bool) float64 {
+func (e *Engine) costOf(c *chromosome, worker int, rebase bool) float64 {
 	buf := e.bufs[worker]
 	for i, t := range c.order {
 		buf[i] = schedule.Gene{Task: t, Machine: c.assign[t]}
@@ -266,7 +319,7 @@ func (e *engine) costOf(c *chromosome, worker int, rebase bool) float64 {
 
 // evolve produces the next generation: elitism, roulette-wheel selection on
 // fitness = (worst cost − cost), crossover, mutation.
-func (e *engine) evolve() {
+func (e *Engine) evolve() {
 	e.next = e.next[:0]
 
 	// Elitism: carry the best chromosomes over unchanged.
@@ -309,7 +362,7 @@ func (e *engine) evolve() {
 
 // spin picks one parent by roulette wheel over e.fitness; a zero wheel
 // (all chromosomes equally bad) degenerates to uniform choice.
-func (e *engine) spin(totalFit float64) *chromosome {
+func (e *Engine) spin(totalFit float64) *chromosome {
 	if totalFit <= 0 {
 		return e.pop[e.rng.Intn(len(e.pop))]
 	}

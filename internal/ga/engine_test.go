@@ -14,11 +14,11 @@ func TestEvaluateSmallPopulationSkipsWorkerFanout(t *testing.T) {
 	w := workload.MustGenerate(workload.Params{
 		Tasks: 10, Machines: 3, Connectivity: 2, Heterogeneity: 4, CCR: 0.5, Seed: 1,
 	})
-	e, err := newEngine(w.Graph, w.System, Options{
+	e, err := NewEngine(w.Graph, w.System, Options{
 		MaxGenerations: 1, Seed: 1, PopulationSize: 4, Workers: 8,
 	})
 	if err != nil {
-		t.Fatalf("newEngine: %v", err)
+		t.Fatalf("NewEngine: %v", err)
 	}
 	genBest, mean := e.evaluate()
 	if genBest == nil || genBest.cost <= 0 {
@@ -42,11 +42,11 @@ func TestEvaluateParallelMatchesSerialCosts(t *testing.T) {
 		Tasks: 20, Machines: 4, Connectivity: 2, Heterogeneity: 4, CCR: 0.5, Seed: 2,
 	})
 	mk := func(workers int) []float64 {
-		e, err := newEngine(w.Graph, w.System, Options{
+		e, err := NewEngine(w.Graph, w.System, Options{
 			MaxGenerations: 1, Seed: 7, PopulationSize: 30, Workers: workers,
 		})
 		if err != nil {
-			t.Fatalf("newEngine: %v", err)
+			t.Fatalf("NewEngine: %v", err)
 		}
 		e.evaluate()
 		out := make([]float64, len(e.pop))

@@ -14,7 +14,7 @@ import (
 // all its predecessors in the prefix (they preceded it in the same parent's
 // topological order), and tasks in the suffix keep a relative order taken
 // from a topological order of the other parent.
-func (e *engine) orderCrossover(c1, c2 *chromosome) {
+func (e *Engine) orderCrossover(c1, c2 *chromosome) {
 	n := len(c1.order)
 	if n < 2 {
 		return
@@ -48,7 +48,7 @@ func crossOrders(a, b []taskgraph.TaskID, cut int) []taskgraph.TaskID {
 // both children in place: machine assignments of tasks with ID ≥ cut are
 // exchanged. Matching strings carry no ordering constraints, so any
 // exchange is valid.
-func (e *engine) matchingCrossover(c1, c2 *chromosome) {
+func (e *Engine) matchingCrossover(c1, c2 *chromosome) {
 	n := len(c1.assign)
 	if n < 2 {
 		return
@@ -63,7 +63,7 @@ func (e *engine) matchingCrossover(c1, c2 *chromosome) {
 // (one task is reassigned to a uniformly random machine) and a scheduling
 // mutation (one task is moved to a random position within its valid range,
 // keeping the order topological).
-func (e *engine) mutate(c *chromosome) {
+func (e *Engine) mutate(c *chromosome) {
 	if e.rng.Float64() < e.opts.MutationRate {
 		t := e.rng.Intn(len(c.assign))
 		c.assign[t] = taskgraph.MachineID(e.rng.Intn(e.sys.NumMachines()))
@@ -73,7 +73,7 @@ func (e *engine) mutate(c *chromosome) {
 	}
 }
 
-func (e *engine) orderMutation(c *chromosome) {
+func (e *Engine) orderMutation(c *chromosome) {
 	n := len(c.order)
 	idx := e.rng.Intn(n)
 	t := c.order[idx]

@@ -10,14 +10,14 @@ import (
 )
 
 // testEngine builds an engine over a random workload for operator tests.
-func testEngine(t *testing.T, seed int64) *engine {
+func testEngine(t *testing.T, seed int64) *Engine {
 	t.Helper()
 	w := workload.MustGenerate(workload.Params{
 		Tasks: 25, Machines: 5, Connectivity: 3, Heterogeneity: 6, CCR: 0.8, Seed: seed,
 	})
-	e, err := newEngine(w.Graph, w.System, Options{MaxGenerations: 1, Seed: seed})
+	e, err := NewEngine(w.Graph, w.System, Options{MaxGenerations: 1, Seed: seed})
 	if err != nil {
-		t.Fatalf("newEngine: %v", err)
+		t.Fatalf("NewEngine: %v", err)
 	}
 	return e
 }

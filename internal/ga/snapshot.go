@@ -1,0 +1,127 @@
+package ga
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/snap"
+	"repro/internal/taskgraph"
+	"repro/internal/xrand"
+)
+
+// Snapshot format: magic + version gate the layout; bump on field changes.
+const (
+	engineSnapMagic   = "GAEN"
+	engineSnapVersion = 1
+)
+
+// chromosomeString renders c in the combined encoding for snapshots: the
+// two Wang-et-al strings round-trip losslessly through it because order
+// is a permutation, so Assignment() recovers every task's machine.
+func chromosomeString(c *chromosome) schedule.String {
+	return schedule.FromOrder(c.order, c.assign)
+}
+
+// Snapshot encodes the search's complete state — options, rng stream
+// position, the full population and the best chromosome — as a versioned,
+// deterministic byte string. A restored engine continues bit-identically.
+// Population costs are not encoded: Step re-evaluates the population
+// before using them, and the evaluators are exact either way.
+func (e *Engine) Snapshot() ([]byte, error) {
+	w := snap.NewWriter(engineSnapMagic, engineSnapVersion)
+	w.Int(e.opts.PopulationSize)
+	w.F64(e.opts.CrossoverRate)
+	w.F64(e.opts.MutationRate)
+	w.Int(e.opts.Elitism)
+	w.Int(e.opts.Workers)
+	w.Bool(e.opts.FullEval)
+	seed, draws := e.src.Snapshot()
+	w.I64(seed)
+	w.U64(draws)
+	w.Int(len(e.pop))
+	for _, c := range e.pop {
+		schedule.AppendSnap(w, chromosomeString(c))
+	}
+	w.Bool(e.best != nil)
+	if e.best != nil {
+		schedule.AppendSnap(w, chromosomeString(e.best))
+		w.F64(e.best.cost)
+	}
+	w.Int(e.gen)
+	w.Int(e.sinceImproved)
+	w.I64(int64(e.elapsed))
+	return w.Bytes(), nil
+}
+
+// RestoreEngine rebuilds an Engine from a Snapshot against the same
+// (graph, system) pair. Every decoded chromosome is validated as a
+// complete topological solution before use, so corrupted snapshots error
+// instead of corrupting the search.
+func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engine, error) {
+	r, err := snap.NewReader(data, engineSnapMagic, engineSnapVersion)
+	if err != nil {
+		return nil, fmt.Errorf("ga: restore: %w", err)
+	}
+	var opts Options
+	opts.PopulationSize = r.Int()
+	opts.CrossoverRate = r.F64()
+	opts.MutationRate = r.F64()
+	opts.Elitism = r.Int()
+	opts.Workers = r.Int()
+	opts.FullEval = r.Bool()
+	seed := r.I64()
+	draws := r.U64()
+	popLen := r.Len(1)
+	var pop []*chromosome
+	readChromosome := func(what string) (*chromosome, error) {
+		s := schedule.ReadSnap(r)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if err := schedule.Validate(s, g, sys); err != nil {
+			return nil, fmt.Errorf("%s: %w", what, err)
+		}
+		return &chromosome{order: s.Order(), assign: s.Assignment()}, nil
+	}
+	for i := 0; i < popLen; i++ {
+		c, err := readChromosome(fmt.Sprintf("chromosome %d", i))
+		if err != nil {
+			return nil, fmt.Errorf("ga: restore: %w", err)
+		}
+		pop = append(pop, c)
+	}
+	var best *chromosome
+	if r.Bool() {
+		best, err = readChromosome("best chromosome")
+		if err != nil {
+			return nil, fmt.Errorf("ga: restore: %w", err)
+		}
+		best.cost = r.F64()
+	}
+	gen := r.Int()
+	sinceImproved := r.Int()
+	elapsed := time.Duration(r.I64())
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("ga: restore: %w", err)
+	}
+	if gen < 0 || sinceImproved < 0 || elapsed < 0 {
+		return nil, fmt.Errorf("ga: restore: negative counters")
+	}
+	opts.Seed = seed
+	e, err := newShell(g, sys, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ga: restore: %w", err)
+	}
+	if popLen != e.opts.PopulationSize {
+		return nil, fmt.Errorf("ga: restore: population has %d chromosomes, options say %d", popLen, e.opts.PopulationSize)
+	}
+	e.rng, e.src = xrand.NewRestored(seed, draws)
+	e.pop = pop
+	e.best = best
+	e.gen = gen
+	e.sinceImproved = sinceImproved
+	e.elapsed = elapsed
+	return e, nil
+}

@@ -25,26 +25,34 @@ type Contender struct {
 	Run  func(ctx context.Context, budget time.Duration, record func(time.Duration, float64)) (float64, error)
 }
 
-// Entry adapts any scheduler.Scheduler to a race Contender: the race's
-// wall-clock budget becomes the scheduler's TimeBudget, and per-iteration
-// progress is sampled into the contender's best-so-far series. This is
-// the single adapter for every registered algorithm — metaheuristics
-// stream their convergence, constructive heuristics contribute their one
-// solution.
-func Entry(name string, s scheduler.Scheduler, g *taskgraph.Graph, sys *platform.System) Contender {
+// Entry adapts any registered algorithm to a race Contender by driving
+// the resumable-search API directly: the contender Opens a Search, Steps
+// it until the race's wall-clock budget (or the context) expires, and
+// samples each iteration's best-so-far into its series. This is the
+// single adapter for every registry name — metaheuristics stream their
+// convergence, constructive heuristics contribute their one solution —
+// and because the search is externally driven, a race harness can also
+// pause or snapshot a contender mid-race through the same Search.
+func Entry(display, algorithm string, g *taskgraph.Graph, sys *platform.System, opts ...scheduler.Option) Contender {
 	return Contender{
-		Name: name,
+		Name: display,
 		Run: func(ctx context.Context, budget time.Duration, record func(time.Duration, float64)) (float64, error) {
-			res, err := s.Schedule(ctx, g, sys, scheduler.Budget{
-				TimeBudget: budget,
-				OnProgress: func(p scheduler.Progress) bool {
-					record(p.Elapsed, p.Best)
-					return true
-				},
-			})
+			s, err := scheduler.Open(algorithm, g, sys, opts...)
 			if err != nil {
 				return 0, err
 			}
+			start := time.Now()
+			for time.Since(start) < budget && ctx.Err() == nil {
+				p, more := s.Step(ctx)
+				record(p.Elapsed, p.Best)
+				if !more {
+					break
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			res := s.Best()
 			record(res.Elapsed, res.Makespan)
 			return res.Makespan, nil
 		},

@@ -20,9 +20,9 @@ func raceWorkload() *workload.Workload {
 func TestRaceProducesSeriesPerContender(t *testing.T) {
 	w := raceWorkload()
 	series, err := runner.Race(context.Background(), 150*time.Millisecond, []runner.Contender{
-		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(1), scheduler.WithY(2)), w.Graph, w.System),
-		runner.Entry("GA", scheduler.MustGet("ga", scheduler.WithSeed(1)), w.Graph, w.System),
-		runner.Entry("SA", scheduler.MustGet("sa", scheduler.WithSeed(1)), w.Graph, w.System),
+		runner.Entry("SE", "se", w.Graph, w.System, scheduler.WithSeed(1), scheduler.WithY(2)),
+		runner.Entry("GA", "ga", w.Graph, w.System, scheduler.WithSeed(1)),
+		runner.Entry("SA", "sa", w.Graph, w.System, scheduler.WithSeed(1)),
 	})
 	if err != nil {
 		t.Fatalf("Race: %v", err)
@@ -46,7 +46,7 @@ func TestRaceAcceptsEveryRegisteredScheduler(t *testing.T) {
 	var contenders []runner.Contender
 	for _, name := range scheduler.Names() {
 		contenders = append(contenders,
-			runner.Entry(name, scheduler.MustGet(name, scheduler.WithSeed(1)), w.Graph, w.System))
+			runner.Entry(name, name, w.Graph, w.System, scheduler.WithSeed(1)))
 	}
 	series, err := runner.Race(context.Background(), 30*time.Millisecond, contenders)
 	if err != nil {
@@ -65,7 +65,7 @@ func TestRaceAcceptsEveryRegisteredScheduler(t *testing.T) {
 func TestRaceSeriesMonotone(t *testing.T) {
 	w := raceWorkload()
 	series, err := runner.Race(context.Background(), 100*time.Millisecond, []runner.Contender{
-		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(3)), w.Graph, w.System),
+		runner.Entry("SE", "se", w.Graph, w.System, scheduler.WithSeed(3)),
 	})
 	if err != nil {
 		t.Fatalf("Race: %v", err)
@@ -163,7 +163,7 @@ func TestRaceCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := runner.Race(ctx, time.Second, []runner.Contender{
-		runner.Entry("SE", scheduler.MustGet("se", scheduler.WithSeed(1)), w.Graph, w.System),
+		runner.Entry("SE", "se", w.Graph, w.System, scheduler.WithSeed(1)),
 	})
 	if err == nil {
 		t.Fatal("Race on a cancelled context reported no error")

@@ -16,6 +16,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/taskgraph"
+	"repro/internal/xrand"
 )
 
 // Options configures one SA run. At least one stopping criterion
@@ -91,13 +92,77 @@ type Result struct {
 	Elapsed        time.Duration
 }
 
-// Run executes simulated annealing on graph g over system sys.
-func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+// Engine is one SA walk in progress, steppable one temperature block at a
+// time and snapshottable between blocks (see the resumable-search API in
+// internal/scheduler). Engines are not safe for concurrent use.
+type Engine struct {
+	g    *taskgraph.Graph
+	sys  *platform.System
+	opts Options
+	rng  *rand.Rand
+	src  *xrand.Source
+	eval *schedule.Evaluator
+	inc  *schedule.DeltaEvaluator // incremental engine; nil under FullEval
+
+	cur   schedule.String
+	curMs float64
+	best  schedule.String
+	// bestMs tracks best's schedule length; temp is the current
+	// temperature (cooled once per completed block).
+	bestMs float64
+	temp   float64
+
+	moves         int
+	accepted      int
+	blocks        int
+	sinceImproved int
+	elapsed       time.Duration
+
+	cand schedule.String
+	pos  []int
+}
+
+// NewEngine validates opts and builds a ready-to-Step engine. Unlike Run,
+// no stopping criterion is required: the caller's Step loop bounds the
+// walk.
+func NewEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
+	e, err := newShell(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("sa: Options.Initial: %w", err)
+		}
+		e.cur = opts.Initial.Clone()
+	} else {
+		assign := make([]taskgraph.MachineID, n)
+		for t := range assign {
+			assign[t] = taskgraph.MachineID(e.rng.Intn(sys.NumMachines()))
+		}
+		e.cur = schedule.FromOrder(g.RandomTopoOrder(e.rng), assign)
+	}
+	if e.inc != nil {
+		e.curMs, _ = e.inc.Pin(e.cur)
+	} else {
+		e.curMs = e.eval.Makespan(e.cur)
+	}
+	e.best = e.cur.Clone()
+	e.bestMs = e.curMs
+	e.temp = e.opts.InitialTemp
+	if e.temp <= 0 {
+		e.temp = 0.2 * e.curMs
+	}
+	e.cur.Positions(e.pos)
+	return e, nil
+}
+
+// newShell builds an engine with everything but the walk state — the
+// shared half of NewEngine and the snapshot Restore path.
+func newShell(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
 	if g.NumTasks() != sys.NumTasks() {
 		return nil, fmt.Errorf("sa: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
-	}
-	if opts.MaxMoves <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnBlock == nil {
-		return nil, fmt.Errorf("sa: no stopping criterion set (MaxMoves, TimeBudget, NoImprovement or OnBlock)")
 	}
 	if opts.Cooling == 0 {
 		opts.Cooling = 0.98
@@ -108,128 +173,151 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	if opts.MovesPerTemp <= 0 {
 		opts.MovesPerTemp = g.NumTasks()
 	}
-
-	rng := rand.New(rand.NewSource(opts.Seed))
-	eval := schedule.NewEvaluator(g, sys)
-	var inc *schedule.DeltaEvaluator // incremental engine; nil under FullEval
+	rng, src := xrand.New(opts.Seed)
+	e := &Engine{
+		g:    g,
+		sys:  sys,
+		opts: opts,
+		rng:  rng,
+		src:  src,
+		eval: schedule.NewEvaluator(g, sys),
+		cand: make(schedule.String, g.NumTasks()),
+		pos:  make([]int, g.NumTasks()),
+	}
 	if !opts.FullEval {
-		inc = schedule.NewDeltaEvaluator(g, sys)
+		e.inc = schedule.NewDeltaEvaluator(g, sys)
 	}
-	n := g.NumTasks()
+	return e, nil
+}
 
-	var cur schedule.String
-	if opts.Initial != nil {
-		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
-			return nil, fmt.Errorf("sa: Options.Initial: %w", err)
-		}
-		cur = opts.Initial.Clone()
-	} else {
-		assign := make([]taskgraph.MachineID, n)
-		for t := range assign {
-			assign[t] = taskgraph.MachineID(rng.Intn(sys.NumMachines()))
-		}
-		cur = schedule.FromOrder(g.RandomTopoOrder(rng), assign)
-	}
+// MovesPerTemp returns the effective (defaulted) block size — the number
+// of proposed moves one Step executes.
+func (e *Engine) MovesPerTemp() int { return e.opts.MovesPerTemp }
 
-	var curMs float64
-	if inc != nil {
-		curMs, _ = inc.Pin(cur)
-	} else {
-		curMs = eval.Makespan(cur)
-	}
-	best := cur.Clone()
-	bestMs := curMs
+// Blocks returns the number of completed temperature blocks.
+func (e *Engine) Blocks() int { return e.blocks }
 
-	temp := opts.InitialTemp
-	if temp <= 0 {
-		temp = 0.2 * curMs
-	}
+// Moves returns the number of proposed moves so far.
+func (e *Engine) Moves() int { return e.moves }
 
-	cand := make(schedule.String, n)
-	pos := make([]int, n)
-	// cur only changes on acceptance, so positions are maintained
-	// incrementally there instead of being rebuilt per proposal.
-	cur.Positions(pos)
+// SinceImproved returns the count of consecutive proposed moves without a
+// best-makespan improvement — the quantity Options.NoImprovement bounds.
+func (e *Engine) SinceImproved() int { return e.sinceImproved }
 
+// Elapsed returns the accumulated in-Step wall-clock time, including time
+// accumulated before a snapshot/restore cycle.
+func (e *Engine) Elapsed() time.Duration { return e.elapsed }
+
+// Step runs one temperature block of MovesPerTemp Metropolis moves, cools
+// the temperature, and returns the block's statistics (captured before
+// cooling, as Options.OnBlock historically observed them).
+func (e *Engine) Step() BlockStats {
 	start := time.Now()
-	res := &Result{}
-	sinceImproved := 0
-	for {
-		for i := 0; i < opts.MovesPerTemp; i++ {
-			// Propose: random task to a random valid position on a random
-			// machine.
-			idx := rng.Intn(n)
-			lo, hi := schedule.ValidRange(g, cur, pos, idx)
-			q := lo + rng.Intn(hi-lo+1)
-			m := taskgraph.MachineID(rng.Intn(sys.NumMachines()))
-			var ms float64
-			if inc != nil {
-				// Metropolis needs the exact makespan even uphill, so the
-				// replay runs unbounded; the rejected-move common case
-				// costs only the suffix, with no string materialized.
-				ms, _, _ = inc.MoveMakespan(idx, q, m, schedule.NoBound, schedule.NoBound)
-			} else {
-				schedule.MoveInto(cand, cur, idx, q, m)
-				ms = eval.Makespan(cand)
-			}
-			res.Moves++
-
-			delta := ms - curMs
-			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-				if inc != nil {
-					// The replay scratch already holds the accepted
-					// string's state; rebasing is bookkeeping, not a
-					// re-evaluation.
-					schedule.MoveInto(cand, cur, idx, q, m)
-					inc.CommitMove(idx, q, m)
-				}
-				copy(cur, cand)
-				schedule.UpdatePositions(pos, cur, idx, q)
-				curMs = ms
-				res.Accepted++
-				if curMs < bestMs {
-					bestMs = curMs
-					copy(best, cur)
-					sinceImproved = 0
-					continue
-				}
-			}
-			sinceImproved++
+	n := e.g.NumTasks()
+	for i := 0; i < e.opts.MovesPerTemp; i++ {
+		// Propose: random task to a random valid position on a random
+		// machine.
+		idx := e.rng.Intn(n)
+		lo, hi := schedule.ValidRange(e.g, e.cur, e.pos, idx)
+		q := lo + e.rng.Intn(hi-lo+1)
+		m := taskgraph.MachineID(e.rng.Intn(e.sys.NumMachines()))
+		var ms float64
+		if e.inc != nil {
+			// Metropolis needs the exact makespan even uphill, so the
+			// replay runs unbounded; the rejected-move common case
+			// costs only the suffix, with no string materialized.
+			ms, _, _ = e.inc.MoveMakespan(idx, q, m, schedule.NoBound, schedule.NoBound)
+		} else {
+			schedule.MoveInto(e.cand, e.cur, idx, q, m)
+			ms = e.eval.Makespan(e.cand)
 		}
-		if opts.OnBlock != nil && !opts.OnBlock(BlockStats{
-			Block:           res.Blocks,
-			Temperature:     temp,
-			Moves:           res.Moves,
-			Accepted:        res.Accepted,
-			CurrentMakespan: curMs,
-			BestMakespan:    bestMs,
-			Elapsed:         time.Since(start),
-		}) {
-			res.Blocks++
+		e.moves++
+
+		delta := ms - e.curMs
+		if delta <= 0 || e.rng.Float64() < math.Exp(-delta/e.temp) {
+			if e.inc != nil {
+				// The replay scratch already holds the accepted
+				// string's state; rebasing is bookkeeping, not a
+				// re-evaluation.
+				schedule.MoveInto(e.cand, e.cur, idx, q, m)
+				e.inc.CommitMove(idx, q, m)
+			}
+			copy(e.cur, e.cand)
+			schedule.UpdatePositions(e.pos, e.cur, idx, q)
+			e.curMs = ms
+			e.accepted++
+			if e.curMs < e.bestMs {
+				e.bestMs = e.curMs
+				copy(e.best, e.cur)
+				e.sinceImproved = 0
+				continue
+			}
+		}
+		e.sinceImproved++
+	}
+	stats := BlockStats{
+		Block:           e.blocks,
+		Temperature:     e.temp,
+		Moves:           e.moves,
+		Accepted:        e.accepted,
+		CurrentMakespan: e.curMs,
+		BestMakespan:    e.bestMs,
+		Elapsed:         e.elapsed + time.Since(start),
+	}
+	e.blocks++
+	e.temp *= e.opts.Cooling
+	e.elapsed += time.Since(start)
+	return stats
+}
+
+// Result finalizes the engine's state into a Result. The engine remains
+// steppable afterwards.
+func (e *Engine) Result() *Result {
+	res := &Result{
+		Best:         e.best.Clone(),
+		BestMakespan: e.bestMs,
+		Moves:        e.moves,
+		Accepted:     e.accepted,
+		Blocks:       e.blocks,
+		Elapsed:      e.elapsed,
+	}
+	counts := e.eval.Counts()
+	if e.inc != nil {
+		counts = counts.Add(e.inc.Counts())
+	}
+	res.Evaluations = counts.Full
+	res.DeltaEvaluations = counts.Delta
+	res.GenesEvaluated = counts.Genes
+	return res
+}
+
+// Run executes simulated annealing on graph g over system sys: a budget
+// loop over an Engine, one temperature block per Step.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	if opts.MaxMoves <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnBlock == nil {
+		return nil, fmt.Errorf("sa: no stopping criterion set (MaxMoves, TimeBudget, NoImprovement or OnBlock)")
+	}
+	e, err := NewEngine(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for {
+		st := e.Step()
+		if opts.OnBlock != nil && !opts.OnBlock(st) {
 			break
 		}
-		res.Blocks++
-		temp *= opts.Cooling
-
-		if opts.MaxMoves > 0 && res.Moves >= opts.MaxMoves {
+		if opts.MaxMoves > 0 && e.moves >= opts.MaxMoves {
 			break
 		}
 		if opts.TimeBudget > 0 && time.Since(start) >= opts.TimeBudget {
 			break
 		}
-		if opts.NoImprovement > 0 && sinceImproved >= opts.NoImprovement {
+		if opts.NoImprovement > 0 && e.sinceImproved >= opts.NoImprovement {
 			break
 		}
 	}
-	res.Best = best
-	res.BestMakespan = bestMs
-	counts := eval.Counts()
-	if inc != nil {
-		counts = counts.Add(inc.Counts())
-	}
-	res.Evaluations = counts.Full
-	res.DeltaEvaluations = counts.Delta
-	res.GenesEvaluated = counts.Genes
+	res := e.Result()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

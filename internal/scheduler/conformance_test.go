@@ -21,7 +21,10 @@ func conformanceWorkload() *workload.Workload {
 // interface promises: a valid best string whose makespan matches the
 // shared evaluator and respects the lower bound, determinism under a fixed
 // seed, iteration/time budgets respected, OnProgress stopping the run, and
-// context cancellation surfacing ctx.Err().
+// context cancellation surfacing ctx.Err(). Schedule is a Budget loop
+// over the resumable Search API (one Budget iteration = one Search.Step),
+// so this suite is also the conformance bar for every engine behind Open;
+// the snapshot/restore half of that contract lives in resume_test.go.
 func TestConformance(t *testing.T) {
 	w := conformanceWorkload()
 	lb := schedule.LowerBound(w.Graph, w.System)
@@ -159,9 +162,10 @@ func TestConformance(t *testing.T) {
 
 				// The serving layer (internal/serve) tears sessions down by
 				// cancelling the run's context and still records what the
-				// search found: every metaheuristic must return promptly
-				// after cancellation AND hand back a valid best-so-far
-				// result alongside context.Canceled.
+				// search found: the Step loop must notice the cancellation
+				// at the next iteration boundary, return promptly, AND hand
+				// back a valid best-so-far result alongside
+				// context.Canceled.
 				t.Run("mid-run-cancellation", func(t *testing.T) {
 					type outcome struct {
 						res *scheduler.Result

@@ -1,11 +1,12 @@
 package scheduler
 
 import (
-	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/heuristics"
 	"repro/internal/platform"
+	"repro/internal/snap"
 	"repro/internal/taskgraph"
 )
 
@@ -47,26 +48,104 @@ func init() {
 		})
 }
 
-// registerConstructive wraps a single-pass heuristic as a Scheduler. The
-// Budget's bounds are ignored (the heuristic always runs to completion);
-// OnProgress and tracing observe the single completed pass.
+// Constructive snapshot payload format.
+const (
+	constructiveSnapMagic   = "CNEN"
+	constructiveSnapVersion = 1
+)
+
+// constructiveStepper adapts a single-pass heuristic to the Search
+// engine contract: the first Step builds the solution and the search is
+// Done. Snapshots record only (seed, done, elapsed) — the pass is
+// deterministic and cheap, so Restore re-runs it instead of trusting a
+// serialized solution.
+type constructiveStepper struct {
+	g       *taskgraph.Graph
+	sys     *platform.System
+	cfg     Config
+	build   func(*taskgraph.Graph, *platform.System, Config) heuristics.Result
+	res     *Result // nil until the pass has run
+	elapsed time.Duration
+}
+
+func (c *constructiveStepper) run() {
+	start := time.Now()
+	r := c.build(c.g, c.sys, c.cfg)
+	c.elapsed += time.Since(start)
+	c.res = &Result{
+		Best:        r.Solution,
+		Makespan:    r.Makespan,
+		Iterations:  1,
+		Evaluations: 1,
+		Elapsed:     c.elapsed,
+	}
+}
+
+func (c *constructiveStepper) Step() Progress {
+	if c.res == nil {
+		c.run()
+	}
+	return Progress{Current: c.res.Makespan, Best: c.res.Makespan, Elapsed: c.elapsed}
+}
+
+// Result reports the completed pass, or — before the first Step —
+// computes the deterministic outcome without caching it, so a status
+// query never flips the search to Done (the shared read-only contract of
+// Stepper.Result).
+func (c *constructiveStepper) Result() *Result {
+	if c.res == nil {
+		peek := *c
+		peek.run()
+		return peek.res
+	}
+	r := *c.res
+	return &r
+}
+
+func (c *constructiveStepper) Snapshot() ([]byte, error) {
+	w := snap.NewWriter(constructiveSnapMagic, constructiveSnapVersion)
+	w.I64(c.cfg.Seed)
+	w.Bool(c.res != nil)
+	w.I64(int64(c.elapsed))
+	return w.Bytes(), nil
+}
+
+func (c *constructiveStepper) Stalled(int) bool { return c.res != nil }
+func (c *constructiveStepper) Done() bool       { return c.res != nil }
+
+// registerConstructive wraps a single-pass heuristic's build function in
+// the engine hooks. The Budget's bounds are irrelevant (the heuristic
+// always runs to completion in its one Step); OnProgress and tracing
+// observe the single completed pass.
 func registerConstructive(name, summary string, build func(*taskgraph.Graph, *platform.System, Config) heuristics.Result) {
-	Register(name, Constructive, summary, func(cfg Config) Scheduler {
-		return &funcScheduler{name: name, kind: Constructive, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
-			start := time.Now()
-			r := build(g, sys, cfg)
-			elapsed := time.Since(start)
-			p := newProbe(ctx, b, cfg.Trace)
-			if p.active() {
-				p.observe(Progress{Current: r.Makespan, Best: r.Makespan, Elapsed: elapsed})
-			}
-			return p.finish(&Result{
-				Best:        r.Solution,
-				Makespan:    r.Makespan,
-				Iterations:  1,
-				Evaluations: 1,
-				Elapsed:     elapsed,
-			})
-		}}
-	})
+	open := func(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+		return &constructiveStepper{g: g, sys: sys, cfg: cfg, build: build}, nil
+	}
+	restore := func(data []byte, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+		r, err := snap.NewReader(data, constructiveSnapMagic, constructiveSnapVersion)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: restore %s: %w", name, err)
+		}
+		var cfg Config
+		cfg.Seed = r.I64()
+		done := r.Bool()
+		elapsed := time.Duration(r.I64())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("scheduler: restore %s: %w", name, err)
+		}
+		if elapsed < 0 {
+			return nil, fmt.Errorf("scheduler: restore %s: negative elapsed", name)
+		}
+		c := &constructiveStepper{g: g, sys: sys, cfg: cfg, build: build, elapsed: elapsed}
+		if done {
+			// Deterministic re-run: the restored search holds the same
+			// completed solution the snapshotted one did.
+			c.elapsed = 0
+			c.run()
+			c.elapsed = elapsed
+			c.res.Elapsed = elapsed
+		}
+		return c, nil
+	}
+	Register(name, Constructive, summary, open, restore)
 }

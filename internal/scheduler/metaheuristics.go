@@ -1,8 +1,6 @@
 package scheduler
 
 import (
-	"context"
-
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/platform"
@@ -15,246 +13,317 @@ import (
 func init() {
 	Register("se", Metaheuristic,
 		"simulated evolution, the paper's heuristic (Barada, Sait & Baig)",
-		func(cfg Config) Scheduler { return seScheduler("se", cfg) })
+		openSE, restoreSE)
 	Register("se-ils", Metaheuristic,
 		"SE with an iterated-local-search kick out of stagnation",
-		func(cfg Config) Scheduler {
+		func(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
 			if cfg.PerturbAfter == 0 {
 				cfg.PerturbAfter = 25
 			}
-			return seScheduler("se-ils", cfg)
-		})
+			return openSE(cfg, g, sys)
+		}, restoreSE)
 	Register("se-shard", Metaheuristic,
 		"SE over weakly-coupled DAG regions in parallel, with boundary reconciliation",
-		seShardScheduler)
+		openSEShard, restoreSEShard)
 	Register("ga", Metaheuristic,
 		"genetic-algorithm baseline of Wang et al. (JPDC 1997)",
-		gaScheduler)
+		openGA, restoreGA)
 	Register("sa", Metaheuristic,
 		"simulated annealing over the same move space as SE",
-		saScheduler)
+		openSA, restoreSA)
 	Register("tabu", Metaheuristic,
 		"tabu search over the same move space as SE",
-		tabuScheduler)
+		openTabu, restoreTabu)
 }
 
-func seScheduler(name string, cfg Config) Scheduler {
-	return &funcScheduler{name: name, kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
-		opts := core.Options{
-			Bias:          cfg.Bias,
-			FullEval:      cfg.FullEval,
-			Y:             cfg.Y,
-			Seed:          cfg.Seed,
-			Workers:       cfg.Workers,
-			PerturbAfter:  cfg.PerturbAfter,
-			Initial:       cfg.Initial,
-			MaxIterations: b.MaxIterations,
-			TimeBudget:    b.TimeBudget,
-			NoImprovement: b.NoImprovement,
-		}
-		p := newProbe(ctx, b, cfg.Trace)
-		if p.active() {
-			opts.OnIteration = func(st core.IterationStats) bool {
-				return p.observe(Progress{
-					Iteration: st.Iteration,
-					Current:   st.CurrentMakespan,
-					Best:      st.BestMakespan,
-					Selected:  st.Selected,
-					Elapsed:   st.Elapsed,
-				})
-			}
-		}
-		r, err := core.Run(g, sys, opts)
-		if err != nil {
-			return nil, err
-		}
-		return p.finish(&Result{
-			Best:             r.Best,
-			Makespan:         r.BestMakespan,
-			Iterations:       r.Iterations,
-			Evaluations:      r.Evaluations,
-			DeltaEvaluations: r.DeltaEvaluations,
-			GenesEvaluated:   r.GenesEvaluated,
-			Elapsed:          r.Elapsed,
-		})
-	}}
+// --- SE (se, se-ils) -------------------------------------------------------
+
+type seStepper struct{ e *core.Engine }
+
+func openSE(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := core.NewEngine(g, sys, core.Options{
+		Bias:         cfg.Bias,
+		FullEval:     cfg.FullEval,
+		Y:            cfg.Y,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		PerturbAfter: cfg.PerturbAfter,
+		Initial:      cfg.Initial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return seStepper{e}, nil
 }
 
-func seShardScheduler(cfg Config) Scheduler {
-	return &funcScheduler{name: "se-shard", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
-		opts := shard.Options{
-			Shards:          cfg.Shards,
-			ReconcileSweeps: cfg.ReconcileSweeps,
-			Bias:            cfg.Bias,
-			Y:               cfg.Y,
-			PerturbAfter:    cfg.PerturbAfter,
-			FullEval:        cfg.FullEval,
-			Seed:            cfg.Seed,
-			Initial:         cfg.Initial,
-			MaxParallel:     cfg.Workers,
-			MaxIterations:   b.MaxIterations,
-			TimeBudget:      b.TimeBudget,
-			NoImprovement:   b.NoImprovement,
-		}
-		p := newProbe(ctx, b, cfg.Trace)
-		if p.active() {
-			// Region observations are serialized by the shard runner; Current
-			// and Selected are region-local, Best is the running max over
-			// region bests — a coarse lower estimate of the merged makespan
-			// until the final result corrects it.
-			opts.OnIteration = func(st shard.RegionStats) bool {
-				return p.observe(Progress{
-					Iteration: st.Iteration,
-					Current:   st.CurrentMakespan,
-					Best:      st.BestSoFar,
-					Selected:  st.Selected,
-					Elapsed:   st.Elapsed,
-				})
-			}
-		}
-		r, err := shard.Run(g, sys, opts)
-		if err != nil {
-			return nil, err
-		}
-		return p.finish(&Result{
-			Best:             r.Best,
-			Makespan:         r.BestMakespan,
-			Iterations:       r.Iterations,
-			Evaluations:      r.Evaluations,
-			DeltaEvaluations: r.DeltaEvaluations,
-			GenesEvaluated:   r.GenesEvaluated,
-			Elapsed:          r.Elapsed,
-		})
-	}}
+func restoreSE(data []byte, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := core.RestoreEngine(data, g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return seStepper{e}, nil
 }
 
-func gaScheduler(cfg Config) Scheduler {
-	return &funcScheduler{name: "ga", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
-		opts := ga.Options{
-			PopulationSize: cfg.Population,
-			FullEval:       cfg.FullEval,
-			CrossoverRate:  cfg.Crossover,
-			MutationRate:   cfg.Mutation,
-			Elitism:        cfg.Elitism,
-			Seed:           cfg.Seed,
-			Workers:        cfg.Workers,
-			Initial:        cfg.Initial,
-			MaxGenerations: b.MaxIterations,
-			TimeBudget:     b.TimeBudget,
-			NoImprovement:  b.NoImprovement,
-		}
-		p := newProbe(ctx, b, cfg.Trace)
-		if p.active() {
-			opts.OnGeneration = func(st ga.GenerationStats) bool {
-				return p.observe(Progress{
-					Iteration: st.Generation,
-					Current:   st.GenerationBest,
-					Best:      st.BestMakespan,
-					Elapsed:   st.Elapsed,
-				})
-			}
-		}
-		r, err := ga.Run(g, sys, opts)
-		if err != nil {
-			return nil, err
-		}
-		return p.finish(&Result{
-			Best:             r.Best,
-			Makespan:         r.BestMakespan,
-			Iterations:       r.Generations,
-			Evaluations:      r.Evaluations,
-			DeltaEvaluations: r.DeltaEvaluations,
-			GenesEvaluated:   r.GenesEvaluated,
-			Elapsed:          r.Elapsed,
-		})
-	}}
+func (s seStepper) Step() Progress {
+	st := s.e.Step()
+	return Progress{
+		Iteration: st.Iteration,
+		Current:   st.CurrentMakespan,
+		Best:      st.BestMakespan,
+		Selected:  st.Selected,
+		Elapsed:   st.Elapsed,
+	}
 }
 
-func saScheduler(cfg Config) Scheduler {
-	return &funcScheduler{name: "sa", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
-		opts := sa.Options{
-			InitialTemp:  cfg.InitialTemp,
-			FullEval:     cfg.FullEval,
-			Cooling:      cfg.Cooling,
-			MovesPerTemp: cfg.MovesPerTemp,
-			Seed:         cfg.Seed,
-			Initial:      cfg.Initial,
-			TimeBudget:   b.TimeBudget,
-		}
-		// One Budget iteration is one temperature block, so SA's per-move
-		// bounds scale by the block size.
-		movesPerTemp := cfg.MovesPerTemp
-		if movesPerTemp <= 0 {
-			movesPerTemp = g.NumTasks()
-		}
-		if b.MaxIterations > 0 {
-			opts.MaxMoves = b.MaxIterations * movesPerTemp
-		}
-		if b.NoImprovement > 0 {
-			opts.NoImprovement = b.NoImprovement * movesPerTemp
-		}
-		p := newProbe(ctx, b, cfg.Trace)
-		if p.active() {
-			opts.OnBlock = func(st sa.BlockStats) bool {
-				return p.observe(Progress{
-					Iteration: st.Block,
-					Current:   st.CurrentMakespan,
-					Best:      st.BestMakespan,
-					Elapsed:   st.Elapsed,
-				})
-			}
-		}
-		r, err := sa.Run(g, sys, opts)
-		if err != nil {
-			return nil, err
-		}
-		return p.finish(&Result{
-			Best:             r.Best,
-			Makespan:         r.BestMakespan,
-			Iterations:       r.Blocks,
-			Evaluations:      r.Evaluations,
-			DeltaEvaluations: r.DeltaEvaluations,
-			GenesEvaluated:   r.GenesEvaluated,
-			Elapsed:          r.Elapsed,
-		})
-	}}
+func (s seStepper) Result() *Result {
+	r := s.e.Result()
+	return &Result{
+		Best:             r.Best,
+		Makespan:         r.BestMakespan,
+		Iterations:       r.Iterations,
+		Evaluations:      r.Evaluations,
+		DeltaEvaluations: r.DeltaEvaluations,
+		GenesEvaluated:   r.GenesEvaluated,
+		Elapsed:          r.Elapsed,
+	}
 }
 
-func tabuScheduler(cfg Config) Scheduler {
-	return &funcScheduler{name: "tabu", kind: Metaheuristic, run: func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
-		opts := tabu.Options{
-			Tenure:        cfg.Tenure,
-			FullEval:      cfg.FullEval,
-			Neighborhood:  cfg.Neighborhood,
-			Seed:          cfg.Seed,
-			Initial:       cfg.Initial,
-			MaxIterations: b.MaxIterations,
-			TimeBudget:    b.TimeBudget,
-			NoImprovement: b.NoImprovement,
-		}
-		p := newProbe(ctx, b, cfg.Trace)
-		if p.active() {
-			opts.OnIteration = func(st tabu.IterationStats) bool {
-				return p.observe(Progress{
-					Iteration: st.Iteration,
-					Current:   st.CurrentMakespan,
-					Best:      st.BestMakespan,
-					Elapsed:   st.Elapsed,
-				})
-			}
-		}
-		r, err := tabu.Run(g, sys, opts)
-		if err != nil {
-			return nil, err
-		}
-		return p.finish(&Result{
-			Best:             r.Best,
-			Makespan:         r.BestMakespan,
-			Iterations:       r.Iterations,
-			Evaluations:      r.Evaluations,
-			DeltaEvaluations: r.DeltaEvaluations,
-			GenesEvaluated:   r.GenesEvaluated,
-			Elapsed:          r.Elapsed,
-		})
-	}}
+func (s seStepper) Snapshot() ([]byte, error)  { return s.e.Snapshot() }
+func (s seStepper) Stalled(noImprove int) bool { return s.e.SinceImproved() >= noImprove }
+func (s seStepper) Done() bool                 { return false }
+
+// --- se-shard --------------------------------------------------------------
+
+type seShardStepper struct{ e *shard.Engine }
+
+func openSEShard(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := shard.NewEngine(g, sys, shard.Options{
+		Shards:          cfg.Shards,
+		ReconcileSweeps: cfg.ReconcileSweeps,
+		Bias:            cfg.Bias,
+		Y:               cfg.Y,
+		PerturbAfter:    cfg.PerturbAfter,
+		FullEval:        cfg.FullEval,
+		Seed:            cfg.Seed,
+		Initial:         cfg.Initial,
+		MaxParallel:     cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return seShardStepper{e}, nil
 }
+
+func restoreSEShard(data []byte, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := shard.RestoreEngine(data, g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return seShardStepper{e}, nil
+}
+
+// Step advances every live region by one generation. Progress is
+// per-round: Current and Best are the max over the regions' local
+// makespans — a coarse lower estimate of the merged schedule length until
+// Result's reconciliation corrects it — and Selected sums the regions'
+// selection sets.
+func (s seShardStepper) Step() Progress {
+	st := s.e.Step()
+	return Progress{
+		Iteration: st.Round,
+		Current:   st.CurrentMax,
+		Best:      st.BestSoFar,
+		Selected:  st.Selected,
+		Elapsed:   st.Elapsed,
+	}
+}
+
+func (s seShardStepper) Result() *Result {
+	r := s.e.Result()
+	return &Result{
+		Best:             r.Best,
+		Makespan:         r.BestMakespan,
+		Iterations:       r.Iterations,
+		Evaluations:      r.Evaluations,
+		DeltaEvaluations: r.DeltaEvaluations,
+		GenesEvaluated:   r.GenesEvaluated,
+		Elapsed:          r.Elapsed,
+	}
+}
+
+func (s seShardStepper) Snapshot() ([]byte, error) { return s.e.Snapshot() }
+
+// Stalled preserves the per-region semantics of independent sweeps:
+// a region that stagnates stops stepping, and the run stalls only once
+// every region has.
+func (s seShardStepper) Stalled(noImprove int) bool { return s.e.MarkStalled(noImprove) }
+func (s seShardStepper) Done() bool                 { return false }
+
+// --- GA --------------------------------------------------------------------
+
+type gaStepper struct{ e *ga.Engine }
+
+func openGA(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := ga.NewEngine(g, sys, ga.Options{
+		PopulationSize: cfg.Population,
+		FullEval:       cfg.FullEval,
+		CrossoverRate:  cfg.Crossover,
+		MutationRate:   cfg.Mutation,
+		Elitism:        cfg.Elitism,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		Initial:        cfg.Initial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gaStepper{e}, nil
+}
+
+func restoreGA(data []byte, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := ga.RestoreEngine(data, g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return gaStepper{e}, nil
+}
+
+func (s gaStepper) Step() Progress {
+	st := s.e.Step()
+	return Progress{
+		Iteration: st.Generation,
+		Current:   st.GenerationBest,
+		Best:      st.BestMakespan,
+		Elapsed:   st.Elapsed,
+	}
+}
+
+func (s gaStepper) Result() *Result {
+	r := s.e.Result()
+	return &Result{
+		Best:             r.Best,
+		Makespan:         r.BestMakespan,
+		Iterations:       r.Generations,
+		Evaluations:      r.Evaluations,
+		DeltaEvaluations: r.DeltaEvaluations,
+		GenesEvaluated:   r.GenesEvaluated,
+		Elapsed:          r.Elapsed,
+	}
+}
+
+func (s gaStepper) Snapshot() ([]byte, error)  { return s.e.Snapshot() }
+func (s gaStepper) Stalled(noImprove int) bool { return s.e.SinceImproved() >= noImprove }
+func (s gaStepper) Done() bool                 { return false }
+
+// --- SA --------------------------------------------------------------------
+
+type saStepper struct{ e *sa.Engine }
+
+func openSA(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := sa.NewEngine(g, sys, sa.Options{
+		InitialTemp:  cfg.InitialTemp,
+		FullEval:     cfg.FullEval,
+		Cooling:      cfg.Cooling,
+		MovesPerTemp: cfg.MovesPerTemp,
+		Seed:         cfg.Seed,
+		Initial:      cfg.Initial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return saStepper{e}, nil
+}
+
+func restoreSA(data []byte, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := sa.RestoreEngine(data, g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return saStepper{e}, nil
+}
+
+func (s saStepper) Step() Progress {
+	st := s.e.Step()
+	return Progress{
+		Iteration: st.Block,
+		Current:   st.CurrentMakespan,
+		Best:      st.BestMakespan,
+		Elapsed:   st.Elapsed,
+	}
+}
+
+func (s saStepper) Result() *Result {
+	r := s.e.Result()
+	return &Result{
+		Best:             r.Best,
+		Makespan:         r.BestMakespan,
+		Iterations:       r.Blocks,
+		Evaluations:      r.Evaluations,
+		DeltaEvaluations: r.DeltaEvaluations,
+		GenesEvaluated:   r.GenesEvaluated,
+		Elapsed:          r.Elapsed,
+	}
+}
+
+func (s saStepper) Snapshot() ([]byte, error) { return s.e.Snapshot() }
+
+// Stalled converts from Budget iterations (temperature blocks) to SA's
+// native stagnation unit (proposed moves), preserving the historical
+// NoImprovement scaling.
+func (s saStepper) Stalled(noImprove int) bool {
+	return s.e.SinceImproved() >= noImprove*s.e.MovesPerTemp()
+}
+func (s saStepper) Done() bool { return false }
+
+// --- Tabu ------------------------------------------------------------------
+
+type tabuStepper struct{ e *tabu.Engine }
+
+func openTabu(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := tabu.NewEngine(g, sys, tabu.Options{
+		Tenure:       cfg.Tenure,
+		FullEval:     cfg.FullEval,
+		Neighborhood: cfg.Neighborhood,
+		Seed:         cfg.Seed,
+		Initial:      cfg.Initial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tabuStepper{e}, nil
+}
+
+func restoreTabu(data []byte, g *taskgraph.Graph, sys *platform.System) (Stepper, error) {
+	e, err := tabu.RestoreEngine(data, g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return tabuStepper{e}, nil
+}
+
+func (s tabuStepper) Step() Progress {
+	st := s.e.Step()
+	return Progress{
+		Iteration: st.Iteration,
+		Current:   st.CurrentMakespan,
+		Best:      st.BestMakespan,
+		Elapsed:   st.Elapsed,
+	}
+}
+
+func (s tabuStepper) Result() *Result {
+	r := s.e.Result()
+	return &Result{
+		Best:             r.Best,
+		Makespan:         r.BestMakespan,
+		Iterations:       r.Iterations,
+		Evaluations:      r.Evaluations,
+		DeltaEvaluations: r.DeltaEvaluations,
+		GenesEvaluated:   r.GenesEvaluated,
+		Elapsed:          r.Elapsed,
+	}
+}
+
+func (s tabuStepper) Snapshot() ([]byte, error)  { return s.e.Snapshot() }
+func (s tabuStepper) Stalled(noImprove int) bool { return s.e.SinceImproved() >= noImprove }
+func (s tabuStepper) Done() bool                 { return false }

@@ -54,8 +54,10 @@ type Config struct {
 	// (0 = task count).
 	Neighborhood int
 
-	// Shards is se-shard's requested region count (0 = shard.DefaultShards;
-	// clamped to the DAG depth, so 1 effective region runs serial SE).
+	// Shards is se-shard's requested region count. 0 picks it adaptively
+	// from the DAG depth, the candidate partitions' residual coupling and
+	// GOMAXPROCS (shard.AdaptiveShards); the count is clamped to the DAG
+	// depth, and 1 effective region runs serial SE.
 	Shards int
 	// ReconcileSweeps bounds se-shard's boundary-reconciliation pass
 	// (0 = shard.DefaultReconcileSweeps, negative = none).
@@ -118,7 +120,7 @@ func WithTenure(n int) Option { return func(c *Config) { c.Tenure = n } }
 // WithNeighborhood sets tabu search's sampled moves per iteration.
 func WithNeighborhood(n int) Option { return func(c *Config) { c.Neighborhood = n } }
 
-// WithShards sets se-shard's requested DAG region count.
+// WithShards sets se-shard's requested DAG region count (0 = adaptive).
 func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
 
 // WithReconcileSweeps sets se-shard's boundary-reconciliation sweep count.

@@ -5,6 +5,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
 )
 
 // Kind classifies a registered scheduler.
@@ -30,8 +33,16 @@ func (k Kind) String() string {
 	}
 }
 
-// Factory builds a configured Scheduler from a resolved Config.
-type Factory func(cfg Config) Scheduler
+// OpenFunc builds a ready-to-step search engine from a resolved Config —
+// the algorithm side of the registry's Open. The returned Stepper is
+// positioned before its first iteration.
+type OpenFunc func(cfg Config, g *taskgraph.Graph, sys *platform.System) (Stepper, error)
+
+// RestoreFunc rebuilds a search engine from the payload of a Snapshot
+// taken on the same (graph, system) pair — the algorithm side of the
+// registry's Restore. Corrupted or mismatched payloads must error, never
+// panic.
+type RestoreFunc func(data []byte, g *taskgraph.Graph, sys *platform.System) (Stepper, error)
 
 // Info describes one registry entry.
 type Info struct {
@@ -45,7 +56,8 @@ type Info struct {
 
 type registryEntry struct {
 	info    Info
-	factory Factory
+	open    OpenFunc
+	restore RestoreFunc
 }
 
 var (
@@ -53,15 +65,15 @@ var (
 	registry = map[string]registryEntry{}
 )
 
-// Register adds a scheduler factory under name. It panics on an empty
-// name, a nil factory, or a duplicate registration — all programmer
+// Register adds a scheduler's engine hooks under name. It panics on an
+// empty name, a nil hook, or a duplicate registration — all programmer
 // errors at package-init time.
-func Register(name string, kind Kind, summary string, f Factory) {
+func Register(name string, kind Kind, summary string, open OpenFunc, restore RestoreFunc) {
 	if name == "" {
 		panic("scheduler: Register with empty name")
 	}
-	if f == nil {
-		panic(fmt.Sprintf("scheduler: Register(%q) with nil factory", name))
+	if open == nil || restore == nil {
+		panic(fmt.Sprintf("scheduler: Register(%q) with nil open/restore hook", name))
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -70,24 +82,33 @@ func Register(name string, kind Kind, summary string, f Factory) {
 	}
 	registry[name] = registryEntry{
 		info:    Info{Name: name, Kind: kind, Summary: summary},
-		factory: f,
+		open:    open,
+		restore: restore,
 	}
+}
+
+func lookup(name string) (registryEntry, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return registryEntry{}, fmt.Errorf("scheduler: unknown algorithm %q (registered: %v)", name, Names())
+	}
+	return e, nil
 }
 
 // Get builds the named scheduler with the given options. Unknown names
 // return an error listing every registered name.
 func Get(name string, opts ...Option) (Scheduler, error) {
-	regMu.RLock()
-	e, ok := registry[name]
-	regMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("scheduler: unknown algorithm %q (registered: %v)", name, Names())
+	e, err := lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	var cfg Config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return e.factory(cfg), nil
+	return &algoScheduler{info: e.info, cfg: cfg, open: e.open}, nil
 }
 
 // MustGet is Get, panicking on unknown names. For use with names known at

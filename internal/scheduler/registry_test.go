@@ -5,8 +5,17 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
+
+// stubOpen and stubRestore are placeholder hooks for registration-error
+// tests; they are never invoked.
+func stubOpen(Config, *taskgraph.Graph, *platform.System) (Stepper, error) { return nil, nil }
+func stubRestore([]byte, *taskgraph.Graph, *platform.System) (Stepper, error) {
+	return nil, nil
+}
 
 func TestGetKnownNames(t *testing.T) {
 	for _, name := range []string{
@@ -48,7 +57,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 			t.Fatal("Register did not panic on duplicate name")
 		}
 	}()
-	Register("se", Metaheuristic, "dup", func(Config) Scheduler { return nil })
+	Register("se", Metaheuristic, "dup", stubOpen, stubRestore)
 }
 
 func TestRegisterEmptyNamePanics(t *testing.T) {
@@ -57,7 +66,7 @@ func TestRegisterEmptyNamePanics(t *testing.T) {
 			t.Fatal("Register did not panic on empty name")
 		}
 	}()
-	Register("", Metaheuristic, "", func(Config) Scheduler { return nil })
+	Register("", Metaheuristic, "", stubOpen, stubRestore)
 }
 
 func TestRegisterNilFactoryPanics(t *testing.T) {
@@ -66,7 +75,7 @@ func TestRegisterNilFactoryPanics(t *testing.T) {
 			t.Fatal("Register did not panic on nil factory")
 		}
 	}()
-	Register("nil-factory", Metaheuristic, "", nil)
+	Register("nil-factory", Metaheuristic, "", nil, nil)
 }
 
 func TestNamesSortedAndComplete(t *testing.T) {

@@ -4,12 +4,24 @@
 //
 // The paper's evaluation (§5) is a head-to-head of simulated evolution
 // against a GA baseline and constructive heuristics under equal budgets.
-// This package gives all of them one shape: a Scheduler produces a
-// solution string for a (graph, system) pair under a Budget, and returns
-// a uniform Result. The experiment harness (internal/runner), the figure
-// reproductions (internal/experiments) and the command-line tools select
-// algorithms by registry name, so adding an algorithm means registering
-// one factory — races, sweeps, figures and CLI access follow for free.
+// This package gives all of them one shape, at two levels:
+//
+//   - Search (Open/Step/Best/Snapshot, plus registry-level Restore) is
+//     the resumable engine view: one natural iteration per Step, best-
+//     so-far readable at any point, and the complete search state —
+//     solution strings, populations, rng stream positions, tabu lists,
+//     temperatures — serializable to versioned bytes that restore to a
+//     bit-identically continuing search, in this process or another.
+//   - Scheduler.Schedule is the one-shot view: a thin loop that opens a
+//     Search and drives it to a Budget. Everything that raced, swept or
+//     served schedulers before the resumable redesign still goes through
+//     this entry point unchanged.
+//
+// The experiment harness (internal/runner), the figure reproductions
+// (internal/experiments), the serving layer (internal/serve) and the
+// command-line tools select algorithms by registry name, so adding an
+// algorithm means registering one Open/Restore hook pair — races, sweeps,
+// figures, serving sessions and snapshot/resume follow for free.
 //
 // Registered names:
 //
@@ -19,7 +31,6 @@ package scheduler
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"repro/internal/platform"
@@ -28,28 +39,39 @@ import (
 )
 
 // Budget bounds one Schedule call. Iterative schedulers need at least one
-// stopping criterion (MaxIterations, TimeBudget, NoImprovement, a
-// false-returning OnProgress, or a cancellable context); constructive
+// stopping criterion — MaxIterations, TimeBudget, NoImprovement, a
+// false-returning OnProgress, or a cancellable context; constructive
 // heuristics run to completion regardless and ignore the bounds.
+//
+// A run stopped by context cancellation is not lost: Schedule stops at
+// the next iteration boundary and returns the best-so-far Result
+// alongside ctx.Err(), so a server tearing a session down mid-run still
+// harvests what the search found. Only a context cancelled before the
+// run starts yields a nil Result. The criteria compose — the run stops at
+// whichever triggers first, always at an iteration boundary.
 type Budget struct {
 	// MaxIterations stops the run after this many iterations (0 = no
 	// iteration limit). One iteration is the scheduler's natural outer
-	// step: an SE generation, a GA generation, an SA temperature block, a
-	// tabu iteration.
+	// step — exactly one Search.Step: an SE generation, a GA generation,
+	// an SA temperature block, a tabu iteration, one parallel round of
+	// region generations for se-shard.
 	MaxIterations int
 
 	// TimeBudget stops the run once wall-clock time is exhausted (0 = no
-	// time limit). The paper's Figures 5–7 race schedulers under equal
-	// time budgets.
+	// time limit), checked between iterations. The paper's Figures 5–7
+	// race schedulers under equal time budgets.
 	TimeBudget time.Duration
 
 	// NoImprovement stops the run after this many consecutive iterations
-	// without improving the best schedule length (0 = disabled).
+	// without improving the best schedule length (0 = disabled). Each
+	// algorithm counts stagnation in its native unit behind this knob:
+	// SA per proposed move (scaled by its block size), se-shard per
+	// region — a sharded run stops only once every region has stagnated.
 	NoImprovement int
 
-	// OnProgress, when non-nil, is called once per iteration; returning
-	// false stops the run. The runner uses it for time-stamped best-so-far
-	// sampling.
+	// OnProgress, when non-nil, is called once per iteration with that
+	// iteration's observation; returning false stops the run after the
+	// iteration (including its allocation/evolution phase) has completed.
 	OnProgress func(Progress) bool
 }
 
@@ -59,28 +81,33 @@ type Progress struct {
 	// Iteration numbers iterations from 0.
 	Iteration int
 	// Current is the schedule length of the scheduler's current solution
-	// (for population schedulers, the best of the current generation).
+	// (for population schedulers, the best of the current generation; for
+	// se-shard, the max over the regions' local makespans).
 	Current float64
 	// Best is the best schedule length seen so far.
 	Best float64
 	// Selected is the size of SE's selection set this iteration (the
-	// quantity of the paper's Figure 3a). Zero for other schedulers.
+	// quantity of the paper's Figure 3a; summed over regions for
+	// se-shard). Zero for other schedulers.
 	Selected int
-	// Elapsed is wall-clock time since the run started.
+	// Elapsed is accumulated search time, carried across
+	// snapshot/restore cycles.
 	Elapsed time.Duration
 }
 
-// Result is the uniform outcome of a Schedule call.
+// Result is the uniform outcome of a Schedule call or a Search.Best read.
 type Result struct {
 	// Best is the best matching+scheduling string found.
 	Best schedule.String
 	// Makespan is Best's schedule length under the shared evaluator.
 	Makespan float64
 	// Iterations is the number of iterations executed (1 for constructive
-	// heuristics).
+	// heuristics), accumulated across snapshot/restore cycles.
 	Iterations int
 	// Evaluations counts full schedule evaluations across all goroutines,
 	// including incremental-engine pins (each pin is one full pass).
+	// Evaluation ledgers are process-local: they restart at zero in a
+	// process that restored a snapshot.
 	Evaluations uint64
 	// DeltaEvaluations counts checkpointed suffix replays by the
 	// incremental evaluation engine (schedule.DeltaEvaluator). Zero for
@@ -100,7 +127,10 @@ type Result struct {
 // Scheduler is one matching-and-scheduling algorithm, configured and
 // ready to run. Implementations are safe for sequential reuse across
 // (graph, system) pairs; a Scheduler built with a fixed seed returns
-// identical results for identical inputs and budgets.
+// identical results for identical inputs and budgets. Schedule is a thin
+// budget loop over the resumable Search API — callers that need to
+// pause, inspect, snapshot or resume a run use Open/Restore/Drive
+// directly instead.
 type Scheduler interface {
 	// Name returns the registry name ("se", "heft", …).
 	Name() string
@@ -110,79 +140,4 @@ type Scheduler interface {
 	// down cancel and still harvest the partial result. Only a context
 	// cancelled before the run starts yields a nil Result.
 	Schedule(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error)
-}
-
-// funcScheduler adapts a closure to the Scheduler interface; every
-// registered algorithm wrapper is one of these.
-type funcScheduler struct {
-	name string
-	kind Kind
-	run  func(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error)
-}
-
-func (f *funcScheduler) Name() string { return f.name }
-
-func (f *funcScheduler) Schedule(ctx context.Context, g *taskgraph.Graph, sys *platform.System, b Budget) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// An iterative run must be bounded by the caller: the wrapper's own
-	// observation callback (tracing, cancellation checks) must not
-	// masquerade as a stopping criterion for the underlying algorithm.
-	// A cancellable context counts — cancelling it is how servers bound
-	// a run they cannot size in advance.
-	if f.kind == Metaheuristic &&
-		b.MaxIterations <= 0 && b.TimeBudget <= 0 && b.NoImprovement <= 0 &&
-		b.OnProgress == nil && ctx.Done() == nil {
-		return nil, fmt.Errorf("scheduler: %s: no stopping criterion set (Budget.MaxIterations, TimeBudget, NoImprovement, OnProgress, or a cancellable context)", f.name)
-	}
-	return f.run(ctx, g, sys, b)
-}
-
-// probe chains context cancellation, trace collection and the caller's
-// OnProgress into the single observation callback each underlying
-// algorithm exposes. When nothing observes the run (inactive probe), the
-// algorithm's callback is left nil, so a wrapped run is byte-identical to
-// a direct one.
-type probe struct {
-	ctx       context.Context
-	b         Budget
-	trace     bool
-	collected []Progress
-	cancelled bool
-}
-
-func newProbe(ctx context.Context, b Budget, trace bool) *probe {
-	return &probe{ctx: ctx, b: b, trace: trace}
-}
-
-// active reports whether the algorithm needs an observation callback.
-func (p *probe) active() bool {
-	return p.trace || p.b.OnProgress != nil || p.ctx.Done() != nil
-}
-
-// observe processes one iteration; returning false stops the run.
-func (p *probe) observe(pr Progress) bool {
-	if p.ctx.Err() != nil {
-		p.cancelled = true
-		return false
-	}
-	if p.trace {
-		p.collected = append(p.collected, pr)
-	}
-	if p.b.OnProgress != nil && !p.b.OnProgress(pr) {
-		return false
-	}
-	return true
-}
-
-// finish returns (res, nil), or (res, ctx.Err()) when the run was stopped
-// by cancellation: the best-so-far result survives so that a server
-// cancelling a session mid-run can still record what the search found.
-func (p *probe) finish(res *Result) (*Result, error) {
-	res.Trace = p.collected
-	if p.cancelled {
-		return res, p.ctx.Err()
-	}
-	return res, nil
 }

@@ -177,6 +177,64 @@ func (c *Client) Gantt(ctx context.Context, id string, width int) (string, error
 	return string(b), err
 }
 
+// OpenSearch pins a live resumable search in the session (budget fields
+// of req are ignored; the search is driven by StepSearch).
+func (c *Client) OpenSearch(ctx context.Context, id string, req RunRequest) (SearchInfo, error) {
+	var out SearchInfo
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/search", req, &out)
+	return out, err
+}
+
+// SearchInfo fetches the pinned search's status.
+func (c *Client) SearchInfo(ctx context.Context, id string) (SearchInfo, error) {
+	var out SearchInfo
+	err := c.get(ctx, "/v1/sessions/"+url.PathEscape(id)+"/search", &out)
+	return out, err
+}
+
+// StepSearch advances the pinned search.
+func (c *Client) StepSearch(ctx context.Context, id string, req StepRequest) (StepResponse, error) {
+	var out StepResponse
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/search/step", req, &out)
+	return out, err
+}
+
+// SearchBest fetches the pinned search's best-so-far Result.
+func (c *Client) SearchBest(ctx context.Context, id string) (Result, error) {
+	var out Result
+	err := c.get(ctx, "/v1/sessions/"+url.PathEscape(id)+"/search/best", &out)
+	return out, err
+}
+
+// SearchSnapshot serializes the pinned search to portable bytes.
+func (c *Client) SearchSnapshot(ctx context.Context, id string) (SearchSnapshot, error) {
+	var out SearchSnapshot
+	err := c.get(ctx, "/v1/sessions/"+url.PathEscape(id)+"/search/snapshot", &out)
+	return out, err
+}
+
+// ResumeSearch pins a search restored from snapshot bytes.
+func (c *Client) ResumeSearch(ctx context.Context, id string, req SearchSnapshot) (SearchInfo, error) {
+	var out SearchInfo
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/search/resume", req, &out)
+	return out, err
+}
+
+// Evict serializes the session to a SessionSnapshot and tears it down.
+func (c *Client) Evict(ctx context.Context, id string) (SessionSnapshot, error) {
+	var out SessionSnapshot
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/evict", struct{}{}, &out)
+	return out, err
+}
+
+// Revive rebuilds a session from an evicted SessionSnapshot under a
+// fresh ID — in this server or a different one.
+func (c *Client) Revive(ctx context.Context, snap SessionSnapshot) (SessionInfo, error) {
+	var out SessionInfo
+	err := c.post(ctx, "/v1/sessions/revive", snap, &out)
+	return out, err
+}
+
 func (c *Client) get(ctx context.Context, path string, dst any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {

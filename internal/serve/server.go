@@ -34,6 +34,20 @@ const progressInterval = 100 * time.Millisecond
 //	GET    /v1/sessions/{id}/schedule   pinned base solution
 //	GET    /v1/sessions/{id}/analysis   schedule analysis
 //	GET    /v1/sessions/{id}/gantt      text Gantt chart (?width=N)
+//
+// Resumable-search routes (see search.go): a session pins one live
+// Search, driven step requests at a time, serializable to bytes and
+// revivable — in this server or another — with bit-identical
+// continuation:
+//
+//	POST   /v1/sessions/{id}/search           open/replace the pinned search
+//	GET    /v1/sessions/{id}/search           pinned search status
+//	POST   /v1/sessions/{id}/search/step      advance it (StepRequest)
+//	GET    /v1/sessions/{id}/search/best      best-so-far Result
+//	GET    /v1/sessions/{id}/search/snapshot  serialize the search
+//	POST   /v1/sessions/{id}/search/resume    restore from a snapshot
+//	POST   /v1/sessions/{id}/evict            session → SessionSnapshot (destroys it)
+//	POST   /v1/sessions/revive                SessionSnapshot → fresh session
 type Server struct {
 	m   *Manager
 	mux *http.ServeMux
@@ -53,7 +67,103 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/analysis", s.handleAnalysis)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/gantt", s.handleGantt)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/search", s.handleSearchOpen)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/search", s.handleSearchInfo)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/search/step", s.handleSearchStep)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/search/best", s.handleSearchBest)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/search/snapshot", s.handleSearchSnapshot)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/search/resume", s.handleSearchResume)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/evict", s.handleEvict)
+	s.mux.HandleFunc("POST /v1/sessions/revive", s.handleRevive)
 	return s
+}
+
+func (s *Server) handleSearchOpen(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.m.OpenSearch(r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSearchInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.m.SearchInfo(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSearchStep(w http.ResponseWriter, r *http.Request) {
+	var req StepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.m.StepSearch(r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSearchBest(w http.ResponseWriter, r *http.Request) {
+	res, err := s.m.SearchBest(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSearchSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.m.SearchSnapshot(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleSearchResume(w http.ResponseWriter, r *http.Request) {
+	var req SearchSnapshot
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.m.ResumeSearch(r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.m.Evict(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleRevive(w http.ResponseWriter, r *http.Request) {
+	var snap SessionSnapshot
+	if !decodeBody(w, r, &snap) {
+		return
+	}
+	info, err := s.m.Revive(snap)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
 }
 
 // ServeHTTP implements http.Handler.

@@ -88,6 +88,12 @@ type Session struct {
 	best   schedule.String
 	bestMs float64
 
+	// search is the session's pinned resumable search, when one is open
+	// (see search.go); searchAlgo/searchSeed label its wire results.
+	search     scheduler.Search
+	searchAlgo string
+	searchSeed int64
+
 	statMu sync.Mutex
 	stat   sessionStatus
 
@@ -354,21 +360,7 @@ func (m *Manager) Run(ctx context.Context, id string, req RunRequest, onProgress
 			req.MaxIterations <= 0 && req.TimeBudgetMS <= 0 && req.NoImprovement <= 0 {
 			return fmt.Errorf("%w: algorithm %q needs a stopping criterion (max_iterations, time_budget_ms or no_improvement)", ErrBadRequest, req.Algorithm)
 		}
-		opts := []scheduler.Option{
-			scheduler.WithSeed(req.Seed),
-			scheduler.WithWorkers(req.Workers),
-			scheduler.WithBias(req.Bias),
-			scheduler.WithY(req.Y),
-			scheduler.WithPopulation(req.Population),
-			scheduler.WithShards(req.Shards),
-		}
-		if req.FullEval {
-			opts = append(opts, scheduler.WithFullEval())
-		}
-		if req.FromBase {
-			opts = append(opts, scheduler.WithInitial(s.delta.Base().Clone()))
-		}
-		sched, err := scheduler.Get(req.Algorithm, opts...)
+		sched, err := scheduler.Get(req.Algorithm, searchOptions(req, s)...)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}

@@ -60,7 +60,9 @@ type SessionInfo struct {
 
 // RunRequest runs one registry algorithm inside a session. Metaheuristics
 // need at least one stopping criterion; constructive heuristics ignore all
-// three.
+// three. The search-open endpoint reuses this type for its algorithm and
+// tunables; there the budget fields are ignored, because a pinned search
+// is driven externally, one step request at a time.
 type RunRequest struct {
 	// Algorithm is a scheduler registry name ("se", "ga", "heft", …).
 	Algorithm string `json:"algorithm"`
@@ -78,10 +80,10 @@ type RunRequest struct {
 	Population int     `json:"population,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
 	FullEval   bool    `json:"full_eval,omitempty"`
-	// Shards is se-shard's requested DAG region count. A sharded session
-	// run fans out to per-region workers inside the session's worker
-	// goroutine's request; the merged result keeps the service's
-	// bit-identical-to-offline contract.
+	// Shards is se-shard's requested DAG region count (0 = adaptive). A
+	// sharded session run fans out to per-region workers inside the
+	// session's worker goroutine's request; the merged result keeps the
+	// service's bit-identical-to-offline contract.
 	Shards int `json:"shards,omitempty"`
 
 	// FromBase seeds the run with the session's pinned base string, making
@@ -148,6 +150,67 @@ type RunEvent struct {
 	Progress *ProgressEvent `json:"progress,omitempty"`
 	Result   *Result        `json:"result,omitempty"`
 	Error    string         `json:"error,omitempty"`
+}
+
+// SearchInfo describes a session's pinned resumable search.
+type SearchInfo struct {
+	// Algorithm is the search's registry name.
+	Algorithm string `json:"algorithm"`
+	// Iterations is the total iteration count, accumulated across
+	// snapshot/resume cycles.
+	Iterations int `json:"iterations"`
+	// BestMakespan is the search's best-so-far schedule length.
+	BestMakespan float64 `json:"best_makespan"`
+	// Done marks a search that cannot advance further (a constructive
+	// heuristic after its single pass).
+	Done bool `json:"done"`
+}
+
+// StepRequest advances a session's pinned search by Steps iterations
+// (default 1, capped server-side; see MaxStepsPerRequest).
+type StepRequest struct {
+	Steps int `json:"steps,omitempty"`
+}
+
+// StepResponse reports one step request's outcome.
+type StepResponse struct {
+	// Performed is the number of iterations this request executed; Done
+	// marks an exhausted search.
+	Performed int  `json:"performed"`
+	Done      bool `json:"done"`
+	// Progress is the last executed iteration's observation.
+	Progress ProgressEvent `json:"progress"`
+	// BestMakespan is the search's best-so-far schedule length.
+	BestMakespan float64 `json:"best_makespan"`
+}
+
+// SearchSnapshot carries a serialized search: the scheduler registry's
+// versioned snapshot bytes (base64 on the wire), the algorithm to
+// restore them under, and the seed the search was opened with (wire
+// provenance for restored results). A restored search continues
+// bit-identically.
+type SearchSnapshot struct {
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed,omitempty"`
+	Snapshot  []byte `json:"snapshot"`
+}
+
+// SessionSnapshot is a whole session evicted to bytes: everything needed
+// to revive it in this server or another — the workload document, the
+// pinned base and best solutions, the request counters, and the pinned
+// search's snapshot when one is live. Makespans are recomputed on revive
+// rather than trusted from the wire.
+type SessionSnapshot struct {
+	// Workload is the session's full workload document (workload.Encode).
+	Workload json.RawMessage `json:"workload"`
+	// Base is the pinned base solution; Best the best solution seen.
+	Base string `json:"base"`
+	Best string `json:"best"`
+	// Runs and Commits restore the session's request counters.
+	Runs    int `json:"runs"`
+	Commits int `json:"commits"`
+	// Search is the pinned resumable search, when one was live.
+	Search *SearchSnapshot `json:"search,omitempty"`
 }
 
 // MoveRequest evaluates — and optionally commits — one move against the

@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"runtime"
+
+	"repro/internal/taskgraph"
+)
+
+// Adaptive shard selection bounds: a region sweeping fewer than
+// minRegionTasks tasks pays more in lost cross-region search than it
+// gains in parallelism, and past maxAdaptiveShards the merge/reconcile
+// overhead dominates even on wide machines.
+const (
+	minRegionTasks    = 32
+	maxAdaptiveShards = 16
+)
+
+// Adaptive coupling guards: a candidate partition is acceptable when at
+// most maxCutFraction of the total communication volume crosses region
+// boundaries and at most maxBoundaryFraction of the tasks need
+// reconciliation. Beyond either, the partition trades too much solution
+// quality for parallelism.
+const (
+	maxCutFraction      = 0.5
+	maxBoundaryFraction = 0.3
+)
+
+// AdaptiveShards picks a region count for g when Options.Shards is zero:
+// the largest count within the machine's parallelism (GOMAXPROCS), the
+// DAG's depth and the minimum-region-size floor whose candidate partition
+// keeps the residual coupling acceptable — CutWeight (the communication
+// volume the region sweeps cannot see) and Boundary (the tasks the
+// reconciliation pass must re-place) both under their guard fractions.
+// Candidate partitions are cheap to score: PartitionLevelBands is a small
+// DP over level boundaries, run once per candidate count.
+//
+// The result depends on GOMAXPROCS, so it is deterministic per machine
+// but not across machines; runs that must be reproducible everywhere pin
+// Options.Shards explicitly, and engine snapshots record the resolved
+// count so a restored sweep never re-derives it.
+func AdaptiveShards(g *taskgraph.Graph) int {
+	limit := runtime.GOMAXPROCS(0)
+	if d := g.Depth(); d < limit {
+		limit = d
+	}
+	if byTasks := g.NumTasks() / minRegionTasks; byTasks < limit {
+		limit = byTasks
+	}
+	if limit > maxAdaptiveShards {
+		limit = maxAdaptiveShards
+	}
+	if limit < 2 {
+		return 1
+	}
+	total := 0.0
+	for _, it := range g.Items() {
+		total += it.Size
+	}
+	best := 1
+	for k := 2; k <= limit; k++ {
+		p := PartitionLevelBands(g, k)
+		if p.NumRegions() != k {
+			continue
+		}
+		if total > 0 && p.CutWeight/total > maxCutFraction {
+			continue
+		}
+		if float64(len(p.Boundary(g)))/float64(g.NumTasks()) > maxBoundaryFraction {
+			continue
+		}
+		best = k
+	}
+	return best
+}

@@ -19,9 +19,17 @@
 // each region's seed derives deterministically from Options.Seed and the
 // region index, regions do not share mutable state, and the merge and
 // reconciliation are sequential — so a sharded run is reproducible under a
-// fixed seed. A run that partitions into a single region delegates to
-// core.Run unchanged and is bit-identical to serial SE (enforced by the
-// differential tests).
+// fixed seed. A run that partitions into a single region delegates to a
+// serial SE engine unchanged and is bit-identical to serial SE (enforced
+// by the differential tests).
+//
+// The sweep is organised as a resumable Engine: one Step advances every
+// region by one SE generation (in parallel), and Result merges and
+// reconciles the regions' current bests. Run wraps the Engine in a budget
+// loop; internal/scheduler exposes it through the registry's
+// Open/Step/Snapshot/Restore API, which is also the seam for dispatching
+// region engines to remote workers — a region's Snapshot is a complete,
+// portable description of its sweep.
 package shard
 
 import (
@@ -35,21 +43,19 @@ import (
 	"repro/internal/taskgraph"
 )
 
-// DefaultShards is the region count used when Options.Shards is zero.
-const DefaultShards = 4
-
 // DefaultReconcileSweeps is the boundary-sweep count used when
 // Options.ReconcileSweeps is zero.
 const DefaultReconcileSweeps = 1
 
 // Options configures one sharded SE run. Like core.Options, at least one
 // stopping criterion (MaxIterations, TimeBudget, NoImprovement or a
-// false-returning OnIteration) must be set; it bounds every region's
-// sweep.
+// false-returning OnIteration) must be set for Run; it bounds every
+// region's sweep.
 type Options struct {
-	// Shards is the requested region count (0 = DefaultShards). The
-	// effective count is clamped to the DAG depth; one effective region
-	// delegates to serial SE.
+	// Shards is the requested region count. 0 picks it adaptively from
+	// the DAG's depth, the candidate partitions' residual coupling and
+	// GOMAXPROCS (see AdaptiveShards). The effective count is clamped to
+	// the DAG depth; one effective region delegates to serial SE.
 	Shards int
 
 	// ReconcileSweeps bounds the boundary-reconciliation pass: each sweep
@@ -111,6 +117,28 @@ type RegionStats struct {
 	core.IterationStats
 }
 
+// RoundStats is one Engine.Step's observation: every live region advanced
+// by one generation.
+type RoundStats struct {
+	// Round numbers Steps from 0; Regions is the effective region count.
+	Round   int
+	Regions int
+	// Live is the number of regions that advanced this round (regions
+	// already marked stalled sit out).
+	Live int
+	// Selected sums the regions' selection-set sizes this round.
+	Selected int
+	// CurrentMax is the max over the live regions' current makespans —
+	// like BestSoFar, a coarse lower estimate of the merged length.
+	CurrentMax float64
+	// BestSoFar is the max over all regions' best region makespans so far.
+	BestSoFar float64
+	// Stopped reports that Options.OnIteration returned false this round.
+	Stopped bool
+	// Elapsed is accumulated in-Step wall-clock time.
+	Elapsed time.Duration
+}
+
 // Result is the outcome of a sharded run.
 type Result struct {
 	// Best is the reconciled merged solution for the whole DAG.
@@ -143,43 +171,99 @@ func regionSeed(seed int64, r int) int64 {
 	return int64(uint64(seed) + uint64(r+1)*0x9E3779B97F4A7C15)
 }
 
-// Run partitions g, sweeps every region in parallel and returns the
-// reconciled merged solution.
-func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+// regionProblem is one region's induced subproblem.
+type regionProblem struct {
+	induced *taskgraph.Induced
+	sys     *platform.System
+	initial schedule.String
+}
+
+// Engine is one sharded SE sweep in progress: per-region serial SE
+// engines advanced in parallel rounds, merged and reconciled on demand.
+// Engines are not safe for concurrent use (each Step internally fans out
+// over the regions, but Step itself must not be called concurrently).
+type Engine struct {
+	g    *taskgraph.Graph
+	sys  *platform.System
+	opts Options
+
+	part     *Partition
+	problems []regionProblem
+	engines  []*core.Engine
+	// single marks the one-region degenerate case: the region is the
+	// whole DAG under the caller's own seed, bit-identical to serial SE.
+	single bool
+
+	stalled    []bool
+	regionBest []float64
+	rounds     int
+	stopped    bool
+	elapsed    time.Duration
+
+	observe func(int, core.IterationStats) bool
+}
+
+// NewEngine partitions g and builds one SE engine per region, ready to
+// Step. Unlike Run, no stopping criterion is required: the caller's Step
+// loop bounds the sweep.
+func NewEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
 	if g.NumTasks() != sys.NumTasks() {
 		return nil, fmt.Errorf("shard: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
 	}
 	if g.NumItems() != sys.NumItems() {
 		return nil, fmt.Errorf("shard: graph has %d items but system is sized for %d", g.NumItems(), sys.NumItems())
 	}
-	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
-		return nil, fmt.Errorf("shard: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
-	}
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("shard: Shards = %d, want >= 0", opts.Shards)
 	}
 	shards := opts.Shards
 	if shards == 0 {
-		shards = DefaultShards
+		shards = AdaptiveShards(g)
 	}
-	start := time.Now()
-	part := PartitionLevelBands(g, shards)
-	if part.NumRegions() == 1 {
-		return runSingle(g, sys, opts, start)
-	}
+	opts.Shards = shards
+	return newEngineResolved(g, sys, opts)
+}
 
+// newEngineResolved builds the engine for an already-resolved shard count
+// (opts.Shards > 0) — the shared half of NewEngine and the snapshot
+// Restore path, which must not re-run the adaptive (machine-dependent)
+// resolution.
+func newEngineResolved(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
+	part := PartitionLevelBands(g, opts.Shards)
 	k := part.NumRegions()
+	e := &Engine{
+		g:          g,
+		sys:        sys,
+		opts:       opts,
+		part:       part,
+		single:     k == 1,
+		stalled:    make([]bool, k),
+		regionBest: make([]float64, k),
+		observe:    newRegionObserver(opts.OnIteration, k),
+	}
 	if opts.Initial != nil {
 		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
 			return nil, fmt.Errorf("shard: Options.Initial: %w", err)
 		}
 	}
-	type regionProblem struct {
-		induced *taskgraph.Induced
-		sys     *platform.System
-		initial schedule.String
+	if e.single {
+		// One region is serial SE on the whole DAG: run it under the
+		// caller's own seed and initial solution so the result is
+		// bit-identical to core SE with the same Options — the
+		// differential tests pin this down.
+		copts := regionOptions(opts, 0)
+		copts.Seed = opts.Seed
+		copts.Initial = opts.Initial
+		eng, err := core.NewEngine(g, sys, copts)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		e.engines = []*core.Engine{eng}
+		e.problems = make([]regionProblem, 1)
+		return e, nil
 	}
-	problems := make([]regionProblem, k)
+
+	e.problems = make([]regionProblem, k)
 	for r, tasks := range part.Regions {
 		induced, err := g.Induce(tasks)
 		if err != nil {
@@ -189,7 +273,7 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 		if err != nil {
 			return nil, fmt.Errorf("shard: region %d: %w", r, err)
 		}
-		problems[r] = regionProblem{induced: induced, sys: subsys}
+		e.problems[r] = regionProblem{induced: induced, sys: subsys}
 		if opts.Initial != nil {
 			local := make([]taskgraph.TaskID, g.NumTasks()) // parent → local
 			for i := range local {
@@ -204,19 +288,90 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 					init = append(init, schedule.Gene{Task: l, Machine: gene.Machine})
 				}
 			}
-			problems[r].initial = init
+			e.problems[r].initial = init
 		}
 	}
-
-	observe := newRegionObserver(opts.OnIteration, k)
-	var sem chan struct{}
-	if opts.MaxParallel > 0 && opts.MaxParallel < k {
-		sem = make(chan struct{}, opts.MaxParallel)
+	e.engines = make([]*core.Engine, k)
+	for r := range e.problems {
+		copts := regionOptions(e.opts, r)
+		copts.Initial = e.problems[r].initial
+		eng, err := core.NewEngine(e.problems[r].induced.Graph, e.problems[r].sys, copts)
+		if err != nil {
+			return nil, fmt.Errorf("shard: region %d: %w", r, err)
+		}
+		e.engines[r] = eng
 	}
-	results := make([]*core.Result, k)
-	errs := make([]error, k)
+	return e, nil
+}
+
+// Regions returns the effective region count.
+func (e *Engine) Regions() int { return len(e.engines) }
+
+// Iterations returns the maximum completed generation count over all
+// regions.
+func (e *Engine) Iterations() int {
+	max := 0
+	for _, eng := range e.engines {
+		if it := eng.Iterations(); it > max {
+			max = it
+		}
+	}
+	return max
+}
+
+// Elapsed returns the accumulated in-Step wall-clock time.
+func (e *Engine) Elapsed() time.Duration { return e.elapsed }
+
+// Stopped reports whether Options.OnIteration has returned false.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// MarkStalled flags every region whose sweep has gone noImprove
+// generations without improving its region best — such regions sit out
+// subsequent Steps, preserving the per-region NoImprovement semantics of
+// independent sweeps — and reports whether every region is now stalled.
+func (e *Engine) MarkStalled(noImprove int) bool {
+	if noImprove <= 0 {
+		return false
+	}
+	all := true
+	for r, eng := range e.engines {
+		if !e.stalled[r] && eng.SinceImproved() >= noImprove {
+			e.stalled[r] = true
+		}
+		if !e.stalled[r] {
+			all = false
+		}
+	}
+	return all
+}
+
+// Step advances every live region by one SE generation, fanning the
+// regions out over goroutines (capped by Options.MaxParallel), and
+// returns the round's aggregated statistics. Region observations fire
+// serialized through Options.OnIteration exactly as Run's documentation
+// promises.
+func (e *Engine) Step() RoundStats {
+	start := time.Now()
+	k := len(e.engines)
+	stats := make([]core.IterationStats, k)
+	live := make([]bool, k)
+	var sem chan struct{}
+	if e.opts.MaxParallel > 0 && e.opts.MaxParallel < k {
+		sem = make(chan struct{}, e.opts.MaxParallel)
+	}
 	var wg sync.WaitGroup
-	for r := range problems {
+	var mu sync.Mutex
+	for r := range e.engines {
+		// e.stopped is written by region goroutines launched earlier in
+		// this loop (observer returned false), so it is read under the
+		// same lock.
+		mu.Lock()
+		stopped := e.stopped
+		mu.Unlock()
+		if e.stalled[r] || stopped {
+			continue
+		}
+		live[r] = true
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
@@ -224,47 +379,88 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 				sem <- struct{}{}
 				defer func() { <-sem }()
 			}
-			copts := regionOptions(opts, r, observe)
-			copts.Initial = problems[r].initial
-			results[r], errs[r] = core.Run(problems[r].induced.Graph, problems[r].sys, copts)
+			st := e.engines[r].Step()
+			stats[r] = st
+			if e.observe != nil && !e.observe(r, st) {
+				mu.Lock()
+				e.stopped = true
+				mu.Unlock()
+			}
 		}(r)
 	}
 	wg.Wait()
-	for r, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("shard: region %d: %w", r, err)
+
+	round := RoundStats{Round: e.rounds, Regions: k, Stopped: e.stopped}
+	for r := range e.engines {
+		if live[r] {
+			round.Live++
+			round.Selected += stats[r].Selected
+			if stats[r].CurrentMakespan > round.CurrentMax {
+				round.CurrentMax = stats[r].CurrentMakespan
+			}
+			if e.regionBest[r] == 0 || stats[r].BestMakespan < e.regionBest[r] {
+				e.regionBest[r] = stats[r].BestMakespan
+			}
+		}
+		if e.regionBest[r] > round.BestSoFar {
+			round.BestSoFar = e.regionBest[r]
 		}
 	}
+	e.rounds++
+	e.elapsed += time.Since(start)
+	round.Elapsed = e.elapsed
+	return round
+}
 
+// Result merges the regions' current best solutions in band order,
+// repairs and reconciles the merged string, and returns the full-graph
+// outcome. The engine remains steppable afterwards; Result may be called
+// mid-sweep to inspect the best merged solution so far.
+func (e *Engine) Result() *Result {
+	if e.single {
+		res := e.engines[0].Result()
+		return &Result{
+			Best:             res.Best,
+			BestMakespan:     res.BestMakespan,
+			Regions:          1,
+			Iterations:       res.Iterations,
+			Evaluations:      res.Evaluations,
+			DeltaEvaluations: res.DeltaEvaluations,
+			GenesEvaluated:   res.GenesEvaluated,
+			Elapsed:          e.elapsed,
+		}
+	}
 	// Merge in band order: cross-region edges all point from lower to
 	// higher bands, so the concatenation of the regions' topological
 	// strings is a topological string of the whole DAG.
-	merged := make(schedule.String, 0, g.NumTasks())
-	for r, res := range results {
-		for _, gene := range res.Best {
+	merged := make(schedule.String, 0, e.g.NumTasks())
+	results := make([]*core.Result, len(e.engines))
+	for r, eng := range e.engines {
+		results[r] = eng.Result()
+		for _, gene := range results[r].Best {
 			merged = append(merged, schedule.Gene{
-				Task:    problems[r].induced.ParentTask(gene.Task),
+				Task:    e.problems[r].induced.ParentTask(gene.Task),
 				Machine: gene.Machine,
 			})
 		}
 	}
-	sweeps := opts.ReconcileSweeps
+	sweeps := e.opts.ReconcileSweeps
 	if sweeps == 0 {
 		sweeps = DefaultReconcileSweeps
 	} else if sweeps < 0 {
 		sweeps = 0
 	}
-	boundary := part.Boundary(g)
-	rec := newReconciler(g, sys, opts.Y, opts.FullEval)
+	boundary := e.part.Boundary(e.g)
+	rec := newReconciler(e.g, e.sys, e.opts.Y, e.opts.FullEval)
 	best, ms := rec.run(merged, boundary, sweeps)
 
 	out := &Result{
 		Best:          best,
 		BestMakespan:  ms,
-		Regions:       k,
-		CutWeight:     part.CutWeight,
+		Regions:       len(e.engines),
+		CutWeight:     e.part.CutWeight,
 		BoundaryTasks: len(boundary),
-		Elapsed:       time.Since(start),
+		Elapsed:       e.elapsed,
 	}
 	counts := rec.counts()
 	for _, res := range results {
@@ -278,60 +474,58 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	out.Evaluations = counts.Full
 	out.DeltaEvaluations = counts.Delta
 	out.GenesEvaluated = counts.Genes
-	return out, nil
+	return out
 }
 
-// runSingle is the one-region degenerate case: the region is the whole
-// DAG, so the region sweep is serial SE itself — delegate, keeping
-// single-shard runs bit-identical to core.Run.
-func runSingle(g *taskgraph.Graph, sys *platform.System, opts Options, start time.Time) (*Result, error) {
-	observe := newRegionObserver(opts.OnIteration, 1)
-	copts := regionOptions(opts, 0, observe)
-	// One region is serial SE on the whole DAG: run it under the caller's
-	// own seed and initial solution so the result is bit-identical to
-	// core.Run with the same Options — the differential tests pin this
-	// down.
-	copts.Seed = opts.Seed
-	copts.Initial = opts.Initial
-	res, err := core.Run(g, sys, copts)
-	if err != nil {
-		return nil, fmt.Errorf("shard: %w", err)
+// Run partitions g, sweeps every region in parallel and returns the
+// reconciled merged solution: a budget loop over an Engine, one parallel
+// round of region generations per Step.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
+		return nil, fmt.Errorf("shard: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
 	}
-	return &Result{
-		Best:             res.Best,
-		BestMakespan:     res.BestMakespan,
-		Regions:          1,
-		Iterations:       res.Iterations,
-		Evaluations:      res.Evaluations,
-		DeltaEvaluations: res.DeltaEvaluations,
-		GenesEvaluated:   res.GenesEvaluated,
-		Elapsed:          time.Since(start),
-	}, nil
+	e, err := NewEngine(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for {
+		st := e.Step()
+		if st.Stopped {
+			break
+		}
+		if opts.MaxIterations > 0 && e.rounds >= opts.MaxIterations {
+			break
+		}
+		if opts.TimeBudget > 0 && time.Since(start) >= opts.TimeBudget {
+			break
+		}
+		if opts.NoImprovement > 0 && e.MarkStalled(opts.NoImprovement) {
+			break
+		}
+	}
+	res := e.Result()
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
 // regionOptions builds region r's core.Options from the shard Options.
-func regionOptions(opts Options, r int, observe func(int, core.IterationStats) bool) core.Options {
-	c := core.Options{
-		Bias:          opts.Bias,
-		Y:             opts.Y,
-		InitialMoves:  opts.InitialMoves,
-		PerturbAfter:  opts.PerturbAfter,
-		FullEval:      opts.FullEval,
-		Seed:          regionSeed(opts.Seed, r),
-		MaxIterations: opts.MaxIterations,
-		TimeBudget:    opts.TimeBudget,
-		NoImprovement: opts.NoImprovement,
+// Stopping bounds are omitted: the Engine's Step loop bounds every
+// region's sweep externally.
+func regionOptions(opts Options, r int) core.Options {
+	return core.Options{
+		Bias:         opts.Bias,
+		Y:            opts.Y,
+		InitialMoves: opts.InitialMoves,
+		PerturbAfter: opts.PerturbAfter,
+		FullEval:     opts.FullEval,
+		Seed:         regionSeed(opts.Seed, r),
 	}
-	if observe != nil {
-		c.OnIteration = func(st core.IterationStats) bool { return observe(r, st) }
-	}
-	return c
 }
 
 // newRegionObserver serializes region callbacks into the caller's
-// OnIteration and fans a false return back out to every region as a stop
-// flag. It returns nil when nothing observes the run, so the region
-// engines keep their callback-free fast path.
+// OnIteration and aggregates the coarse best-so-far estimate. It returns
+// nil when nothing observes the run.
 func newRegionObserver(onIteration func(RegionStats) bool, k int) func(int, core.IterationStats) bool {
 	if onIteration == nil {
 		return nil

@@ -1,0 +1,252 @@
+// Package snap is the binary snapshot codec behind the resumable-search
+// API: a deterministic, versioned, length-checked encoding of search-engine
+// state (solution strings, populations, rng stream positions, tabu lists,
+// temperatures) that a restored engine continues from bit-identically.
+//
+// Design constraints, in order:
+//
+//   - Deterministic: equal state encodes to equal bytes — snapshots are
+//     compared, content-addressed and shipped between processes.
+//   - Hostile-input safe: snapshots cross the serving layer's trust
+//     boundary (a session can be revived from client-supplied bytes), so a
+//     Reader never panics and never allocates proportionally to a declared
+//     length it has not verified against the remaining input. Truncated or
+//     corrupted bytes surface as Err, checked once at the end of decoding.
+//   - Exact: float64 fields travel as IEEE-754 bits, so makespans and
+//     temperatures round-trip without loss.
+//
+// The format is little-endian with a fixed 8-byte header (4-byte magic +
+// 2-byte format version + 2 reserved zero bytes) followed by the caller's
+// fields in write order. There is no field tagging: the schema IS the
+// write order, and the version gates incompatible layout changes.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// headerSize is the encoded size of the magic/version header.
+const headerSize = 8
+
+// Writer appends fields to a growing snapshot buffer. The zero value is
+// unusable; construct with NewWriter.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter starts a snapshot with the given 4-byte magic and format
+// version. Magic strings shorter than 4 bytes panic: they are compile-time
+// constants, not data.
+func NewWriter(magic string, version uint16) *Writer {
+	if len(magic) != 4 {
+		panic(fmt.Sprintf("snap: magic %q must be exactly 4 bytes", magic))
+	}
+	w := &Writer{buf: make([]byte, 0, 256)}
+	w.buf = append(w.buf, magic...)
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, version)
+	w.buf = append(w.buf, 0, 0)
+	return w
+}
+
+// Bytes returns the encoded snapshot.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U64 appends an unsigned 64-bit field.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends a signed 64-bit field.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int field (encoded as I64).
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 appends a float64 field as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean field as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Str appends a length-prefixed string field.
+func (w *Writer) Str(s string) {
+	w.Int(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Blob appends a length-prefixed byte-slice field.
+func (w *Writer) Blob(b []byte) {
+	w.Int(len(b))
+	w.buf = append(w.buf, b...)
+}
+
+// Ints appends a length-prefixed []int field.
+func (w *Writer) Ints(vs []int) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// Reader decodes fields in write order. Reads past the end of the data —
+// or any structural error — latch Err; subsequent reads return zero
+// values, so decoders can run straight through and check Err once.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader validates the header and positions a Reader at the first
+// field. It errors on a wrong magic (not a snapshot of this kind), an
+// unsupported version, or a short buffer.
+func NewReader(data []byte, magic string, version uint16) (*Reader, error) {
+	if len(magic) != 4 {
+		panic(fmt.Sprintf("snap: magic %q must be exactly 4 bytes", magic))
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("snap: %d-byte snapshot shorter than the %d-byte header", len(data), headerSize)
+	}
+	if got := string(data[:4]); got != magic {
+		return nil, fmt.Errorf("snap: magic %q, want %q", got, magic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != version {
+		return nil, fmt.Errorf("snap: format version %d, want %d", v, version)
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("snap: nonzero reserved header bytes")
+	}
+	return &Reader{data: data, off: headerSize}, nil
+}
+
+// Err returns the first decoding error, or nil. Close decodes by also
+// calling Done to reject trailing garbage.
+func (r *Reader) Err() error { return r.err }
+
+// Done errors when undecoded bytes remain — a snapshot is a closed record,
+// so trailing bytes mean the reader and writer disagree on the schema.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("snap: %d trailing bytes after the last field", len(r.data)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snap: "+format, args...)
+	}
+}
+
+// U64 decodes an unsigned 64-bit field.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail("truncated at offset %d: want 8 more bytes, have %d", r.off, len(r.data)-r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// I64 decodes a signed 64-bit field.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int decodes an int field, rejecting values outside the platform int
+// range.
+func (r *Reader) Int() int {
+	v := r.I64()
+	if int64(int(v)) != v {
+		r.fail("int field %d overflows the platform int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// F64 decodes a float64 field.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool decodes a boolean field, rejecting bytes other than 0 or 1.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.data) {
+		r.fail("truncated at offset %d: want 1 more byte", r.off)
+		return false
+	}
+	b := r.data[r.off]
+	r.off++
+	if b > 1 {
+		r.fail("bool byte 0x%02x, want 0 or 1", b)
+		return false
+	}
+	return b == 1
+}
+
+// Len decodes a length prefix and verifies at least length*elem bytes
+// remain, so corrupted lengths cannot drive huge allocations. elem must be
+// ≥ 1 (use 1 for variable-size elements and re-check per element).
+func (r *Reader) Len(elem int) int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 {
+		r.fail("negative length %d", n)
+		return 0
+	}
+	if rem := len(r.data) - r.off; n > rem/elem {
+		r.fail("declared length %d exceeds the %d remaining bytes", n, rem)
+		return 0
+	}
+	return n
+}
+
+// Str decodes a length-prefixed string field.
+func (r *Reader) Str() string {
+	n := r.Len(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Blob decodes a length-prefixed byte-slice field (copied out of the
+// snapshot buffer).
+func (r *Reader) Blob() []byte {
+	n := r.Len(1)
+	if r.err != nil {
+		return nil
+	}
+	b := append([]byte(nil), r.data[r.off:r.off+n]...)
+	r.off += n
+	return b
+}
+
+// Ints decodes a length-prefixed []int field.
+func (r *Reader) Ints() []int {
+	n := r.Len(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package snap_test
+
+import (
+	"testing"
+
+	"repro/internal/snap"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := snap.NewWriter("TEST", 3)
+	w.U64(42)
+	w.I64(-7)
+	w.Int(123456)
+	w.F64(3.14159)
+	w.Bool(true)
+	w.Bool(false)
+	w.Str("hello")
+	w.Blob([]byte{1, 2, 3})
+	w.Ints([]int{-1, 0, 9})
+
+	r, err := snap.NewReader(w.Bytes(), "TEST", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.U64(); got != 42 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -7 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool fields corrupted")
+	}
+	if got := r.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.Blob(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Blob = %v", got)
+	}
+	ints := r.Ints()
+	if len(ints) != 3 || ints[0] != -1 || ints[2] != 9 {
+		t.Errorf("Ints = %v", ints)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	w := snap.NewWriter("ABCD", 1)
+	w.U64(1)
+	data := w.Bytes()
+	if _, err := snap.NewReader(data, "ABCE", 1); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	if _, err := snap.NewReader(data, "ABCD", 2); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := snap.NewReader(data[:4], "ABCD", 1); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+// Every truncation of a valid snapshot must surface an error from the
+// field reads or Done — never a panic, and never a silent success.
+func TestTruncationsError(t *testing.T) {
+	w := snap.NewWriter("TRNC", 1)
+	w.Str("payload")
+	w.Ints([]int{1, 2, 3})
+	w.F64(2.5)
+	data := w.Bytes()
+	for cut := 8; cut < len(data); cut++ {
+		r, err := snap.NewReader(data[:cut], "TRNC", 1)
+		if err != nil {
+			continue
+		}
+		r.Str()
+		r.Ints()
+		r.F64()
+		if r.Done() == nil {
+			t.Errorf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	w := snap.NewWriter("TAIL", 1)
+	w.U64(9)
+	data := append(w.Bytes(), 0xFF)
+	r, err := snap.NewReader(data, "TAIL", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.U64()
+	if r.Done() == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// A corrupted length prefix must be rejected before any allocation of the
+// declared size.
+func TestHugeLengthRejected(t *testing.T) {
+	w := snap.NewWriter("HUGE", 1)
+	w.Int(1 << 60) // forged length prefix with no payload behind it
+	r, err := snap.NewReader(w.Bytes(), "HUGE", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ints(); r.Err() == nil {
+		t.Error("forged huge length accepted")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	enc := func() []byte {
+		w := snap.NewWriter("DETM", 1)
+		w.Str("x")
+		w.F64(1.5)
+		w.Ints([]int{4, 5})
+		return w.Bytes()
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Error("equal state encoded to different bytes")
+	}
+}

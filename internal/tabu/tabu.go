@@ -19,6 +19,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/taskgraph"
+	"repro/internal/xrand"
 )
 
 // Options configures one tabu-search run. At least one stopping criterion
@@ -80,13 +81,70 @@ type Result struct {
 	Elapsed        time.Duration
 }
 
-// Run executes tabu search on graph g over system sys.
-func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+// Engine is one tabu search in progress, steppable one iteration at a
+// time and snapshottable between iterations (see the resumable-search API
+// in internal/scheduler). Engines are not safe for concurrent use.
+type Engine struct {
+	g    *taskgraph.Graph
+	sys  *platform.System
+	opts Options
+	rng  *rand.Rand
+	src  *xrand.Source
+	eval *schedule.Evaluator
+	inc  *schedule.DeltaEvaluator // incremental engine; nil under FullEval
+
+	cur    schedule.String
+	curMs  float64
+	best   schedule.String
+	bestMs float64
+
+	tabuUntil     []int // task → first iteration it may move again
+	iter          int
+	sinceImproved int
+	elapsed       time.Duration
+
+	cand    schedule.String
+	applied schedule.String
+	pos     []int
+}
+
+// NewEngine validates opts and builds a ready-to-Step engine. Unlike Run,
+// no stopping criterion is required: the caller's Step loop bounds the
+// search.
+func NewEngine(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
+	e, err := newShell(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	if opts.Initial != nil {
+		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
+			return nil, fmt.Errorf("tabu: Options.Initial: %w", err)
+		}
+		e.cur = opts.Initial.Clone()
+	} else {
+		assign := make([]taskgraph.MachineID, n)
+		for t := range assign {
+			assign[t] = taskgraph.MachineID(e.rng.Intn(sys.NumMachines()))
+		}
+		e.cur = schedule.FromOrder(g.RandomTopoOrder(e.rng), assign)
+	}
+	if e.inc != nil {
+		e.curMs, _ = e.inc.Pin(e.cur)
+	} else {
+		e.curMs = e.eval.Makespan(e.cur)
+	}
+	e.best = e.cur.Clone()
+	e.bestMs = e.curMs
+	e.cur.Positions(e.pos)
+	return e, nil
+}
+
+// newShell builds an engine with everything but the search state — the
+// shared half of NewEngine and the snapshot Restore path.
+func newShell(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, error) {
 	if g.NumTasks() != sys.NumTasks() {
 		return nil, fmt.Errorf("tabu: graph has %d tasks but system is sized for %d", g.NumTasks(), sys.NumTasks())
-	}
-	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
-		return nil, fmt.Errorf("tabu: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
 	}
 	n := g.NumTasks()
 	if opts.Tenure <= 0 {
@@ -98,152 +156,175 @@ func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error
 	if opts.Neighborhood <= 0 {
 		opts.Neighborhood = n
 	}
-
-	rng := rand.New(rand.NewSource(opts.Seed))
-	eval := schedule.NewEvaluator(g, sys)
-	var inc *schedule.DeltaEvaluator // incremental engine; nil under FullEval
+	rng, src := xrand.New(opts.Seed)
+	e := &Engine{
+		g:         g,
+		sys:       sys,
+		opts:      opts,
+		rng:       rng,
+		src:       src,
+		eval:      schedule.NewEvaluator(g, sys),
+		tabuUntil: make([]int, n),
+		cand:      make(schedule.String, n),
+		applied:   make(schedule.String, n),
+		pos:       make([]int, n),
+	}
 	if !opts.FullEval {
-		inc = schedule.NewDeltaEvaluator(g, sys)
+		e.inc = schedule.NewDeltaEvaluator(g, sys)
 	}
+	return e, nil
+}
 
-	var cur schedule.String
-	if opts.Initial != nil {
-		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
-			return nil, fmt.Errorf("tabu: Options.Initial: %w", err)
-		}
-		cur = opts.Initial.Clone()
-	} else {
-		assign := make([]taskgraph.MachineID, n)
-		for t := range assign {
-			assign[t] = taskgraph.MachineID(rng.Intn(sys.NumMachines()))
-		}
-		cur = schedule.FromOrder(g.RandomTopoOrder(rng), assign)
-	}
+// Iterations returns the number of completed iterations.
+func (e *Engine) Iterations() int { return e.iter }
 
-	var curMs float64
-	if inc != nil {
-		curMs, _ = inc.Pin(cur)
-	} else {
-		curMs = eval.Makespan(cur)
-	}
-	best := cur.Clone()
-	bestMs := curMs
+// SinceImproved returns the count of consecutive completed iterations
+// without a best-makespan improvement — the quantity
+// Options.NoImprovement bounds.
+func (e *Engine) SinceImproved() int { return e.sinceImproved }
 
-	tabuUntil := make([]int, n) // task → first iteration it may move again
-	cand := make(schedule.String, n)
-	applied := make(schedule.String, n)
-	pos := make([]int, n)
-	// cur only changes when a move is applied at the end of an iteration,
-	// so positions are maintained incrementally there instead of being
-	// rebuilt per sampled neighbour.
-	cur.Positions(pos)
+// Elapsed returns the accumulated in-Step wall-clock time, including time
+// accumulated before a snapshot/restore cycle.
+func (e *Engine) Elapsed() time.Duration { return e.elapsed }
 
+// Step runs one tabu iteration — sample the neighbourhood, apply the best
+// admissible move, update the tabu list — and returns the iteration's
+// statistics.
+func (e *Engine) Step() IterationStats {
 	start := time.Now()
-	res := &Result{}
-	sinceImproved := 0
-	for iter := 0; ; iter++ {
-		// Sample the neighbourhood; keep the best admissible move.
-		bestMove := -1.0
-		moved := taskgraph.TaskID(-1)
-		var movedIdx, movedQ int
-		var movedM taskgraph.MachineID
-		for i := 0; i < opts.Neighborhood; i++ {
-			idx := rng.Intn(n)
-			t := cur[idx].Task
-			lo, hi := schedule.ValidRange(g, cur, pos, idx)
-			q := lo + rng.Intn(hi-lo+1)
-			m := taskgraph.MachineID(rng.Intn(sys.NumMachines()))
-			var ms float64
-			if inc != nil {
-				// A candidate only matters when it beats the iteration's
-				// best admissible move so far — and, for a tabu task, only
-				// when it also beats the global best (aspiration). Both
-				// tests are strict, so a replay aborted above the tighter
-				// of the two bounds is a candidate the full path would
-				// have discarded anyway.
-				bound := schedule.NoBound
-				if bestMove >= 0 {
-					bound = bestMove
-				}
-				if tabuUntil[t] > iter && bestMs < bound {
-					bound = bestMs
-				}
-				var ok bool
-				ms, _, ok = inc.MoveMakespan(idx, q, m, bound, schedule.NoBound)
-				if !ok {
-					continue
-				}
-			} else {
-				schedule.MoveInto(cand, cur, idx, q, m)
-				ms = eval.Makespan(cand)
-			}
+	n := e.g.NumTasks()
+	iter := e.iter
 
-			admissible := tabuUntil[t] <= iter || ms < bestMs // aspiration
-			if !admissible {
+	// Sample the neighbourhood; keep the best admissible move.
+	bestMove := -1.0
+	moved := taskgraph.TaskID(-1)
+	var movedIdx, movedQ int
+	var movedM taskgraph.MachineID
+	for i := 0; i < e.opts.Neighborhood; i++ {
+		idx := e.rng.Intn(n)
+		t := e.cur[idx].Task
+		lo, hi := schedule.ValidRange(e.g, e.cur, e.pos, idx)
+		q := lo + e.rng.Intn(hi-lo+1)
+		m := taskgraph.MachineID(e.rng.Intn(e.sys.NumMachines()))
+		var ms float64
+		if e.inc != nil {
+			// A candidate only matters when it beats the iteration's
+			// best admissible move so far — and, for a tabu task, only
+			// when it also beats the global best (aspiration). Both
+			// tests are strict, so a replay aborted above the tighter
+			// of the two bounds is a candidate the full path would
+			// have discarded anyway.
+			bound := schedule.NoBound
+			if bestMove >= 0 {
+				bound = bestMove
+			}
+			if e.tabuUntil[t] > iter && e.bestMs < bound {
+				bound = e.bestMs
+			}
+			var ok bool
+			ms, _, ok = e.inc.MoveMakespan(idx, q, m, bound, schedule.NoBound)
+			if !ok {
 				continue
 			}
-			if bestMove < 0 || ms < bestMove {
-				bestMove = ms
-				moved = t
-				movedIdx, movedQ, movedM = idx, q, m
-				if inc == nil {
-					copy(applied, cand)
-				}
-			}
-		}
-		if moved >= 0 {
-			if inc != nil {
-				// The winner is materialized once, here, rather than on
-				// every improvement during sampling; a second replay of it
-				// refreshes the scratch so the rebase is pure bookkeeping.
-				schedule.MoveInto(applied, cur, movedIdx, movedQ, movedM)
-				inc.MoveMakespan(movedIdx, movedQ, movedM, schedule.NoBound, schedule.NoBound)
-				inc.CommitMove(movedIdx, movedQ, movedM)
-			}
-			copy(cur, applied)
-			schedule.UpdatePositions(pos, cur, movedIdx, movedQ)
-			curMs = bestMove
-			tabuUntil[moved] = iter + 1 + opts.Tenure
-			if curMs < bestMs {
-				bestMs = curMs
-				copy(best, cur)
-				sinceImproved = 0
-			} else {
-				sinceImproved++
-			}
 		} else {
-			sinceImproved++
+			schedule.MoveInto(e.cand, e.cur, idx, q, m)
+			ms = e.eval.Makespan(e.cand)
 		}
 
-		res.Iterations = iter + 1
-		if opts.OnIteration != nil && !opts.OnIteration(IterationStats{
-			Iteration:       iter,
-			CurrentMakespan: curMs,
-			BestMakespan:    bestMs,
-			Elapsed:         time.Since(start),
-		}) {
+		admissible := e.tabuUntil[t] <= iter || ms < e.bestMs // aspiration
+		if !admissible {
+			continue
+		}
+		if bestMove < 0 || ms < bestMove {
+			bestMove = ms
+			moved = t
+			movedIdx, movedQ, movedM = idx, q, m
+			if e.inc == nil {
+				copy(e.applied, e.cand)
+			}
+		}
+	}
+	if moved >= 0 {
+		if e.inc != nil {
+			// The winner is materialized once, here, rather than on
+			// every improvement during sampling; a second replay of it
+			// refreshes the scratch so the rebase is pure bookkeeping.
+			schedule.MoveInto(e.applied, e.cur, movedIdx, movedQ, movedM)
+			e.inc.MoveMakespan(movedIdx, movedQ, movedM, schedule.NoBound, schedule.NoBound)
+			e.inc.CommitMove(movedIdx, movedQ, movedM)
+		}
+		copy(e.cur, e.applied)
+		schedule.UpdatePositions(e.pos, e.cur, movedIdx, movedQ)
+		e.curMs = bestMove
+		e.tabuUntil[moved] = iter + 1 + e.opts.Tenure
+		if e.curMs < e.bestMs {
+			e.bestMs = e.curMs
+			copy(e.best, e.cur)
+			e.sinceImproved = 0
+		} else {
+			e.sinceImproved++
+		}
+	} else {
+		e.sinceImproved++
+	}
+
+	e.iter++
+	stats := IterationStats{
+		Iteration:       iter,
+		CurrentMakespan: e.curMs,
+		BestMakespan:    e.bestMs,
+		Elapsed:         e.elapsed + time.Since(start),
+	}
+	e.elapsed += time.Since(start)
+	return stats
+}
+
+// Result finalizes the engine's state into a Result. The engine remains
+// steppable afterwards.
+func (e *Engine) Result() *Result {
+	res := &Result{
+		Best:         e.best.Clone(),
+		BestMakespan: e.bestMs,
+		Iterations:   e.iter,
+		Elapsed:      e.elapsed,
+	}
+	counts := e.eval.Counts()
+	if e.inc != nil {
+		counts = counts.Add(e.inc.Counts())
+	}
+	res.Evaluations = counts.Full
+	res.DeltaEvaluations = counts.Delta
+	res.GenesEvaluated = counts.Genes
+	return res
+}
+
+// Run executes tabu search on graph g over system sys: a budget loop over
+// an Engine, one iteration per Step.
+func Run(g *taskgraph.Graph, sys *platform.System, opts Options) (*Result, error) {
+	if opts.MaxIterations <= 0 && opts.TimeBudget <= 0 && opts.NoImprovement <= 0 && opts.OnIteration == nil {
+		return nil, fmt.Errorf("tabu: no stopping criterion set (MaxIterations, TimeBudget, NoImprovement or OnIteration)")
+	}
+	e, err := NewEngine(g, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for {
+		st := e.Step()
+		if opts.OnIteration != nil && !opts.OnIteration(st) {
 			break
 		}
-		if opts.MaxIterations > 0 && iter+1 >= opts.MaxIterations {
+		if opts.MaxIterations > 0 && e.iter >= opts.MaxIterations {
 			break
 		}
 		if opts.TimeBudget > 0 && time.Since(start) >= opts.TimeBudget {
 			break
 		}
-		if opts.NoImprovement > 0 && sinceImproved >= opts.NoImprovement {
+		if opts.NoImprovement > 0 && e.sinceImproved >= opts.NoImprovement {
 			break
 		}
 	}
-
-	res.Best = best
-	res.BestMakespan = bestMs
-	counts := eval.Counts()
-	if inc != nil {
-		counts = counts.Add(inc.Counts())
-	}
-	res.Evaluations = counts.Full
-	res.DeltaEvaluations = counts.Delta
-	res.GenesEvaluated = counts.Genes
+	res := e.Result()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -1,6 +1,9 @@
 package workload
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 func TestPresetNamesAllBuild(t *testing.T) {
 	names := PresetNames()
@@ -39,5 +42,67 @@ func TestPresetDeterministic(t *testing.T) {
 func TestPresetUnknownName(t *testing.T) {
 	if _, err := Preset("no-such-preset"); err == nil {
 		t.Error("Preset accepted an unknown name")
+	}
+}
+
+// TestPresetTableIntegrity hardens the untrusted-upload path the serving
+// layer leans on: every preset must be acyclic (a topological order
+// exists and covers every task), must survive Encode → Decode — the same
+// validating decoder session uploads go through — and must round-trip
+// every schedulable fact (shape, exec matrix, item endpoints and sizes)
+// exactly, so preset drift cannot silently change served results.
+func TestPresetTableIntegrity(t *testing.T) {
+	for _, name := range PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			w, err := Preset(name)
+			if err != nil {
+				t.Fatalf("Preset: %v", err)
+			}
+
+			topo := w.Graph.TopoOrder()
+			if len(topo) != w.Graph.NumTasks() {
+				t.Fatalf("topological order covers %d of %d tasks — preset has a cycle or orphan",
+					len(topo), w.Graph.NumTasks())
+			}
+			pos := make([]int, w.Graph.NumTasks())
+			for i, task := range topo {
+				pos[task] = i
+			}
+			for _, it := range w.Graph.Items() {
+				if pos[it.Producer] >= pos[it.Consumer] {
+					t.Fatalf("item d%d: producer s%d not before consumer s%d — preset is cyclic",
+						it.ID, it.Producer, it.Consumer)
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := Encode(&buf, w); err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			rt, err := Decode(&buf)
+			if err != nil {
+				t.Fatalf("Decode rejected its own encoding: %v", err)
+			}
+			if rt.Graph.NumTasks() != w.Graph.NumTasks() ||
+				rt.Graph.NumItems() != w.Graph.NumItems() ||
+				rt.System.NumMachines() != w.System.NumMachines() {
+				t.Fatalf("shape changed through Encode/Decode: %s vs %s", rt, w)
+			}
+			ae, be := w.System.ExecMatrix(), rt.System.ExecMatrix()
+			for m := range ae {
+				for k := range ae[m] {
+					if ae[m][k] != be[m][k] {
+						t.Fatalf("exec[%d][%d] changed through Encode/Decode: %v vs %v",
+							m, k, ae[m][k], be[m][k])
+					}
+				}
+			}
+			ai, bi := w.Graph.Items(), rt.Graph.Items()
+			for i := range ai {
+				if ai[i].Producer != bi[i].Producer || ai[i].Consumer != bi[i].Consumer || ai[i].Size != bi[i].Size {
+					t.Fatalf("item %d changed through Encode/Decode: %+v vs %+v", i, ai[i], bi[i])
+				}
+			}
+		})
 	}
 }

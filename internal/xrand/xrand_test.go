@@ -1,0 +1,87 @@
+package xrand_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// The counting wrapper must not change the stream: engines switched from
+// rand.NewSource to xrand must keep every historical result bit-identical.
+func TestStreamMatchesMathRand(t *testing.T) {
+	want := rand.New(rand.NewSource(42))
+	got, _ := xrand.New(42)
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if g, w := got.Int63(), want.Int63(); g != w {
+				t.Fatalf("draw %d: Int63 = %d, want %d", i, g, w)
+			}
+		case 1:
+			if g, w := got.Float64(), want.Float64(); g != w {
+				t.Fatalf("draw %d: Float64 = %v, want %v", i, g, w)
+			}
+		case 2:
+			if g, w := got.Intn(17), want.Intn(17); g != w {
+				t.Fatalf("draw %d: Intn = %d, want %d", i, g, w)
+			}
+		case 3:
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("draw %d: Uint64 = %d, want %d", i, g, w)
+			}
+		}
+	}
+}
+
+// Restoring from (seed, n) must continue the stream exactly where the
+// snapshotted source left off, across every Rand method class — including
+// the rejection-sampled ones (Intn on non-power-of-two bounds, Perm),
+// whose source consumption varies per call.
+func TestSnapshotRestoreContinuesExactly(t *testing.T) {
+	for _, cut := range []int{0, 1, 7, 100, 333} {
+		orig, src := xrand.New(7)
+		draw := func(r *rand.Rand, i int) any {
+			switch i % 5 {
+			case 0:
+				return r.Int63()
+			case 1:
+				return r.Float64()
+			case 2:
+				return r.Intn(1000)
+			case 3:
+				return r.Uint64()
+			default:
+				p := r.Perm(5)
+				return [5]int{p[0], p[1], p[2], p[3], p[4]}
+			}
+		}
+		for i := 0; i < cut; i++ {
+			draw(orig, i)
+		}
+		seed, n := src.Snapshot()
+		restored, rsrc := xrand.NewRestored(seed, n)
+		if _, rn := rsrc.Snapshot(); rn != n {
+			t.Fatalf("cut %d: restored count = %d, want %d", cut, rn, n)
+		}
+		for i := cut; i < cut+200; i++ {
+			if g, w := draw(restored, i), draw(orig, i); g != w {
+				t.Fatalf("cut %d, draw %d: restored %v, original %v", cut, i, g, w)
+			}
+		}
+	}
+}
+
+func TestSeedResetsCount(t *testing.T) {
+	_, src := xrand.New(1)
+	src.Int63()
+	src.Uint64()
+	if _, n := src.Snapshot(); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	src.Seed(5)
+	seed, n := src.Snapshot()
+	if seed != 5 || n != 0 {
+		t.Fatalf("after Seed(5): (%d, %d), want (5, 0)", seed, n)
+	}
+}
