@@ -41,30 +41,36 @@ func quickCfg() experiments.Config {
 // workload. Reported metrics are the mean selection-set size over the
 // first and last 10% of iterations; the paper's claim is early ≫ late.
 func BenchmarkFig3aSelectionDecay(b *testing.B) {
+	var genes uint64
 	for i := 0; i < b.N; i++ {
 		fig, _, err := experiments.Fig3(quickCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
+		genes += fig.GenesEvaluated
 		early, late := headTail(fig)
 		b.ReportMetric(early, "selected-early")
 		b.ReportMetric(late, "selected-late")
+		reportFigure(b, fig)
 	}
+	reportGenesPerSec(b, genes)
 }
 
 // BenchmarkFig3bScheduleLength regenerates Figure 3b: the current schedule
 // length per SE iteration of the same run.
 func BenchmarkFig3bScheduleLength(b *testing.B) {
+	var genes uint64
 	for i := 0; i < b.N; i++ {
 		_, fig, err := experiments.Fig3(quickCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
+		genes += fig.GenesEvaluated
 		first := fig.Series[0].Points[0].Y
-		last := fig.Series[0].Last()
 		b.ReportMetric(first, "makespan-initial")
-		b.ReportMetric(last, "makespan-final")
+		reportFigure(b, fig)
 	}
+	reportGenesPerSec(b, genes)
 }
 
 // BenchmarkFig4aYLowHeterogeneity regenerates Figure 4a: the Y sweep under
@@ -83,15 +89,19 @@ func BenchmarkFig4bYHighHeterogeneity(b *testing.B) {
 
 func benchmarkFig4(b *testing.B, gen func(experiments.Config) (experiments.Figure, error)) {
 	b.Helper()
+	var genes uint64
 	for i := 0; i < b.N; i++ {
 		fig, err := gen(quickCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
+		genes += fig.GenesEvaluated
 		for _, s := range fig.Series {
 			b.ReportMetric(s.Last(), "final-"+metricName(s.Name))
 		}
+		reportFigure(b, fig)
 	}
+	reportGenesPerSec(b, genes)
 }
 
 // BenchmarkFig5SEvsGAHighConnectivity regenerates Figure 5: the SE-vs-GA
@@ -116,14 +126,35 @@ func BenchmarkFig7SEvsGALowEverything(b *testing.B) {
 
 func benchmarkRace(b *testing.B, gen func(experiments.Config) (experiments.Figure, error)) {
 	b.Helper()
+	var genes uint64
 	for i := 0; i < b.N; i++ {
 		fig, err := gen(quickCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
+		genes += fig.GenesEvaluated
 		for _, s := range fig.Series {
 			b.ReportMetric(s.Last(), "final-"+metricName(s.Name))
 		}
+		reportFigure(b, fig)
+	}
+	reportGenesPerSec(b, genes)
+}
+
+// reportFigure reports the figure's best final schedule length under the
+// same "makespan" name the cmd/perf ledger uses, so `go test -bench` output
+// and BENCH_<n>.json agree on units.
+func reportFigure(b *testing.B, fig experiments.Figure) {
+	b.Helper()
+	b.ReportMetric(fig.BestMakespan, "makespan")
+}
+
+// reportGenesPerSec converts search effort accumulated over all benchmark
+// iterations into the ledger's genes/s throughput unit.
+func reportGenesPerSec(b *testing.B, genes uint64) {
+	b.Helper()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(genes)/s, "genes/s")
 	}
 }
 

@@ -65,11 +65,13 @@ type Engine struct {
 	eval  *schedule.Evaluator
 	delta *schedule.DeltaEvaluator // incremental engine; nil under Options.FullEval
 
-	opt      []float64 // Oᵢ, fixed across generations
-	finish   []float64 // Cᵢ of the current solution
-	goodness []float64 // gᵢ = clamp(Oᵢ/Cᵢ)
-	levels   []int     // DAG levels, for selection-set ordering
-	pos      []int     // task → index scratch
+	opt        []float64          // Oᵢ, fixed across generations
+	finish     []float64          // Cᵢ of the current solution
+	goodness   []float64          // gᵢ = clamp(Oᵢ/Cᵢ)
+	levels     []int              // DAG levels, for selection-set ordering
+	levelOrder []taskgraph.TaskID // all tasks pre-sorted by (level, id)
+	selMask    []bool             // selection membership scratch
+	pos        []int              // task → index scratch
 
 	cur      schedule.String
 	moveBuf  schedule.String // scratch for applying the winning move
@@ -140,10 +142,22 @@ func newShell(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, 
 		finish:   make([]float64, n),
 		goodness: make([]float64, n),
 		levels:   g.Levels(),
+		selMask:  make([]bool, n),
 		pos:      make([]int, n),
 		moveBuf:  make(schedule.String, n),
 		selected: make([]taskgraph.TaskID, 0, n),
 	}
+	// The selection set is always read in (level, id) order; precomputing
+	// that order once lets selectTasks run sort-free every generation. A
+	// stable sort by level over ID-ascending input yields exactly the
+	// (level, id) lexicographic order the per-Step sort produced.
+	e.levelOrder = make([]taskgraph.TaskID, n)
+	for t := range e.levelOrder {
+		e.levelOrder[t] = taskgraph.TaskID(t)
+	}
+	sort.SliceStable(e.levelOrder, func(i, j int) bool {
+		return e.levels[e.levelOrder[i]] < e.levels[e.levelOrder[j]]
+	})
 	if opts.Workers > 1 {
 		e.pool = newAllocPool(g, sys, opts.Workers, opts.FullEval)
 	} else if !opts.FullEval {
@@ -294,20 +308,28 @@ func (e *Engine) Counts() schedule.EvalCounts {
 // ordered by ascending DAG level (ties by task ID), the order in which
 // allocation will reconsider the tasks.
 func (e *Engine) selectTasks() {
+	// The rng draws stay in task-ID order — the stream position is part of
+	// the bit-identity contract — while the selection set is gathered by
+	// walking the precomputed (level, id) task order, replacing the
+	// per-generation stable sort the selection historically paid for.
 	e.selected = e.selected[:0]
+	remaining := 0
 	for t := 0; t < e.g.NumTasks(); t++ {
 		if e.rng.Float64() > e.goodness[t]+e.opts.Bias {
-			e.selected = append(e.selected, taskgraph.TaskID(t))
+			e.selMask[t] = true
+			remaining++
 		}
 	}
-	lv := e.levels
-	sort.SliceStable(e.selected, func(i, j int) bool {
-		a, b := e.selected[i], e.selected[j]
-		if lv[a] != lv[b] {
-			return lv[a] < lv[b]
+	for _, t := range e.levelOrder {
+		if remaining == 0 {
+			break
 		}
-		return a < b
-	})
+		if e.selMask[t] {
+			e.selMask[t] = false
+			e.selected = append(e.selected, t)
+			remaining--
+		}
+	}
 }
 
 // allocate constructively re-places every selected task: all insertion

@@ -27,7 +27,7 @@ const (
 // allocation. The effort ledger (Counts) restarts at zero in the restored
 // process.
 func (e *Engine) Snapshot() ([]byte, error) {
-	w := snap.NewWriter(engineSnapMagic, engineSnapVersion)
+	w := snap.Borrow(engineSnapMagic, engineSnapVersion)
 	w.F64(e.opts.Bias)
 	w.Int(e.opts.Y)
 	w.Int(e.opts.PerturbAfter)
@@ -43,7 +43,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.sinceImproved)
 	w.Bool(e.pendingKick)
 	w.I64(int64(e.elapsed))
-	return w.Bytes(), nil
+	return w.Detach(), nil
 }
 
 // RestoreEngine rebuilds an Engine from a Snapshot against the same

@@ -89,6 +89,13 @@ type Figure struct {
 	// Notes are machine-generated findings checking the paper's
 	// qualitative claim on this run's data.
 	Notes []string
+	// GenesEvaluated totals the search effort (genes scored) behind the
+	// figure's runs, so benchmarks can report genes/s in the same units
+	// cmd/perf ledgers. Zero when the generating path reports no effort.
+	GenesEvaluated uint64
+	// BestMakespan is the best final schedule length across the figure's
+	// series — the "makespan" column of the cmd/perf ledger.
+	BestMakespan float64
 }
 
 // IDs lists all reproducible figures in paper order.

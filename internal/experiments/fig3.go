@@ -49,11 +49,13 @@ func Fig3(cfg Config) (fig3a, fig3b Figure, err error) {
 	lateMs := tailMean(current, 0.1)
 
 	fig3a = Figure{
-		ID:     "3a",
-		Title:  "Fig 3a — number of selected subtasks per SE iteration (large size, high connectivity)",
-		XLabel: "iteration",
-		YLabel: "selected subtasks",
-		Series: []stats.Series{selected},
+		ID:             "3a",
+		GenesEvaluated: res.GenesEvaluated,
+		BestMakespan:   res.Makespan,
+		Title:          "Fig 3a — number of selected subtasks per SE iteration (large size, high connectivity)",
+		XLabel:         "iteration",
+		YLabel:         "selected subtasks",
+		Series:         []stats.Series{selected},
 		Notes: []string{
 			fmt.Sprintf("workload: %s", w),
 			fmt.Sprintf("mean selected, first 10%% of iterations: %.1f", earlySel),
@@ -62,11 +64,13 @@ func Fig3(cfg Config) (fig3a, fig3b Figure, err error) {
 		},
 	}
 	fig3b = Figure{
-		ID:     "3b",
-		Title:  "Fig 3b — schedule length of the current solution per SE iteration",
-		XLabel: "iteration",
-		YLabel: "schedule length",
-		Series: []stats.Series{current},
+		ID:             "3b",
+		GenesEvaluated: res.GenesEvaluated,
+		BestMakespan:   res.Makespan,
+		Title:          "Fig 3b — schedule length of the current solution per SE iteration",
+		XLabel:         "iteration",
+		YLabel:         "schedule length",
+		Series:         []stats.Series{current},
 		Notes: []string{
 			fmt.Sprintf("initial schedule length ≈ %.0f, final best %.0f", current.Points[0].Y, res.Makespan),
 			fmt.Sprintf("mean schedule length, first 10%%: %.0f; last 10%%: %.0f", earlyMs, lateMs),

@@ -82,6 +82,7 @@ func fig4(cfg Config, id string, het float64, hetName string) (Figure, error) {
 		}
 		fig.Series = append(fig.Series, s)
 		finals[i] = res.Makespan
+		fig.GenesEvaluated += res.GenesEvaluated
 		fig.Notes = append(fig.Notes, fmt.Sprintf("Y = %-3d final best schedule length: %.0f", y, res.Makespan))
 	}
 
@@ -91,6 +92,7 @@ func fig4(cfg Config, id string, het float64, hetName string) (Figure, error) {
 			bestIdx = i
 		}
 	}
+	fig.BestMakespan = finals[bestIdx]
 	switch id {
 	case "4a":
 		fig.Notes = append(fig.Notes, fmt.Sprintf(

@@ -111,6 +111,17 @@ func raceFigure(cfg Config, id, class string, w *workload.Workload) (Figure, err
 		Series: series,
 		Notes:  []string{fmt.Sprintf("workload: %s", w)},
 	}
+	for _, c := range contenders {
+		if c.Genes != nil {
+			fig.GenesEvaluated += c.Genes()
+		}
+	}
+	fig.BestMakespan = series[0].Last()
+	for _, s := range series[1:] {
+		if last := s.Last(); last < fig.BestMakespan {
+			fig.BestMakespan = last
+		}
+	}
 
 	// The paper-claim notes compare its SE-vs-GA pairing; with a custom
 	// contender set the notes report finals and the overall winner instead.

@@ -76,17 +76,50 @@ type Engine struct {
 
 	pop  []*chromosome
 	next []*chromosome
+	free []*chromosome // retired chromosomes recycled by cloneOf
 
 	best          *chromosome // best ever seen; nil before the first Step
 	gen           int
 	sinceImproved int
 	elapsed       time.Duration
 
-	evals   []*schedule.Evaluator      // one per worker (index 0 = serial path)
-	deltas  []*schedule.DeltaEvaluator // one per worker; nil under FullEval
-	bufs    []schedule.String
-	posBuf  []int
-	fitness []float64
+	evals    []*schedule.Evaluator      // one per worker (index 0 = serial path)
+	deltas   []*schedule.DeltaEvaluator // one per worker; nil under FullEval
+	bufs     []schedule.String
+	posBuf   []int
+	fitness  []float64
+	sorter   chromoSorter       // elitism sort scratch (evolve)
+	xbuf1    []taskgraph.TaskID // order-crossover child scratch
+	xbuf2    []taskgraph.TaskID // order-crossover child scratch
+	inPrefix []bool             // order-crossover membership scratch
+}
+
+// chromoSorter stable-sorts a chromosome slice by cost. It exists (rather
+// than sort.SliceStable) so evolve's elitism sort runs through a pointer
+// receiver with zero per-call allocations; stable sorting makes the order
+// deterministic either way.
+type chromoSorter struct{ cs []*chromosome }
+
+func (s *chromoSorter) Len() int           { return len(s.cs) }
+func (s *chromoSorter) Less(i, j int) bool { return s.cs[i].cost < s.cs[j].cost }
+func (s *chromoSorter) Swap(i, j int)      { s.cs[i], s.cs[j] = s.cs[j], s.cs[i] }
+
+// cloneOf is chromosome.clone through the engine's freelist: a retired
+// chromosome's slices are reused when one is available (every chromosome
+// in an engine has the same length, so the copies never grow). The content
+// is identical to a fresh clone.
+func (e *Engine) cloneOf(src *chromosome) *chromosome {
+	n := len(e.free)
+	if n == 0 {
+		return src.clone()
+	}
+	c := e.free[n-1]
+	e.free[n-1] = nil
+	e.free = e.free[:n-1]
+	c.order = append(c.order[:0], src.order...)
+	c.assign = append(c.assign[:0], src.assign...)
+	c.cost = src.cost
+	return c
 }
 
 // NewEngine validates opts and builds a ready-to-Step engine with its
@@ -132,14 +165,18 @@ func newShell(g *taskgraph.Graph, sys *platform.System, opts Options) (*Engine, 
 	}
 	rng, src := xrand.New(opts.Seed)
 	e := &Engine{
-		g:       g,
-		sys:     sys,
-		opts:    opts,
-		rng:     rng,
-		src:     src,
-		posBuf:  make([]int, g.NumTasks()),
-		fitness: make([]float64, opts.PopulationSize),
+		g:        g,
+		sys:      sys,
+		opts:     opts,
+		rng:      rng,
+		src:      src,
+		posBuf:   make([]int, g.NumTasks()),
+		fitness:  make([]float64, opts.PopulationSize),
+		xbuf1:    make([]taskgraph.TaskID, g.NumTasks()),
+		xbuf2:    make([]taskgraph.TaskID, g.NumTasks()),
+		inPrefix: make([]bool, g.NumTasks()),
 	}
+	e.sorter.cs = make([]*chromosome, 0, opts.PopulationSize)
 	for i := 0; i < workers; i++ {
 		e.evals = append(e.evals, schedule.NewEvaluator(g, sys))
 		e.bufs = append(e.bufs, make(schedule.String, g.NumTasks()))
@@ -196,7 +233,10 @@ func (e *Engine) Step() GenerationStats {
 	start := time.Now()
 	genBest, genMean := e.evaluate()
 	if e.best == nil || genBest.cost < e.best.cost {
-		e.best = genBest.clone()
+		if e.best != nil {
+			e.free = append(e.free, e.best)
+		}
+		e.best = e.cloneOf(genBest)
 		e.sinceImproved = 0
 	} else {
 		e.sinceImproved++
@@ -320,14 +360,19 @@ func (e *Engine) costOf(c *chromosome, worker int, rebase bool) float64 {
 // evolve produces the next generation: elitism, roulette-wheel selection on
 // fitness = (worst cost − cost), crossover, mutation.
 func (e *Engine) evolve() {
+	// After the swap at the end of the previous evolve, e.next holds the
+	// retired generation: every survivor was cloned into the current
+	// population, so nothing else references these chromosomes and they
+	// feed the freelist that cloneOf draws from.
+	e.free = append(e.free, e.next...)
 	e.next = e.next[:0]
 
 	// Elitism: carry the best chromosomes over unchanged.
-	byCost := make([]*chromosome, len(e.pop))
-	copy(byCost, e.pop)
-	sort.SliceStable(byCost, func(i, j int) bool { return byCost[i].cost < byCost[j].cost })
+	e.sorter.cs = append(e.sorter.cs[:0], e.pop...)
+	sort.Stable(&e.sorter)
+	byCost := e.sorter.cs
 	for i := 0; i < e.opts.Elitism; i++ {
-		e.next = append(e.next, byCost[i].clone())
+		e.next = append(e.next, e.cloneOf(byCost[i]))
 	}
 
 	// Roulette wheel: fitness is the cost headroom below the generation's
@@ -343,7 +388,7 @@ func (e *Engine) evolve() {
 	for len(e.next) < e.opts.PopulationSize {
 		p1 := e.spin(totalFit)
 		p2 := e.spin(totalFit)
-		c1, c2 := p1.clone(), p2.clone()
+		c1, c2 := e.cloneOf(p1), e.cloneOf(p2)
 		if e.rng.Float64() < e.opts.CrossoverRate {
 			e.orderCrossover(c1, c2)
 		}

@@ -20,28 +20,32 @@ func (e *Engine) orderCrossover(c1, c2 *chromosome) {
 		return
 	}
 	cut := 1 + e.rng.Intn(n-1)
-	o1 := crossOrders(c1.order, c2.order, cut)
-	o2 := crossOrders(c2.order, c1.order, cut)
-	c1.order = o1
-	c2.order = o2
+	// Both children are built into engine scratch before either parent
+	// order is overwritten — each child reads both parents.
+	crossOrdersInto(e.xbuf1, e.inPrefix, c1.order, c2.order, cut)
+	crossOrdersInto(e.xbuf2, e.inPrefix, c2.order, c1.order, cut)
+	copy(c1.order, e.xbuf1)
+	copy(c2.order, e.xbuf2)
 }
 
-// crossOrders returns a[:cut] followed by the tasks of a[cut:] in the
-// relative order they appear in b.
-func crossOrders(a, b []taskgraph.TaskID, cut int) []taskgraph.TaskID {
-	n := len(a)
-	out := make([]taskgraph.TaskID, 0, n)
-	out = append(out, a[:cut]...)
-	inPrefix := make([]bool, n)
+// crossOrdersInto writes a[:cut] followed by the tasks of a[cut:], in the
+// relative order they appear in b, into dst. inPrefix is caller-provided
+// scratch (len ≥ len(a)); it is restored to all-false before returning.
+func crossOrdersInto(dst []taskgraph.TaskID, inPrefix []bool, a, b []taskgraph.TaskID, cut int) {
+	copy(dst, a[:cut])
 	for _, t := range a[:cut] {
 		inPrefix[t] = true
 	}
+	k := cut
 	for _, t := range b {
 		if !inPrefix[t] {
-			out = append(out, t)
+			dst[k] = t
+			k++
 		}
 	}
-	return out
+	for _, t := range a[:cut] {
+		inPrefix[t] = false
+	}
 }
 
 // matchingCrossover applies one-point crossover to the matching strings of

@@ -22,6 +22,14 @@ func testEngine(t *testing.T, seed int64) *Engine {
 	return e
 }
 
+// crossOrders is the test-side wrapper over crossOrdersInto: it allocates
+// the destination and scratch the engine normally owns.
+func crossOrders(a, b []taskgraph.TaskID, cut int) []taskgraph.TaskID {
+	out := make([]taskgraph.TaskID, len(a))
+	crossOrdersInto(out, make([]bool, len(a)), a, b, cut)
+	return out
+}
+
 func TestCrossOrdersKeepsPermutation(t *testing.T) {
 	a := []taskgraph.TaskID{0, 1, 2, 3, 4}
 	b := []taskgraph.TaskID{0, 2, 1, 4, 3}

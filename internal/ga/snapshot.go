@@ -17,11 +17,18 @@ const (
 	engineSnapVersion = 1
 )
 
-// chromosomeString renders c in the combined encoding for snapshots: the
-// two Wang-et-al strings round-trip losslessly through it because order
-// is a permutation, so Assignment() recovers every task's machine.
-func chromosomeString(c *chromosome) schedule.String {
-	return schedule.FromOrder(c.order, c.assign)
+// appendChromosomeSnap writes c in the combined schedule.String encoding —
+// gene i is (order[i], assign[order[i]]) — producing bytes identical to
+// schedule.AppendSnap(w, schedule.FromOrder(c.order, c.assign)) without
+// materializing the intermediate String. The two Wang-et-al strings
+// round-trip losslessly because order is a permutation, so Assignment()
+// recovers every task's machine on restore.
+func appendChromosomeSnap(w *snap.Writer, c *chromosome) {
+	w.Int(len(c.order))
+	for _, t := range c.order {
+		w.Int(int(t))
+		w.Int(int(c.assign[t]))
+	}
 }
 
 // Snapshot encodes the search's complete state — options, rng stream
@@ -30,7 +37,7 @@ func chromosomeString(c *chromosome) schedule.String {
 // Population costs are not encoded: Step re-evaluates the population
 // before using them, and the evaluators are exact either way.
 func (e *Engine) Snapshot() ([]byte, error) {
-	w := snap.NewWriter(engineSnapMagic, engineSnapVersion)
+	w := snap.Borrow(engineSnapMagic, engineSnapVersion)
 	w.Int(e.opts.PopulationSize)
 	w.F64(e.opts.CrossoverRate)
 	w.F64(e.opts.MutationRate)
@@ -42,17 +49,17 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.U64(draws)
 	w.Int(len(e.pop))
 	for _, c := range e.pop {
-		schedule.AppendSnap(w, chromosomeString(c))
+		appendChromosomeSnap(w, c)
 	}
 	w.Bool(e.best != nil)
 	if e.best != nil {
-		schedule.AppendSnap(w, chromosomeString(e.best))
+		appendChromosomeSnap(w, e.best)
 		w.F64(e.best.cost)
 	}
 	w.Int(e.gen)
 	w.Int(e.sinceImproved)
 	w.I64(int64(e.elapsed))
-	return w.Bytes(), nil
+	return w.Detach(), nil
 }
 
 // RestoreEngine rebuilds an Engine from a Snapshot against the same

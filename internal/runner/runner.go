@@ -23,6 +23,11 @@ import (
 type Contender struct {
 	Name string
 	Run  func(ctx context.Context, budget time.Duration, record func(time.Duration, float64)) (float64, error)
+	// Genes, when non-nil, reports the genes the contender's completed Run
+	// evaluated, so harnesses can report race effort in the same genes/s
+	// units the cmd/perf ledger uses. Hand-rolled contenders may leave it
+	// nil.
+	Genes func() uint64
 }
 
 // Entry adapts any registered algorithm to a race Contender by driving
@@ -34,6 +39,7 @@ type Contender struct {
 // and because the search is externally driven, a race harness can also
 // pause or snapshot a contender mid-race through the same Search.
 func Entry(display, algorithm string, g *taskgraph.Graph, sys *platform.System, opts ...scheduler.Option) Contender {
+	var genes uint64
 	return Contender{
 		Name: display,
 		Run: func(ctx context.Context, budget time.Duration, record func(time.Duration, float64)) (float64, error) {
@@ -53,9 +59,11 @@ func Entry(display, algorithm string, g *taskgraph.Graph, sys *platform.System, 
 				return 0, err
 			}
 			res := s.Best()
+			genes = res.GenesEvaluated
 			record(res.Elapsed, res.Makespan)
 			return res.Makespan, nil
 		},
+		Genes: func() uint64 { return genes },
 	}
 }
 

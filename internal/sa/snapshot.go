@@ -24,7 +24,7 @@ const (
 // Metropolis deltas after a restore are computed against exactly the
 // value the uninterrupted walk would have used.
 func (e *Engine) Snapshot() ([]byte, error) {
-	w := snap.NewWriter(engineSnapMagic, engineSnapVersion)
+	w := snap.Borrow(engineSnapMagic, engineSnapVersion)
 	w.F64(e.opts.Cooling)
 	w.Int(e.opts.MovesPerTemp)
 	w.Bool(e.opts.FullEval)
@@ -41,7 +41,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.blocks)
 	w.Int(e.sinceImproved)
 	w.I64(int64(e.elapsed))
-	return w.Bytes(), nil
+	return w.Detach(), nil
 }
 
 // RestoreEngine rebuilds an Engine from a Snapshot against the same

@@ -103,11 +103,11 @@ func (c *constructiveStepper) Result() *Result {
 }
 
 func (c *constructiveStepper) Snapshot() ([]byte, error) {
-	w := snap.NewWriter(constructiveSnapMagic, constructiveSnapVersion)
+	w := snap.Borrow(constructiveSnapMagic, constructiveSnapVersion)
 	w.I64(c.cfg.Seed)
 	w.Bool(c.res != nil)
 	w.I64(int64(c.elapsed))
-	return w.Bytes(), nil
+	return w.Detach(), nil
 }
 
 func (c *constructiveStepper) Stalled(int) bool { return c.res != nil }

@@ -105,13 +105,13 @@ func (s *search) Snapshot() ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: snapshot %s: %w", s.name, err)
 	}
-	w := snap.NewWriter(envelopeMagic, envelopeVersion)
+	w := snap.Borrow(envelopeMagic, envelopeVersion)
 	w.Str(s.name)
 	w.Int(s.g.NumTasks())
 	w.Int(s.sys.NumMachines())
 	w.Int(s.g.NumItems())
 	w.Blob(payload)
-	return w.Bytes(), nil
+	return w.Detach(), nil
 }
 
 // Open builds a ready-to-step Search for the named algorithm on (g, sys)
@@ -152,7 +152,9 @@ func Restore(name string, snapshot []byte, g *taskgraph.Graph, sys *platform.Sys
 	tasks := r.Int()
 	machines := r.Int()
 	items := r.Int()
-	payload := r.Blob()
+	// A view suffices: every registered restore hook decodes by copying
+	// fields out of the payload and retains no reference into it.
+	payload := r.BlobView()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("scheduler: restore: %w", err)
 	}

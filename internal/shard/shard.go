@@ -200,6 +200,12 @@ type Engine struct {
 	stopped    bool
 	elapsed    time.Duration
 
+	// Per-round scratch, hoisted out of Step so a long sweep allocates
+	// nothing per round.
+	roundStats []core.IterationStats
+	roundLive  []bool
+	sem        chan struct{}
+
 	observe func(int, core.IterationStats) bool
 }
 
@@ -239,7 +245,12 @@ func newEngineResolved(g *taskgraph.Graph, sys *platform.System, opts Options) (
 		single:     k == 1,
 		stalled:    make([]bool, k),
 		regionBest: make([]float64, k),
+		roundStats: make([]core.IterationStats, k),
+		roundLive:  make([]bool, k),
 		observe:    newRegionObserver(opts.OnIteration, k),
+	}
+	if opts.MaxParallel > 0 && opts.MaxParallel < k {
+		e.sem = make(chan struct{}, opts.MaxParallel)
 	}
 	if opts.Initial != nil {
 		if err := schedule.Validate(opts.Initial, g, sys); err != nil {
@@ -353,12 +364,13 @@ func (e *Engine) MarkStalled(noImprove int) bool {
 func (e *Engine) Step() RoundStats {
 	start := time.Now()
 	k := len(e.engines)
-	stats := make([]core.IterationStats, k)
-	live := make([]bool, k)
-	var sem chan struct{}
-	if e.opts.MaxParallel > 0 && e.opts.MaxParallel < k {
-		sem = make(chan struct{}, e.opts.MaxParallel)
+	stats := e.roundStats
+	live := e.roundLive
+	for r := 0; r < k; r++ {
+		stats[r] = core.IterationStats{}
+		live[r] = false
 	}
+	sem := e.sem
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	for r := range e.engines {

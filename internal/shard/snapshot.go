@@ -27,7 +27,7 @@ const (
 // exactly these bytes to remote workers, which restore the region engine
 // against the induced subgraph and continue the sweep there.
 func (e *Engine) Snapshot() ([]byte, error) {
-	w := snap.NewWriter(engineSnapMagic, engineSnapVersion)
+	w := snap.Borrow(engineSnapMagic, engineSnapVersion)
 	w.Int(e.opts.Shards)
 	w.Int(e.opts.ReconcileSweeps)
 	w.Int(e.opts.MaxParallel)
@@ -40,6 +40,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	for r, eng := range e.engines {
 		sub, err := eng.Snapshot()
 		if err != nil {
+			w.Release()
 			return nil, fmt.Errorf("shard: snapshot region %d: %w", r, err)
 		}
 		w.Blob(sub)
@@ -49,7 +50,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.rounds)
 	w.Bool(e.stopped)
 	w.I64(int64(e.elapsed))
-	return w.Bytes(), nil
+	return w.Detach(), nil
 }
 
 // RestoreEngine rebuilds an Engine from a Snapshot against the same
@@ -75,7 +76,9 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	stalled := make([]bool, k)
 	regionBest := make([]float64, k)
 	for i := 0; i < k; i++ {
-		subs[i] = r.Blob()
+		// A view suffices: core.RestoreEngine decodes by copying every
+		// field out of the blob and retains no reference into it.
+		subs[i] = r.BlobView()
 		stalled[i] = r.Bool()
 		regionBest[i] = r.F64()
 	}

@@ -1,0 +1,122 @@
+package snap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The pooled-writer contract: Borrow/Detach must produce bytes identical
+// to a fresh NewWriter across arbitrary field sequences, Detach must
+// return caller-owned bytes that later Borrows never clobber, and Reset
+// must fully erase any previous snapshot's fields.
+
+// writeFuzzedFields drives every field type from a seeded rng, identically
+// on any writer it is given.
+func writeFuzzedFields(w *Writer, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(7) {
+		case 0:
+			w.U64(rng.Uint64())
+		case 1:
+			w.I64(rng.Int63() - rng.Int63())
+		case 2:
+			w.Int(int(rng.Int31()))
+		case 3:
+			w.F64(rng.NormFloat64())
+		case 4:
+			w.Bool(rng.Intn(2) == 1)
+		case 5:
+			b := make([]byte, rng.Intn(64))
+			rng.Read(b)
+			w.Blob(b)
+		default:
+			vs := make([]int, rng.Intn(16))
+			for j := range vs {
+				vs[j] = int(rng.Int31()) - int(rng.Int31())
+			}
+			w.Ints(vs)
+		}
+	}
+}
+
+func TestPropertyPooledWriterMatchesFresh(t *testing.T) {
+	f := func(seed int64) bool {
+		fresh := NewWriter("TEST", 3)
+		writeFuzzedFields(fresh, seed)
+
+		pooled := Borrow("TEST", 3)
+		writeFuzzedFields(pooled, seed)
+		got := pooled.Detach()
+
+		return bytes.Equal(got, fresh.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetachOwnsBytes(t *testing.T) {
+	w := Borrow("ONEE", 1)
+	w.U64(0x1111111111111111)
+	first := w.Detach()
+	want := append([]byte(nil), first...)
+
+	// Churn the pool: later Borrows may reuse the same Writer and must
+	// not clobber the detached snapshot.
+	for i := 0; i < 50; i++ {
+		w2 := Borrow("TWOO", 2)
+		w2.U64(0xffffffffffffffff)
+		w2.Blob(make([]byte, 512))
+		w2.Detach()
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("detached snapshot mutated by later pooled writes:\n got %x\nwant %x", first, want)
+	}
+}
+
+func TestResetErasesPreviousSnapshot(t *testing.T) {
+	w := NewWriter("AAAA", 1)
+	w.U64(42)
+	w.Blob(bytes.Repeat([]byte{0xAB}, 100))
+
+	w.Reset("BBBB", 2)
+	w.Bool(true)
+	got := w.Bytes()
+
+	fresh := NewWriter("BBBB", 2)
+	fresh.Bool(true)
+	if !bytes.Equal(got, fresh.Bytes()) {
+		t.Fatalf("Reset writer = %x, fresh writer = %x", got, fresh.Bytes())
+	}
+}
+
+func TestBlobViewMatchesBlob(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, rng.Intn(128))
+		rng.Read(payload)
+
+		w := NewWriter("BLOB", 1)
+		w.Blob(payload)
+		data := w.Bytes()
+
+		r1, err := NewReader(data, "BLOB", 1)
+		if err != nil {
+			return false
+		}
+		copied := r1.Blob()
+		r2, err := NewReader(data, "BLOB", 1)
+		if err != nil {
+			return false
+		}
+		view := r2.BlobView()
+		return bytes.Equal(copied, view) && r1.Done() == nil && r2.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

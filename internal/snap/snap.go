@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // headerSize is the encoded size of the magic/version header.
@@ -40,14 +41,53 @@ type Writer struct {
 // version. Magic strings shorter than 4 bytes panic: they are compile-time
 // constants, not data.
 func NewWriter(magic string, version uint16) *Writer {
+	w := &Writer{buf: make([]byte, 0, 256)}
+	w.Reset(magic, version)
+	return w
+}
+
+// Reset discards any encoded fields and restarts the snapshot with the
+// given magic and version, keeping the buffer's capacity. It makes a
+// Writer reusable across snapshots without reallocating.
+func (w *Writer) Reset(magic string, version uint16) {
 	if len(magic) != 4 {
 		panic(fmt.Sprintf("snap: magic %q must be exactly 4 bytes", magic))
 	}
-	w := &Writer{buf: make([]byte, 0, 256)}
+	w.buf = w.buf[:0]
 	w.buf = append(w.buf, magic...)
 	w.buf = binary.LittleEndian.AppendUint16(w.buf, version)
 	w.buf = append(w.buf, 0, 0)
+}
+
+// writerPool recycles Writers (and, more importantly, their grown
+// buffers) across Borrow/Detach cycles, so a Step-loop snapshot costs one
+// right-sized output allocation instead of O(log size) append growths.
+var writerPool = sync.Pool{New: func() any { return &Writer{buf: make([]byte, 0, 256)} }}
+
+// Borrow returns a pooled Writer reset to a fresh snapshot header. Pair
+// with Detach (or Release on error paths): the Writer must not be used
+// after either.
+func Borrow(magic string, version uint16) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset(magic, version)
 	return w
+}
+
+// Detach copies the encoded snapshot into a right-sized caller-owned
+// slice and returns the Writer to the pool. The copy preserves the
+// owned-bytes contract — snapshots held by callers are never clobbered by
+// a later Borrow — while the pooled buffer absorbs all append growth.
+func (w *Writer) Detach() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	w.Release()
+	return out
+}
+
+// Release returns the Writer to the pool without extracting its bytes —
+// the error-path counterpart to Detach.
+func (w *Writer) Release() {
+	writerPool.Put(w)
 }
 
 // Bytes returns the encoded snapshot.
@@ -234,6 +274,20 @@ func (r *Reader) Blob() []byte {
 		return nil
 	}
 	b := append([]byte(nil), r.data[r.off:r.off+n]...)
+	r.off += n
+	return b
+}
+
+// BlobView decodes a length-prefixed byte-slice field as a capacity-capped
+// view into the snapshot buffer — no copy. The view aliases the Reader's
+// input and must not be mutated or retained past the input's lifetime;
+// use Blob when the decoded bytes outlive the snapshot.
+func (r *Reader) BlobView() []byte {
+	n := r.Len(1)
+	if r.err != nil {
+		return nil
+	}
+	b := r.data[r.off : r.off+n : r.off+n]
 	r.off += n
 	return b
 }

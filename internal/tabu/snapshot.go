@@ -23,7 +23,7 @@ const (
 // bit-identically: tabuUntil entries are absolute iteration indices, so
 // they carry over unchanged with the iteration counter.
 func (e *Engine) Snapshot() ([]byte, error) {
-	w := snap.NewWriter(engineSnapMagic, engineSnapVersion)
+	w := snap.Borrow(engineSnapMagic, engineSnapVersion)
 	w.Int(e.opts.Tenure)
 	w.Int(e.opts.Neighborhood)
 	w.Bool(e.opts.FullEval)
@@ -38,7 +38,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.iter)
 	w.Int(e.sinceImproved)
 	w.I64(int64(e.elapsed))
-	return w.Bytes(), nil
+	return w.Detach(), nil
 }
 
 // RestoreEngine rebuilds an Engine from a Snapshot against the same
