@@ -1,9 +1,13 @@
 // Command mshc matches and schedules a workload onto a heterogeneous
 // machine suite using any scheduler in the registry: the paper's
-// simulated evolution (se, plus the se-ils and sharded se-shard
-// variants), the GA baseline of Wang et al. (ga), simulated annealing
-// (sa), tabu search (tabu), the constructive heuristics (heft, cpop,
-// minmin, maxmin, sufferage, mct, random), or all of them.
+// simulated evolution (se, plus the se-ils, sharded se-shard and
+// distributed se-dist variants), the GA baseline of Wang et al. (ga),
+// simulated annealing (sa), tabu search (tabu), the constructive
+// heuristics (heft, cpop, minmin, maxmin, sufferage, mct, random), or
+// all of them.
+//
+// se-dist fans shard regions out to remote mshd workers: pass their URLs
+// as -workers host1:8037,host2:8037 (see README.md "Multi-machine").
 //
 // Runs execute in-process by default; with -server they execute inside a
 // session of a running mshd daemon, over the same wire schema -json
@@ -40,9 +44,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	_ "repro/internal/dist" // registers se-dist
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
@@ -63,8 +69,9 @@ func main() {
 		bias        = flag.Float64("bias", 0, "SE selection bias B (paper: -0.3…-0.1 small problems, 0…0.1 large)")
 		yParam      = flag.Int("y", 0, "SE Y parameter: candidate machines per task (0 = all)")
 		pop         = flag.Int("pop", 0, "GA population size (0 = default 50)")
-		workers     = flag.Int("workers", 0, "parallel workers for SE allocation / GA fitness (0 = serial); for se-shard, caps concurrent region sweeps (0 = no cap)")
-		shards      = flag.Int("shards", 0, "se-shard DAG region count (0 = adaptive from depth/coupling/GOMAXPROCS, clamped to DAG depth)")
+		workers     = flag.String("workers", "", "an integer: parallel workers for SE allocation / GA fitness (0 = serial; for se-shard, caps concurrent region sweeps) — or, for se-dist, a comma-separated list of mshd worker URLs (host:port or http://host:port)")
+		shards      = flag.Int("shards", 0, "se-shard/se-dist DAG region count (0 = adaptive from depth/coupling/GOMAXPROCS, clamped to DAG depth)")
+		roundBatch  = flag.Int("round-batch", 0, "se-dist generations per worker RPC round (0 = 1)")
 		full        = flag.Bool("full-eval", false, "disable the incremental evaluation engine (identical results, more work)")
 		jsonOut     = flag.Bool("json", false, "emit only a JSON array of results in the service wire schema (internal/serve)")
 		server      = flag.String("server", "", "run inside a session of the mshd daemon at this URL instead of in-process")
@@ -98,6 +105,11 @@ func main() {
 		names = scheduler.Names()
 	}
 
+	nWorkers, workerURLs, err := parseWorkers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+
 	runs := make([]serve.RunRequest, len(names))
 	for i, name := range names {
 		runs[i] = serve.RunRequest{
@@ -106,8 +118,10 @@ func main() {
 			Bias:       *bias,
 			Y:          *yParam,
 			Population: *pop,
-			Workers:    *workers,
+			Workers:    nWorkers,
 			Shards:     *shards,
+			WorkerURLs: workerURLs,
+			RoundBatch: *roundBatch,
 			FullEval:   *full,
 		}
 		if *budget > 0 {
@@ -170,21 +184,64 @@ func main() {
 	}
 }
 
+// parseWorkers interprets the -workers flag: empty or an integer keeps
+// the historical in-process meaning; anything else is a comma-separated
+// list of mshd worker base URLs for se-dist, normalized to http:// when
+// no scheme is given.
+func parseWorkers(s string) (int, []string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 0 {
+			return 0, nil, fmt.Errorf("-workers %d: want >= 0", n)
+		}
+		return n, nil, nil
+	}
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		urls = append(urls, part)
+	}
+	if len(urls) == 0 {
+		return 0, nil, fmt.Errorf("-workers %q: want an integer or a comma-separated URL list", s)
+	}
+	return 0, urls, nil
+}
+
+// schedOptions maps a run request's tunables onto scheduler options — the
+// in-process mirror of serve's searchOptions.
+func schedOptions(req serve.RunRequest) []scheduler.Option {
+	opts := []scheduler.Option{
+		scheduler.WithSeed(req.Seed),
+		scheduler.WithWorkers(req.Workers),
+		scheduler.WithBias(req.Bias),
+		scheduler.WithY(req.Y),
+		scheduler.WithPopulation(req.Population),
+		scheduler.WithShards(req.Shards),
+		scheduler.WithRoundBatch(req.RoundBatch),
+	}
+	if len(req.WorkerURLs) > 0 {
+		opts = append(opts, scheduler.WithWorkerURLs(req.WorkerURLs...))
+	}
+	if req.FullEval {
+		opts = append(opts, scheduler.WithFullEval())
+	}
+	return opts
+}
+
 // runLocal executes every run in-process through the scheduler registry.
 func runLocal(w *workload.Workload, runs []serve.RunRequest) ([]serve.Result, error) {
 	var results []serve.Result
 	for _, req := range runs {
-		opts := []scheduler.Option{
-			scheduler.WithSeed(req.Seed),
-			scheduler.WithWorkers(req.Workers),
-			scheduler.WithBias(req.Bias),
-			scheduler.WithY(req.Y),
-			scheduler.WithPopulation(req.Population),
-			scheduler.WithShards(req.Shards),
-		}
-		if req.FullEval {
-			opts = append(opts, scheduler.WithFullEval())
-		}
+		opts := schedOptions(req)
 		s, err := scheduler.Get(req.Algorithm, opts...)
 		if err != nil {
 			return nil, err
@@ -220,18 +277,7 @@ func runResumable(w *workload.Workload, req serve.RunRequest, snapPath, resumePa
 		}
 		s, err = scheduler.Restore(algo, data, w.Graph, w.System)
 	} else {
-		opts := []scheduler.Option{
-			scheduler.WithSeed(req.Seed),
-			scheduler.WithWorkers(req.Workers),
-			scheduler.WithBias(req.Bias),
-			scheduler.WithY(req.Y),
-			scheduler.WithPopulation(req.Population),
-			scheduler.WithShards(req.Shards),
-		}
-		if req.FullEval {
-			opts = append(opts, scheduler.WithFullEval())
-		}
-		s, err = scheduler.Open(algo, w.Graph, w.System, opts...)
+		s, err = scheduler.Open(algo, w.Graph, w.System, schedOptions(req)...)
 	}
 	if err != nil {
 		return serve.Result{}, err

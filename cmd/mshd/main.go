@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	_ "repro/internal/dist" // registers se-dist, so sessions can coordinate worker pools
 	"repro/internal/serve"
 )
 

@@ -19,10 +19,12 @@
 // suffix replay, a sharded runner partitions large DAGs into
 // weakly-coupled regions swept in parallel, every algorithm is a
 // resumable search engine (Open/Step/Snapshot/Restore, with versioned
-// snapshots that continue bit-identically after a restore), and a
+// snapshots that continue bit-identically after a restore), a
 // session-pinned serving layer exposes it all — pinned live searches,
 // step/snapshot/resume and whole-session evict/revive included — as a
-// long-lived HTTP service (see DESIGN.md).
+// long-lived HTTP service, and a distributed coordinator fans the
+// sharded sweep's regions out to a pool of those services, surviving
+// worker crashes bit-identically (see DESIGN.md).
 //
 // Package layout:
 //
@@ -32,6 +34,7 @@
 //	internal/workload    workload generator + the paper's Figure-1 example
 //	internal/core        the SE engine (the paper's contribution), steppable
 //	internal/shard       DAG region partitioning + parallel sharded SE
+//	internal/dist        distributed shard fan-out onto remote mshd workers
 //	internal/ga          the Wang et al. GA baseline
 //	internal/heuristics  HEFT, CPOP, Min-Min, Max-Min, Sufferage, MCT, random
 //	internal/sa          simulated-annealing extension

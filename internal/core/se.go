@@ -64,6 +64,14 @@ type Engine struct {
 	src   *xrand.Source // rng's counting source, for snapshots
 	eval  *schedule.Evaluator
 	delta *schedule.DeltaEvaluator // incremental engine; nil under Options.FullEval
+	// probe answers observation-only makespan queries (Result's closing
+	// evaluation) off the counted evaluators, so inspecting a search
+	// mid-run leaves the effort ledger exactly as untouched as the search
+	// state itself. Lazily built on first use.
+	probe *schedule.Evaluator
+	// base is the effort ledger carried over a snapshot/restore cycle;
+	// Counts adds it to the live evaluators' counters.
+	base schedule.EvalCounts
 
 	opt        []float64          // Oᵢ, fixed across generations
 	finish     []float64          // Cᵢ of the current solution
@@ -269,13 +277,18 @@ func (e *Engine) Elapsed() time.Duration { return e.elapsed }
 // generation's allocation may have improved on the last recorded best, so
 // the current solution is evaluated once more — exactly the closing step
 // of the pre-resumable run loop. The comparison is kept off the engine's
-// own best-so-far state: a mid-run Result call must not suppress the
+// own best-so-far state, and the closing evaluation runs on an uncounted
+// probe evaluator: a mid-run Result call must not suppress the
 // improvement bookkeeping (sinceImproved resets) a later generation would
-// perform, or a search inspected mid-run would diverge from an
-// uninspected one. The engine remains steppable afterwards.
+// perform, nor inflate the effort ledger, or a search inspected mid-run
+// would diverge from an uninspected one. The engine remains steppable
+// afterwards.
 func (e *Engine) Result() *Result {
 	best, bestMs := e.best, e.bestMs
-	if finalMs := e.eval.Makespan(e.cur); finalMs < bestMs {
+	if e.probe == nil {
+		e.probe = schedule.NewEvaluator(e.g, e.sys)
+	}
+	if finalMs := e.probe.Makespan(e.cur); finalMs < bestMs {
 		best, bestMs = e.cur, finalMs
 	}
 	counts := e.Counts()
@@ -291,9 +304,11 @@ func (e *Engine) Result() *Result {
 }
 
 // Counts returns the engine's evaluation-effort ledger summed over the
-// serial evaluators and any worker pool.
+// serial evaluators, any worker pool, and the ledger restored from a
+// snapshot (the ledger survives snapshot/restore, like every other
+// counter).
 func (e *Engine) Counts() schedule.EvalCounts {
-	counts := e.eval.Counts()
+	counts := e.base.Add(e.eval.Counts())
 	if e.delta != nil {
 		counts = counts.Add(e.delta.Counts())
 	}

@@ -15,17 +15,18 @@ import (
 // on any field change.
 const (
 	engineSnapMagic   = "SEEN"
-	engineSnapVersion = 1
+	engineSnapVersion = 2
 )
 
 // Snapshot encodes the engine's complete search state — options, rng
-// stream position, current and best solutions, counters and pending
-// perturbation — as a versioned, deterministic byte string. An engine
-// restored from it continues bit-identically to this one. The evaluators'
-// checkpoints are not encoded: they are a pure function of the current
-// solution and are rebuilt (re-pinned) on the first post-restore
-// allocation. The effort ledger (Counts) restarts at zero in the restored
-// process.
+// stream position, current and best solutions, counters, effort ledger
+// and pending perturbation — as a versioned, deterministic byte string.
+// An engine restored from it continues bit-identically to this one,
+// effort ledger included: a restored run's Counts pick up exactly where
+// the snapshotted run's left off, so distributed re-dispatch preserves
+// the ledger. The evaluators' checkpoints are not encoded: they are a
+// pure function of the current solution and are rebuilt (re-pinned) on
+// the first post-restore allocation.
 func (e *Engine) Snapshot() ([]byte, error) {
 	w := snap.Borrow(engineSnapMagic, engineSnapVersion)
 	w.F64(e.opts.Bias)
@@ -43,6 +44,11 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.sinceImproved)
 	w.Bool(e.pendingKick)
 	w.I64(int64(e.elapsed))
+	counts := e.Counts()
+	w.U64(counts.Full)
+	w.U64(counts.Delta)
+	w.U64(counts.Aborted)
+	w.U64(counts.Genes)
 	return w.Detach(), nil
 }
 
@@ -69,6 +75,11 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	sinceImproved := r.Int()
 	pendingKick := r.Bool()
 	elapsed := time.Duration(r.I64())
+	var base schedule.EvalCounts
+	base.Full = r.U64()
+	base.Delta = r.U64()
+	base.Aborted = r.U64()
+	base.Genes = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)
 	}
@@ -94,5 +105,6 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	e.sinceImproved = sinceImproved
 	e.pendingKick = pendingKick
 	e.elapsed = elapsed
+	e.base = base
 	return e, nil
 }

@@ -1,0 +1,254 @@
+package dist_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/scheduler"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// startWorker spins up one in-process mshd worker over real HTTP.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	mgr := serve.NewManager(serve.Options{})
+	srv := httptest.NewServer(serve.NewServer(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return srv
+}
+
+// stepAll drives a registry search n steps and returns its result.
+func stepAll(t *testing.T, s scheduler.Search, n int) scheduler.Result {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if _, more := s.Step(ctx); !more {
+			t.Fatalf("search done after %d steps", i)
+		}
+	}
+	return s.Best()
+}
+
+// requireSameResult asserts bit-identical outcomes: makespan, solution
+// string, and the evaluation-effort ledger.
+func requireSameResult(t *testing.T, label string, got, want scheduler.Result) {
+	t.Helper()
+	if got.Makespan != want.Makespan {
+		t.Errorf("%s: makespan %v, want %v", label, got.Makespan, want.Makespan)
+	}
+	if got.Best.Format() != want.Best.Format() {
+		t.Errorf("%s: solutions differ", label)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("%s: iterations %d, want %d", label, got.Iterations, want.Iterations)
+	}
+	if got.Evaluations != want.Evaluations || got.DeltaEvaluations != want.DeltaEvaluations || got.GenesEvaluated != want.GenesEvaluated {
+		t.Errorf("%s: eval counts (%d,%d,%d), want (%d,%d,%d)", label,
+			got.Evaluations, got.DeltaEvaluations, got.GenesEvaluated,
+			want.Evaluations, want.DeltaEvaluations, want.GenesEvaluated)
+	}
+}
+
+const (
+	testPreset = "large"
+	testShards = 3
+	testSeed   = int64(7)
+	testRounds = 30
+)
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.Preset(testPreset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func openShardBaseline(t *testing.T, w *workload.Workload) scheduler.Search {
+	t.Helper()
+	s, err := scheduler.Open("se-shard", w.Graph, w.System,
+		scheduler.WithShards(testShards), scheduler.WithSeed(testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestLocalModeMatchesSeShard pins the in-process fallback: se-dist with
+// no workers is the same computation as se-shard, bit for bit.
+func TestLocalModeMatchesSeShard(t *testing.T) {
+	w := testWorkload(t)
+	ds, err := scheduler.Open("se-dist", w.Graph, w.System,
+		scheduler.WithShards(testShards), scheduler.WithSeed(testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stepAll(t, openShardBaseline(t, w), testRounds)
+	got := stepAll(t, ds, testRounds)
+	requireSameResult(t, "local-mode se-dist vs se-shard", got, want)
+}
+
+// TestSingleWorkerMatchesSeShard is the tentpole's equivalence claim:
+// dispatching every region to one remote worker and stepping over HTTP
+// computes exactly what the in-process sharded sweep computes — same
+// per-round observations, same final solution, same effort ledger.
+func TestSingleWorkerMatchesSeShard(t *testing.T) {
+	w := testWorkload(t)
+	srv := startWorker(t)
+	ds, err := scheduler.Open("se-dist", w.Graph, w.System,
+		scheduler.WithShards(testShards), scheduler.WithSeed(testSeed),
+		scheduler.WithWorkerURLs(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := openShardBaseline(t, w)
+	ctx := context.Background()
+	for i := 0; i < testRounds; i++ {
+		dp, _ := ds.Step(ctx)
+		sp, _ := ss.Step(ctx)
+		if dp.Current != sp.Current || dp.Best != sp.Best || dp.Selected != sp.Selected {
+			t.Fatalf("round %d: progress (%v,%v,%d) vs se-shard (%v,%v,%d)",
+				i, dp.Current, dp.Best, dp.Selected, sp.Current, sp.Best, sp.Selected)
+		}
+	}
+	requireSameResult(t, "single-worker se-dist vs se-shard", ds.Best(), ss.Best())
+}
+
+// TestRoundBatchMatchesSeShard: batching N generations per RPC changes
+// the RPC count, not the computation — N rounds at batch B equal N*B
+// se-shard steps.
+func TestRoundBatchMatchesSeShard(t *testing.T) {
+	const batch = 5
+	w := testWorkload(t)
+	srv := startWorker(t)
+	ds, err := scheduler.Open("se-dist", w.Graph, w.System,
+		scheduler.WithShards(testShards), scheduler.WithSeed(testSeed),
+		scheduler.WithWorkerURLs(srv.URL), scheduler.WithRoundBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stepAll(t, openShardBaseline(t, w), testRounds)
+	got := stepAll(t, ds, testRounds/batch)
+	requireSameResult(t, "batched se-dist vs se-shard", got, want)
+}
+
+// TestWorkerKillRecovery is the fault-injection contract: with two
+// workers, killing one mid-run re-dispatches its regions' last snapshots
+// to the survivor, and the finished makespan and gene counts are
+// bit-identical to an uninterrupted run (which is itself bit-identical to
+// se-shard).
+func TestWorkerKillRecovery(t *testing.T) {
+	w := testWorkload(t)
+	want := stepAll(t, openShardBaseline(t, w), testRounds)
+
+	srvA := startWorker(t)
+	srvB := startWorker(t)
+	e, err := dist.NewEngine(w.Graph, w.System, dist.Options{
+		Shard:      shard.Options{Shards: testShards, Seed: testSeed},
+		WorkerURLs: []string{srvA.URL, srvB.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Remote() {
+		t.Fatal("engine is not in remote mode")
+	}
+	const killAt = 3
+	for i := 0; i < testRounds; i++ {
+		if i == killAt {
+			// SIGKILL-equivalent: drop the listener and every live
+			// connection between rounds.
+			srvA.CloseClientConnections()
+			srvA.Close()
+		}
+		e.Step()
+	}
+	res, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scheduler.Result{
+		Best: res.Best, Makespan: res.BestMakespan, Iterations: res.Iterations,
+		Evaluations: res.Evaluations, DeltaEvaluations: res.DeltaEvaluations,
+		GenesEvaluated: res.GenesEvaluated,
+	}
+	requireSameResult(t, "worker-kill recovery vs se-shard", got, want)
+
+	m := e.Metrics()
+	if m.Retries == 0 && m.Redispatches == 0 && m.LocalSteps == 0 {
+		t.Errorf("killing a worker exercised no recovery path: %+v", m)
+	}
+	if m.Rounds != testRounds {
+		t.Errorf("rounds = %d, want %d", m.Rounds, testRounds)
+	}
+}
+
+// TestSnapshotRestoreContinuesBitIdentically: an se-dist run snapshotted
+// after a remote prefix and restored (in-process — worker URLs are
+// runtime configuration, not search state) finishes exactly like an
+// uninterrupted run.
+func TestSnapshotRestoreContinuesBitIdentically(t *testing.T) {
+	w := testWorkload(t)
+	srv := startWorker(t)
+	open := func() scheduler.Search {
+		s, err := scheduler.Open("se-dist", w.Graph, w.System,
+			scheduler.WithShards(testShards), scheduler.WithSeed(testSeed),
+			scheduler.WithWorkerURLs(srv.URL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := stepAll(t, open(), testRounds)
+
+	cut := open()
+	stepAll(t, cut, testRounds/2)
+	data, err := cut.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := scheduler.Restore("se-dist", data, w.Graph, w.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stepAll(t, restored, testRounds-testRounds/2)
+	requireSameResult(t, "snapshot/restore se-dist", got, want)
+}
+
+// TestMetricsAccounting sanity-checks the transport counters on a clean
+// two-worker run: one RPC per region per round, snapshot bytes flowing
+// every round, no retries.
+func TestMetricsAccounting(t *testing.T) {
+	w := testWorkload(t)
+	srvA := startWorker(t)
+	srvB := startWorker(t)
+	e, err := dist.NewEngine(w.Graph, w.System, dist.Options{
+		Shard:      shard.Options{Shards: testShards, Seed: testSeed},
+		WorkerURLs: []string{srvA.URL, srvB.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+	m := e.Metrics()
+	if want := rounds * e.Regions(); m.RPCs != want {
+		t.Errorf("RPCs = %d, want %d (hedges %d, retries %d)", m.RPCs, want, m.Hedges, m.Retries)
+	}
+	if m.SnapshotBytes == 0 {
+		t.Error("SnapshotBytes = 0, want > 0")
+	}
+	if m.LocalSteps != 0 {
+		t.Errorf("LocalSteps = %d on a healthy pool, want 0", m.LocalSteps)
+	}
+}

@@ -1,0 +1,102 @@
+package dist
+
+// Registry wiring for "se-dist". The package registers itself (rather
+// than being registered from internal/scheduler's own init) because the
+// coordinator speaks the serving layer's client, and internal/serve
+// already imports internal/scheduler — registering from the scheduler
+// package would close an import cycle. Binaries that want se-dist
+// available blank-import this package, exactly like database/sql drivers.
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/scheduler"
+	"repro/internal/shard"
+	"repro/internal/taskgraph"
+)
+
+func init() {
+	scheduler.Register("se-dist", scheduler.Metaheuristic,
+		"sharded SE stepped on a pool of remote mshd workers, reconciled centrally",
+		openSEDist, restoreSEDist)
+}
+
+// seDistStepper adapts the coordinator Engine to the registry's Stepper
+// contract, mirroring se-shard's adapter.
+type seDistStepper struct{ e *Engine }
+
+func openSEDist(cfg scheduler.Config, g *taskgraph.Graph, sys *platform.System) (scheduler.Stepper, error) {
+	e, err := NewEngine(g, sys, Options{
+		Shard: shard.Options{
+			Shards:          cfg.Shards,
+			ReconcileSweeps: cfg.ReconcileSweeps,
+			Bias:            cfg.Bias,
+			Y:               cfg.Y,
+			PerturbAfter:    cfg.PerturbAfter,
+			FullEval:        cfg.FullEval,
+			Seed:            cfg.Seed,
+			Initial:         cfg.Initial,
+			MaxParallel:     cfg.Workers,
+		},
+		RoundBatch: cfg.RoundBatch,
+		WorkerURLs: cfg.WorkerURLs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return seDistStepper{e}, nil
+}
+
+func restoreSEDist(data []byte, g *taskgraph.Graph, sys *platform.System) (scheduler.Stepper, error) {
+	e, err := RestoreEngine(data, g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return seDistStepper{e}, nil
+}
+
+// Step advances every live region by one coordinator round. Progress has
+// se-shard's per-round semantics: Current and Best are coarse lower
+// estimates of the merged schedule length until Result reconciles.
+func (s seDistStepper) Step() scheduler.Progress {
+	st := s.e.Step()
+	return scheduler.Progress{
+		Iteration: st.Round,
+		Current:   st.CurrentMax,
+		Best:      st.BestSoFar,
+		Selected:  st.Selected,
+		Elapsed:   st.Elapsed,
+	}
+}
+
+// Result syncs the regions' latest snapshots into the embedded sharded
+// engine and returns the merged, reconciled outcome.
+func (s seDistStepper) Result() *scheduler.Result {
+	r, err := s.e.Result()
+	if err != nil {
+		// Unreachable without a protocol violation (a worker snapshot
+		// that unwrapped but does not restore); surface loudly rather
+		// than returning fabricated state.
+		panic(fmt.Sprintf("dist: result: %v", err))
+	}
+	return &scheduler.Result{
+		Best:             r.Best,
+		Makespan:         r.BestMakespan,
+		Iterations:       r.Iterations,
+		Evaluations:      r.Evaluations,
+		DeltaEvaluations: r.DeltaEvaluations,
+		GenesEvaluated:   r.GenesEvaluated,
+		Elapsed:          r.Elapsed,
+	}
+}
+
+// Snapshot serializes the sweep's complete state (see Engine.Snapshot).
+func (s seDistStepper) Snapshot() ([]byte, error) { return s.e.Snapshot() }
+
+// Stalled reports whether every region has stagnated for noImprove
+// generations (see Engine.MarkStalled).
+func (s seDistStepper) Stalled(noImprove int) bool { return s.e.MarkStalled(noImprove) }
+
+// Done reports false: the sweep has no intrinsic exhaustion point.
+func (s seDistStepper) Done() bool { return false }

@@ -62,6 +62,16 @@ type Config struct {
 	// ReconcileSweeps bounds se-shard's boundary-reconciliation pass
 	// (0 = shard.DefaultReconcileSweeps, negative = none).
 	ReconcileSweeps int
+
+	// WorkerURLs lists the base URLs of remote mshd workers for se-dist's
+	// coordinator to dispatch shard regions to. Empty means step every
+	// region in-process (bit-identical to the remote path — stepping is
+	// deterministic either way).
+	WorkerURLs []string
+	// RoundBatch is se-dist's generations-per-round count: each coordinator
+	// round advances every region by this many generations in one RPC
+	// (0/1 = one generation per round, matching se-shard's Step exactly).
+	RoundBatch int
 }
 
 // Option configures a scheduler at Get time.
@@ -125,3 +135,13 @@ func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
 
 // WithReconcileSweeps sets se-shard's boundary-reconciliation sweep count.
 func WithReconcileSweeps(n int) Option { return func(c *Config) { c.ReconcileSweeps = n } }
+
+// WithWorkerURLs points se-dist's coordinator at a pool of remote mshd
+// workers (base URLs). An empty list steps regions in-process.
+func WithWorkerURLs(urls ...string) Option {
+	return func(c *Config) { c.WorkerURLs = append([]string(nil), urls...) }
+}
+
+// WithRoundBatch sets se-dist's generations-per-round count (the number of
+// region generations executed per worker RPC).
+func WithRoundBatch(n int) Option { return func(c *Config) { c.RoundBatch = n } }

@@ -106,8 +106,10 @@ type Result struct {
 	Iterations int
 	// Evaluations counts full schedule evaluations across all goroutines,
 	// including incremental-engine pins (each pin is one full pass).
-	// Evaluation ledgers are process-local: they restart at zero in a
-	// process that restored a snapshot.
+	// Evaluation ledgers are part of search state: like Iterations, they
+	// accumulate across snapshot/restore cycles, so a run resumed in
+	// another process — or re-dispatched to another machine — reports the
+	// same effort an uninterrupted run reports.
 	Evaluations uint64
 	// DeltaEvaluations counts checkpointed suffix replays by the
 	// incremental evaluation engine (schedule.DeltaEvaluator). Zero for

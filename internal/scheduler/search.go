@@ -172,6 +172,41 @@ func Restore(name string, snapshot []byte, g *taskgraph.Graph, sys *platform.Sys
 	return &search{name: name, g: g, sys: sys, st: st}, nil
 }
 
+// Envelope frames an engine payload in the same versioned envelope
+// Search.Snapshot writes: algorithm name plus workload dimensions. It is
+// the seam the distributed coordinator uses to ship a bare region-engine
+// snapshot to a worker's resume endpoint, which validates the frame
+// exactly as Restore does.
+func Envelope(name string, tasks, machines, items int, payload []byte) []byte {
+	w := snap.Borrow(envelopeMagic, envelopeVersion)
+	w.Str(name)
+	w.Int(tasks)
+	w.Int(machines)
+	w.Int(items)
+	w.Blob(payload)
+	return w.Detach()
+}
+
+// EnvelopePayload unwraps a snapshot envelope into the algorithm name and
+// the engine payload it frames — the inverse of Envelope. The returned
+// payload aliases snapshot; copy it if snapshot's backing array will be
+// reused.
+func EnvelopePayload(snapshot []byte) (string, []byte, error) {
+	r, err := snap.NewReader(snapshot, envelopeMagic, envelopeVersion)
+	if err != nil {
+		return "", nil, fmt.Errorf("scheduler: %w", err)
+	}
+	name := r.Str()
+	r.Int() // tasks
+	r.Int() // machines
+	r.Int() // items
+	payload := r.BlobView()
+	if err := r.Done(); err != nil {
+		return "", nil, fmt.Errorf("scheduler: %w", err)
+	}
+	return name, payload, nil
+}
+
 // SnapshotAlgorithm reports which algorithm a snapshot envelope was taken
 // from, without restoring it — servers use it to route resumes, CLIs to
 // default their -algo flag.

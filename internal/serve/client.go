@@ -10,21 +10,56 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
-// Client speaks the service's wire format to a running mshd daemon. The
-// zero HTTP client is fine for short requests; long streamed runs rely on
-// the caller's context for cancellation, so the client sets no global
-// timeout.
+// sharedTransport pools TCP connections across every Client in the
+// process: the distributed coordinator issues one small JSON RPC per
+// region per round to the same few daemons, and without keep-alive reuse
+// each round would pay connection setup per region. The generous per-host
+// idle cap covers a coordinator driving many sessions on one worker.
+var sharedTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}()
+
+// Client speaks the service's wire format to a running mshd daemon. All
+// Clients share one pooled transport, so repeated requests to the same
+// daemon reuse warm connections. Non-streaming requests can carry a
+// per-request timeout (WithTimeout); streamed runs rely on the caller's
+// context for cancellation, so they never get a client-side deadline.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
 }
 
 // NewClient returns a Client for the daemon at base (e.g.
 // "http://localhost:8037").
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Transport: sharedTransport}}
+}
+
+// WithTimeout returns a copy of the client that bounds every
+// non-streaming request (including response decoding) by d. Zero means no
+// client-side deadline. The coordinator uses this to turn a hung worker
+// into a retriable error instead of a stalled round.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	cc := *c
+	cc.timeout = d
+	return &cc
+}
+
+// reqContext applies the client's per-request timeout to ctx. The
+// returned cancel must be held until the response body has been consumed.
+func (c *Client) reqContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return ctx, func() {}
 }
 
 // Health checks daemon liveness.
@@ -62,6 +97,8 @@ func (c *Client) ListSessions(ctx context.Context) ([]SessionInfo, error) {
 
 // DeleteSession tears a session down.
 func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/sessions/"+url.PathEscape(id), nil)
 	if err != nil {
 		return err
@@ -161,6 +198,8 @@ func (c *Client) Gantt(ctx context.Context, id string, width int) (string, error
 	if width > 0 {
 		path += fmt.Sprintf("?width=%d", width)
 	}
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return "", err
@@ -236,6 +275,8 @@ func (c *Client) Revive(ctx context.Context, snap SessionSnapshot) (SessionInfo,
 }
 
 func (c *Client) get(ctx context.Context, path string, dst any) error {
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
@@ -248,6 +289,8 @@ func (c *Client) post(ctx context.Context, path string, body, dst any) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
 	if err != nil {
 		return err

@@ -26,6 +26,10 @@ func searchOptions(req RunRequest, s *Session) []scheduler.Option {
 		scheduler.WithY(req.Y),
 		scheduler.WithPopulation(req.Population),
 		scheduler.WithShards(req.Shards),
+		scheduler.WithRoundBatch(req.RoundBatch),
+	}
+	if len(req.WorkerURLs) > 0 {
+		opts = append(opts, scheduler.WithWorkerURLs(req.WorkerURLs...))
 	}
 	if req.FullEval {
 		opts = append(opts, scheduler.WithFullEval())
@@ -130,6 +134,13 @@ func (m *Manager) StepSearch(id string, req StepRequest) (StepResponse, error) {
 		}
 		res := s.search.Best()
 		out.BestMakespan = res.Makespan
+		if req.Snapshot {
+			data, err := s.search.Snapshot()
+			if err != nil {
+				return err
+			}
+			out.Snapshot = &SearchSnapshot{Algorithm: s.searchAlgo, Seed: s.searchSeed, Snapshot: data}
+		}
 		if res.Makespan < s.bestMs {
 			// The search improved on the session's best: adopt and re-pin,
 			// exactly as a completed Run would.

@@ -85,6 +85,11 @@ type RunRequest struct {
 	// session's worker goroutine's request; the merged result keeps the
 	// service's bit-identical-to-offline contract.
 	Shards int `json:"shards,omitempty"`
+	// WorkerURLs lists remote mshd worker base URLs for se-dist's
+	// coordinator; empty steps regions in-process (bit-identical either
+	// way). RoundBatch is se-dist's generations-per-worker-RPC count.
+	WorkerURLs []string `json:"worker_urls,omitempty"`
+	RoundBatch int      `json:"round_batch,omitempty"`
 
 	// FromBase seeds the run with the session's pinned base string, making
 	// successive runs iterative instead of independent.
@@ -170,6 +175,12 @@ type SearchInfo struct {
 // (default 1, capped server-side; see MaxStepsPerRequest).
 type StepRequest struct {
 	Steps int `json:"steps,omitempty"`
+	// Snapshot asks the server to serialize the stepped search into the
+	// response, folding what would otherwise be a second round-trip into
+	// the step request — the distributed coordinator relies on this to
+	// keep one region round at one RPC while still holding every region's
+	// latest restorable state.
+	Snapshot bool `json:"snapshot,omitempty"`
 }
 
 // StepResponse reports one step request's outcome.
@@ -182,6 +193,9 @@ type StepResponse struct {
 	Progress ProgressEvent `json:"progress"`
 	// BestMakespan is the search's best-so-far schedule length.
 	BestMakespan float64 `json:"best_makespan"`
+	// Snapshot is the stepped search's serialized state, present only
+	// when the request asked for it.
+	Snapshot *SearchSnapshot `json:"snapshot,omitempty"`
 }
 
 // SearchSnapshot carries a serialized search: the scheduler registry's

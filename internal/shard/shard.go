@@ -35,6 +35,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -197,8 +198,10 @@ type Engine struct {
 	stalled    []bool
 	regionBest []float64
 	rounds     int
-	stopped    bool
-	elapsed    time.Duration
+	// stopped is set by region goroutines (observer returned false) and
+	// read lock-free at the top of every dispatch iteration.
+	stopped atomic.Bool
+	elapsed time.Duration
 
 	// Per-round scratch, hoisted out of Step so a long sweep allocates
 	// nothing per round.
@@ -334,7 +337,7 @@ func (e *Engine) Iterations() int {
 func (e *Engine) Elapsed() time.Duration { return e.elapsed }
 
 // Stopped reports whether Options.OnIteration has returned false.
-func (e *Engine) Stopped() bool { return e.stopped }
+func (e *Engine) Stopped() bool { return e.stopped.Load() }
 
 // MarkStalled flags every region whose sweep has gone noImprove
 // generations without improving its region best — such regions sit out
@@ -372,15 +375,11 @@ func (e *Engine) Step() RoundStats {
 	}
 	sem := e.sem
 	var wg sync.WaitGroup
-	var mu sync.Mutex
 	for r := range e.engines {
 		// e.stopped is written by region goroutines launched earlier in
-		// this loop (observer returned false), so it is read under the
-		// same lock.
-		mu.Lock()
-		stopped := e.stopped
-		mu.Unlock()
-		if e.stalled[r] || stopped {
+		// this loop (observer returned false); the atomic load makes the
+		// check one lock-free read per region instead of a lock round-trip.
+		if e.stalled[r] || e.stopped.Load() {
 			continue
 		}
 		live[r] = true
@@ -394,15 +393,13 @@ func (e *Engine) Step() RoundStats {
 			st := e.engines[r].Step()
 			stats[r] = st
 			if e.observe != nil && !e.observe(r, st) {
-				mu.Lock()
-				e.stopped = true
-				mu.Unlock()
+				e.stopped.Store(true)
 			}
 		}(r)
 	}
 	wg.Wait()
 
-	round := RoundStats{Round: e.rounds, Regions: k, Stopped: e.stopped}
+	round := RoundStats{Round: e.rounds, Regions: k, Stopped: e.stopped.Load()}
 	for r := range e.engines {
 		if live[r] {
 			round.Live++

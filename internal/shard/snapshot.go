@@ -48,7 +48,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 		w.F64(e.regionBest[r])
 	}
 	w.Int(e.rounds)
-	w.Bool(e.stopped)
+	w.Bool(e.stopped.Load())
 	w.I64(int64(e.elapsed))
 	return w.Detach(), nil
 }
@@ -112,7 +112,7 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	e.stalled = stalled
 	e.regionBest = regionBest
 	e.rounds = rounds
-	e.stopped = stopped
+	e.stopped.Store(stopped)
 	e.elapsed = elapsed
 	return e, nil
 }
