@@ -42,6 +42,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
@@ -79,8 +81,25 @@ func main() {
 		gantt       = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
 		snapshot    = flag.String("snapshot", "", "write the search's resumable snapshot to this file after the budget")
 		resume      = flag.String("resume", "", "resume the search snapshotted in this file (algorithm comes from the snapshot) for another budget")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address while the run executes (profile offline runs live); empty = off")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Explicit handler mounting: pprof's DefaultServeMux side effects
+		// stay unused, same as mshd's -debug-addr listener.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "mshc: debug listener:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Print(scheduler.List())

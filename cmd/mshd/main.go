@@ -8,12 +8,20 @@
 //
 //	mshd -addr :8037
 //	mshd -addr :8037 -max-sessions 128 -idle-timeout 30m
+//	mshd -addr :8037 -access-log -debug-addr localhost:8038
 //
 // Quickstart (see README.md "Serving" for the full walkthrough):
 //
 //	curl -s localhost:8037/v1/sessions -d '{"preset":"small"}'
 //	curl -s localhost:8037/v1/sessions/s1/run -d '{"algorithm":"se","seed":1,"max_iterations":500}'
 //	curl -s localhost:8037/v1/sessions/s1/gantt
+//
+// Observability: GET /metrics serves the process registry in Prometheus
+// text exposition format and GET /debug/vars the same as expvar-style
+// JSON; -access-log writes one structured slog line per request with a
+// propagated X-Request-ID. -debug-addr additionally serves net/http/pprof
+// on a separate listener (off by default — profiling endpoints stay off
+// the service port).
 package main
 
 import (
@@ -21,7 +29,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +46,8 @@ func main() {
 		addr        = flag.String("addr", ":8037", "listen address")
 		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessions, "session cap; creating past it evicts the least-recently-used session")
 		idleTimeout = flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle for this long (0 = never)")
+		accessLog   = flag.Bool("access-log", false, "log one structured line per request to stderr")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof (plus /metrics and /debug/vars) on this separate address; empty = off")
 	)
 	flag.Parse()
 
@@ -43,9 +55,21 @@ func main() {
 		MaxSessions: *maxSessions,
 		IdleTimeout: *idleTimeout,
 	})
+	server := serve.NewServer(mgr)
+	if *accessLog {
+		server.SetAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.NewServer(mgr),
+		Handler: server,
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugMux(mgr)); err != nil {
+				fmt.Fprintln(os.Stderr, "mshd: debug listener:", err)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)
@@ -72,4 +96,20 @@ func main() {
 		}
 		mgr.Close()
 	}
+}
+
+// debugMux is the -debug-addr handler: pprof's profiling endpoints plus
+// the same metrics exports the service port mounts, so a profiling
+// session needs only one address. Handlers are mounted explicitly — the
+// pprof package's DefaultServeMux side effects stay unused.
+func debugMux(mgr *serve.Manager) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", mgr.Registry().Handler())
+	mux.Handle("GET /debug/vars", mgr.Registry().VarsHandler())
+	return mux
 }

@@ -44,6 +44,7 @@
 //	internal/xrand       draw-counting, restorable random source
 //	internal/runner      wall-clock races and parallel trials
 //	internal/serve       session-pinned batched serving layer + HTTP client
+//	internal/obs         dependency-free metrics registry + exporters
 //	internal/stats       series, summaries and quantiles
 //	internal/textplot    ASCII chart rendering
 //	internal/experiments one entry per paper figure

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -71,6 +72,13 @@ type Options struct {
 
 	// RequestTimeout bounds each worker RPC (0 = DefaultRequestTimeout).
 	RequestTimeout time.Duration
+
+	// Metrics, when non-nil, receives live mirrors of the coordinator's
+	// transport counters and per-worker health/latency/load gauges, so a
+	// serving process exposes them on /metrics mid-run. Nil keeps the
+	// bookkeeping engine-local (the Metrics() snapshot still works).
+	// Observation-only either way.
+	Metrics *obs.Registry
 }
 
 // Metrics aggregates the coordinator's transport-level counters over the
@@ -135,8 +143,9 @@ type Engine struct {
 	// dirty marks remote region state not yet synced into local.
 	dirty bool
 
-	mu  sync.Mutex // guards met
-	met Metrics
+	// met is lock-free: region rounds (and hedges within them) mutate it
+	// concurrently.
+	met *distMetrics
 }
 
 // NewEngine partitions g, builds the per-region engines, and — when
@@ -156,7 +165,7 @@ func NewEngine(g *taskgraph.Graph, sys *platform.System, o Options) (*Engine, er
 	if batch > serve.MaxStepsPerRequest {
 		return nil, fmt.Errorf("dist: RoundBatch %d exceeds the per-request step cap %d", batch, serve.MaxStepsPerRequest)
 	}
-	e := &Engine{local: local, batch: batch}
+	e := &Engine{local: local, batch: batch, met: newDistMetrics(o.Metrics)}
 	if len(o.WorkerURLs) == 0 {
 		return e, nil
 	}
@@ -164,7 +173,7 @@ func NewEngine(g *taskgraph.Graph, sys *platform.System, o Options) (*Engine, er
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
 	}
-	e.pool = newPool(o.WorkerURLs, timeout)
+	e.pool = newPool(o.WorkerURLs, timeout, e.met)
 	e.regions = make([]*region, local.Regions())
 	for r := range e.regions {
 		rg := &region{index: r}
@@ -206,12 +215,11 @@ func (e *Engine) RoundBatch() int { return e.batch }
 // Regions returns the effective region count.
 func (e *Engine) Regions() int { return e.local.Regions() }
 
-// Metrics returns a copy of the coordinator's transport counters.
-func (e *Engine) Metrics() Metrics {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.met
-}
+// Metrics returns a point-in-time copy of the coordinator's transport
+// counters. Safe to call while a round is in flight — the counters are
+// atomics, so the copy is a consistent-enough live read, never a torn
+// one.
+func (e *Engine) Metrics() Metrics { return e.met.snapshot() }
 
 // Step advances every live region by RoundBatch generations — one RPC per
 // remote region, in parallel — and returns the round's aggregated
@@ -255,13 +263,11 @@ func (e *Engine) Step() shard.RoundStats {
 		}
 	}
 	e.rounds++
-	e.elapsed += time.Since(start)
+	dur := time.Since(start)
+	e.elapsed += dur
 	round.Elapsed = e.elapsed
 	e.dirty = true
-	e.mu.Lock()
-	e.met.Rounds++
-	e.met.RoundLatency = e.elapsed
-	e.mu.Unlock()
+	e.met.round(dur, e.elapsed)
 	return round
 }
 

@@ -1,11 +1,19 @@
 package dist_test
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -250,5 +258,128 @@ func TestMetricsAccounting(t *testing.T) {
 	}
 	if m.LocalSteps != 0 {
 		t.Errorf("LocalSteps = %d on a healthy pool, want 0", m.LocalSteps)
+	}
+}
+
+// startDelayableWorker is startWorker plus a switchable straggler valve:
+// while delay holds a nonzero duration, step RPCs sleep that long before
+// being served — slow, never failing, exactly what hedging targets.
+func startDelayableWorker(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	mgr := serve.NewManager(serve.Options{})
+	inner := serve.NewServer(mgr)
+	var delay atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := time.Duration(delay.Load()); d > 0 && strings.HasSuffix(r.URL.Path, "/search/step") {
+			time.Sleep(d)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		delay.Store(0)
+		srv.Close()
+		mgr.Close()
+	})
+	return srv, &delay
+}
+
+// TestHedgedStragglerRaceSafeTotals is the race-safety contract of the
+// lock-free metrics rework: a worker turned straggler forces concurrent
+// hedges while another goroutine scrapes the registry and the Metrics()
+// snapshot mid-round, and every region round must still be accounted
+// exactly once — no lost or torn counter update (CI's -race job runs
+// this). The computation itself stays bit-identical to se-shard: hedging
+// changes where a round runs, never what it computes.
+func TestHedgedStragglerRaceSafeTotals(t *testing.T) {
+	const rounds = 12
+	const warmRounds = 2
+	w := testWorkload(t)
+	want := stepAll(t, openShardBaseline(t, w), rounds)
+
+	srvA, delay := startDelayableWorker(t)
+	srvB := startWorker(t)
+	reg := obs.NewRegistry()
+	e, err := dist.NewEngine(w.Graph, w.System, dist.Options{
+		Shard:      shard.Options{Shards: testShards, Seed: testSeed},
+		WorkerURLs: []string{srvA.URL, srvB.URL},
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape concurrently with the rounds: the exporters and the compat
+	// snapshot must read cleanly against in-flight increments.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Metrics()
+				reg.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+
+	// Warm rounds build every worker's latency EWMA — hedging stays
+	// disabled until a baseline exists. Then the straggler valve closes:
+	// regions hosted on the slow worker hedge to the fast one, adopt it,
+	// and the run continues undisturbed.
+	for i := 0; i < warmRounds; i++ {
+		e.Step()
+	}
+	delay.Store(int64(2 * time.Second))
+	for i := warmRounds; i < rounds; i++ {
+		e.Step()
+	}
+	close(stop)
+	wg.Wait()
+
+	m := e.Metrics()
+	if m.Hedges == 0 {
+		t.Error("straggling worker triggered no hedges")
+	}
+	if m.Rounds != rounds {
+		t.Errorf("Rounds = %d, want %d", m.Rounds, rounds)
+	}
+	if want := rounds * e.Regions(); m.RPCs != want {
+		t.Errorf("RPCs = %d, want exactly %d — every region round accepted once (hedges %d, retries %d)",
+			m.RPCs, want, m.Hedges, m.Retries)
+	}
+	if m.LocalSteps != 0 {
+		t.Errorf("LocalSteps = %d, want 0 (the straggler is slow, not dead)", m.LocalSteps)
+	}
+
+	res, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scheduler.Result{
+		Best: res.Best, Makespan: res.BestMakespan, Iterations: res.Iterations,
+		Evaluations: res.Evaluations, DeltaEvaluations: res.DeltaEvaluations,
+		GenesEvaluated: res.GenesEvaluated,
+	}
+	requireSameResult(t, "hedged straggler vs se-shard", got, want)
+
+	// The shared registry carries the live mirrors: transport totals and
+	// the per-worker gauges the acceptance scrape looks for.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		"dist_rounds_total", "dist_rpcs_total", "dist_hedges_total",
+		"dist_round_duration_seconds_bucket", "dist_worker_healthy",
+		"dist_worker_latency_seconds", "dist_worker_load",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("registry exposition missing %s", name)
+		}
 	}
 }

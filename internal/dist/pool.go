@@ -28,6 +28,7 @@ const (
 type worker struct {
 	url    string
 	client *serve.Client
+	met    *distMetrics // mirrors health/latency/load into the registry
 
 	mu            sync.Mutex
 	fails         int           // consecutive failures
@@ -56,6 +57,7 @@ func (w *worker) ok(d time.Duration) {
 	} else {
 		w.ewma = (3*w.ewma + d) / 4
 	}
+	w.met.workerOK(w.url, w.ewma)
 }
 
 // fail records a failed RPC and puts the worker in an exponentially
@@ -70,13 +72,16 @@ func (w *worker) fail() {
 		d = failCooldownMax
 	}
 	w.cooldownUntil = time.Now().Add(d)
+	w.met.workerFail(w.url)
 }
 
 // placed adjusts the worker's placement load by delta.
 func (w *worker) placed(delta int) {
 	w.mu.Lock()
 	w.load += delta
+	load := w.load
 	w.mu.Unlock()
+	w.met.workerLoad(w.url, load)
 }
 
 // hedgeDelay returns how long a step RPC may run before the coordinator
@@ -111,10 +116,11 @@ type pool struct {
 
 // newPool builds a pool of clients for the given base URLs, each with a
 // per-request timeout so a hung worker surfaces as a retriable error.
-func newPool(urls []string, timeout time.Duration) *pool {
+func newPool(urls []string, timeout time.Duration, met *distMetrics) *pool {
 	p := &pool{workers: make([]*worker, len(urls))}
 	for i, u := range urls {
-		p.workers[i] = &worker{url: u, client: serve.NewClient(u).WithTimeout(timeout)}
+		p.workers[i] = &worker{url: u, client: serve.NewClient(u).WithTimeout(timeout), met: met}
+		met.workerHealthyInit(u)
 	}
 	return p
 }

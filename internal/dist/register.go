@@ -41,6 +41,7 @@ func openSEDist(cfg scheduler.Config, g *taskgraph.Graph, sys *platform.System) 
 		},
 		RoundBatch: cfg.RoundBatch,
 		WorkerURLs: cfg.WorkerURLs,
+		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
 )
@@ -82,9 +83,13 @@ func (e *Engine) stepSession(ctx context.Context, w *worker, session string) (st
 // stepping in-process when no worker can take it. Every path yields the
 // same region state — determinism makes retry free.
 func (e *Engine) stepRegion(ctx context.Context, rg *region) {
+	// One request ID per region-round: retries, re-placements and hedge
+	// replicas all carry it, so the coordinator's round and every worker
+	// access-log line it caused correlate on one ID.
+	ctx = serve.WithRequestID(ctx, obs.NewRequestID())
 	for attempt := 0; attempt < maxStepAttempts; attempt++ {
 		if attempt > 0 {
-			e.bump(func(m *Metrics) { m.Retries++ })
+			e.met.incRetry()
 			// Exponential backoff before re-attempting, bounded so a
 			// round never stalls behind a long sleep.
 			d := 10 * time.Millisecond << (attempt - 1)
@@ -104,7 +109,7 @@ func (e *Engine) stepRegion(ctx context.Context, rg *region) {
 			}
 			if rg.w != nil && rg.w != w {
 				rg.w.placed(-1)
-				e.bump(func(m *Metrics) { m.Redispatches++ })
+				e.met.incRedispatch()
 			}
 			rg.w, rg.session = w, sid
 		}
@@ -167,7 +172,7 @@ func (e *Engine) stepHedged(ctx context.Context, rg *region) (stepOutcome, error
 			if backup == nil {
 				continue
 			}
-			e.bump(func(m *Metrics) { m.Hedges++ })
+			e.met.incHedge()
 			pending++
 			go func() {
 				sid, err := e.placeRegion(ctx, backup, rg)
@@ -210,7 +215,7 @@ func (e *Engine) stepLocal(rg *region) {
 	rg.lastSelected = last.Selected
 	rg.lastOK = true
 	e.recordBest(rg, last.BestMakespan)
-	e.bump(func(m *Metrics) { m.LocalSteps += e.batch })
+	e.met.addLocalSteps(e.batch)
 }
 
 // accept commits a successful round: the region's new authoritative
@@ -221,10 +226,7 @@ func (e *Engine) accept(rg *region, out stepOutcome) {
 	rg.lastSelected = out.resp.Progress.Selected
 	rg.lastOK = true
 	e.recordBest(rg, out.resp.Progress.Best)
-	e.bump(func(m *Metrics) {
-		m.RPCs++
-		m.SnapshotBytes += uint64(out.wireSize)
-	})
+	e.met.acceptRPC(out.wireSize)
 }
 
 // recordBest updates the region's best-so-far makespan and its
@@ -236,12 +238,4 @@ func (e *Engine) recordBest(rg *region, best float64) {
 	} else {
 		rg.sinceImproved += e.batch
 	}
-}
-
-// bump applies one metrics mutation under the engine's lock (region
-// rounds run concurrently).
-func (e *Engine) bump(f func(*Metrics)) {
-	e.mu.Lock()
-	f(&e.met)
-	e.mu.Unlock()
 }

@@ -1,0 +1,183 @@
+package obs
+
+// Exporters: Prometheus text exposition (the /metrics scrape format) and
+// expvar-style JSON (/debug/vars). Both walk the registry under its lock
+// but read instrument values atomically — a scrape racing the hot path
+// sees a consistent-enough point-in-time view without ever blocking an
+// observation.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered family in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, one sample line per child (histograms expand to cumulative
+// _bucket series plus _sum and _count). Families appear in registration
+// order and children in sorted label order, so output is deterministic
+// for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		if len(f.children) == 0 {
+			f.mu.Unlock()
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range f.sortedKeys() {
+			writeChild(bw, f, key, f.children[key])
+		}
+		f.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+func writeChild(w *bufio.Writer, f *family, key string, c any) {
+	labels := labelString(f.labels, key, "")
+	switch m := c.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labels, m.Value())
+	case *Gauge:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(m.Value()))
+	case *Histogram:
+		var cum uint64
+		for i, b := range m.bounds {
+			cum += m.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, key, formatFloat(b)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, key, "+Inf"), m.Count())
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(m.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, m.Count())
+	}
+}
+
+// labelString renders {k="v",...} for the child key, appending an le
+// label when non-empty (histogram buckets). Empty label sets render as
+// no braces at all.
+func labelString(names []string, key, le string) string {
+	var parts []string
+	if len(names) > 0 {
+		values := strings.Split(key, keySep)
+		for i, n := range names {
+			// %q escapes quotes, backslashes and newlines — the three
+			// characters the exposition format requires escaped.
+			parts = append(parts, fmt.Sprintf("%s=%q", n, values[i]))
+		}
+	}
+	if le != "" {
+		parts = append(parts, fmt.Sprintf("le=%q", le))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeHelp keeps HELP lines single-line.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jsonHistogram is the JSON exporter's histogram shape: cumulative
+// bucket counts keyed by upper bound, plus sum and count.
+type jsonHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// WriteJSON writes the registry as one JSON object in the spirit of
+// expvar: each family name maps to its value — a bare number for
+// unlabeled counters and gauges, an object keyed by `k=v,...` label
+// strings for labeled families, and a {count, sum, buckets} object for
+// histograms.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		if len(f.labels) == 0 {
+			if c, ok := f.children[""]; ok {
+				out[f.name] = jsonValue(c)
+			}
+		} else {
+			m := make(map[string]any, len(f.children))
+			for _, key := range f.sortedKeys() {
+				m[jsonKey(f.labels, key)] = jsonValue(f.children[key])
+			}
+			out[f.name] = m
+		}
+		f.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func jsonKey(names []string, key string) string {
+	values := strings.Split(key, keySep)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + "=" + values[i]
+	}
+	return strings.Join(parts, ",")
+}
+
+func jsonValue(c any) any {
+	switch m := c.(type) {
+	case *Counter:
+		return m.Value()
+	case *Gauge:
+		return m.Value()
+	case *Histogram:
+		h := jsonHistogram{Count: m.Count(), Sum: m.Sum(), Buckets: make(map[string]uint64, len(m.bounds)+1)}
+		var cum uint64
+		for i, b := range m.bounds {
+			cum += m.buckets[i].Load()
+			h.Buckets[formatFloat(b)] = cum
+		}
+		h.Buckets["+Inf"] = m.Count()
+		return h
+	}
+	return nil
+}
+
+// Handler returns the /metrics endpoint: the registry in Prometheus text
+// exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler returns the /debug/vars endpoint: the registry as
+// expvar-style JSON.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,154 @@
+package obs
+
+// HTTP instrumentation: one middleware that gives every endpoint a
+// request counter and latency histogram (labeled by the mux route
+// pattern, so cardinality stays bounded no matter what paths clients
+// send), an in-flight gauge, a propagated per-request ID, and a
+// structured slog access line. Wrapping is observation-only: handlers
+// see the same request and the same ResponseWriter capabilities
+// (flushing for NDJSON streams included).
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the header request IDs travel in, both directions:
+// clients send one so server logs correlate with theirs, and the
+// middleware echoes it (or a generated one) on every response.
+const RequestIDHeader = "X-Request-ID"
+
+// procID distinguishes processes in correlated logs; crypto/rand is
+// deliberate — request IDs must never draw from a seeded math/rand
+// stream, or observation would perturb search determinism.
+var procID = func() string {
+	var b [4]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}()
+
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a process-unique request ID ("<proc>-<seq>").
+// IDs are cheap (one atomic add) and ordered within a process, which
+// makes interleaved access logs reconstructable.
+func NewRequestID() string {
+	return procID + "-" + strconv.FormatUint(reqSeq.Add(1), 10)
+}
+
+// HTTPMetrics is the instrument set Instrument records into, shared by
+// every wrapped handler on a registry.
+type HTTPMetrics struct {
+	requests *CounterVec   // {endpoint, code}
+	latency  *HistogramVec // {endpoint}
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the middleware's instruments under the given
+// namespace: <ns>_http_requests_total{endpoint,code},
+// <ns>_http_request_duration_seconds{endpoint}, and
+// <ns>_http_in_flight_requests.
+func NewHTTPMetrics(reg *Registry, namespace string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec(namespace+"_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "endpoint", "code"),
+		latency: reg.HistogramVec(namespace+"_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern.", nil, "endpoint"),
+		inflight: reg.Gauge(namespace+"_http_in_flight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// Instrument wraps next with request metrics, request-ID propagation and
+// an optional structured access log. The endpoint label is the
+// http.ServeMux pattern that matched (requests no route matched are
+// labeled "unmatched"), so label cardinality is bounded by the route
+// table. log may be nil to disable access logging; metrics are always
+// recorded.
+func Instrument(m *HTTPMetrics, log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+		rw := &respWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rw, r)
+		elapsed := time.Since(start)
+		// ServeMux sets Pattern on the request in place, so after dispatch
+		// the matched route is visible here without per-route wrapping.
+		endpoint := r.Pattern
+		if endpoint == "" {
+			endpoint = "unmatched"
+		}
+		m.requests.With(endpoint, strconv.Itoa(rw.code())).Inc()
+		m.latency.With(endpoint).Observe(elapsed.Seconds())
+		if log != nil {
+			log.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"endpoint", endpoint,
+				"status", rw.code(),
+				"bytes", rw.bytes,
+				"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}
+
+// respWriter captures the status code and body size. It forwards Flush
+// (NDJSON progress streams depend on it) and exposes Unwrap for
+// http.ResponseController, so wrapping loses no writer capability the
+// serving layer uses.
+type respWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status code.
+func (w *respWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts body bytes (an implicit 200 if no header was written).
+func (w *respWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (w *respWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *respWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// code returns the recorded status, defaulting to 200 for handlers that
+// never write.
+func (w *respWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestInstrumentRecordsByPattern: the middleware must label samples by
+// the matched mux pattern (bounded cardinality), count status codes, and
+// echo request IDs — generated when absent, propagated when present.
+func TestInstrumentRecordsByPattern(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/things/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	var logBuf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&logBuf, nil))
+	h := Instrument(NewHTTPMetrics(reg, "test"), log, mux)
+
+	for _, path := range []string{"/v1/things/a", "/v1/things/b"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Header().Get(RequestIDHeader) == "" {
+			t.Error("no request ID echoed on response")
+		}
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/nope", nil)
+	req.Header.Set(RequestIDHeader, "corr-42")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "corr-42" {
+		t.Errorf("request ID = %q, want propagated corr-42", got)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := parseExposition(t, buf.String())
+	if got := s[`test_http_requests_total{endpoint="GET /v1/things/{id}",code="200"}`]; got != 2 {
+		t.Errorf("pattern-labeled counter = %v, want 2 in:\n%s", got, buf.String())
+	}
+	if got := s[`test_http_requests_total{endpoint="unmatched",code="404"}`]; got != 1 {
+		t.Errorf("unmatched counter = %v, want 1", got)
+	}
+	if got := s[`test_http_request_duration_seconds_count{endpoint="GET /v1/things/{id}"}`]; got != 2 {
+		t.Errorf("latency histogram count = %v, want 2", got)
+	}
+	if !strings.Contains(logBuf.String(), "id=corr-42") {
+		t.Errorf("access log missing propagated request ID:\n%s", logBuf.String())
+	}
+}
+
+// TestInstrumentPreservesFlusher: the serving layer's NDJSON progress
+// stream asserts http.Flusher on its writer; wrapping must not hide it.
+func TestInstrumentPreservesFlusher(t *testing.T) {
+	reg := NewRegistry()
+	sawFlusher := false
+	h := Instrument(NewHTTPMetrics(reg, "test"), nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawFlusher = w.(http.Flusher)
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !sawFlusher {
+		t.Error("wrapped writer lost http.Flusher")
+	}
+	if rec.Code != http.StatusAccepted {
+		t.Errorf("status = %d, want 202", rec.Code)
+	}
+}

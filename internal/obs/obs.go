@@ -1,0 +1,345 @@
+// Package obs is the runtime observability layer: a small,
+// dependency-free metrics registry (atomic counters, float gauges,
+// bounded-bucket latency histograms, and labeled families of all three)
+// with two exporters — Prometheus text exposition and expvar-style JSON —
+// plus an HTTP middleware that instruments every endpoint and emits a
+// structured (slog) access log with per-request IDs.
+//
+// The registry exists so a live mshd replica or a running se-dist
+// coordinator is scrapeable mid-run instead of being a black box until
+// its offline ledger lands. Its design constraint is the repository's
+// hard invariant: instrumentation is observation-only. Every instrument
+// is a plain atomic the hot path bumps without locks, nothing here draws
+// from a rand stream or touches an effort ledger, and disabling the
+// exporters changes no search state — the bit-identity and
+// eval-count-equivalence suites pass with instrumentation enabled because
+// observing a value can never perturb it.
+//
+// Instruments are get-or-create: asking a Registry twice for the same
+// name returns the same instrument, so independent subsystems can share a
+// process-wide registry without coordination. Re-registering a name with
+// a different kind, label set or bucket layout panics — that is a
+// programming error, not runtime input.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down (stored as atomic bits).
+// The zero value is ready to use; all methods are safe for concurrent
+// use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract) with a compare-and-swap loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bounds are inclusive upper bucket edges, with an implicit +Inf
+// bucket. Observations are lock-free atomic adds; the bucket layout is
+// immutable after construction, so memory is bounded regardless of the
+// observed range. Construct through Registry.Histogram.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; misses land in +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds — the exposition convention for
+// latency histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets returns the default latency bucket bounds in seconds,
+// 500µs to 10s — sized for RPC and HTTP handler latencies.
+func DefBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start and multiplying by factor. It panics on a non-positive start or
+// n, or a factor <= 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%v, %v, %d): want start > 0, factor > 1, n > 0", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// metric kinds, also the TYPE line of the text exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric: its metadata plus its children, keyed by
+// label values ("" for the unlabeled singleton).
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]any // *Counter | *Gauge | *Histogram
+}
+
+// keySep joins label values into a child key; label values containing it
+// would collide, so it is a byte that cannot appear in UTF-8 text.
+const keySep = "\xff"
+
+// child returns the instrument for the given label values, creating it on
+// first use. make builds a fresh instrument of the family's kind.
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q: %d label values for %d labels %v", f.name, len(values), len(f.labels), f.labels))
+	}
+	key := strings.Join(values, keySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = make()
+		f.children[key] = c
+	}
+	return c
+}
+
+// delete removes the child for the given label values, if present.
+func (f *family) delete(values []string) {
+	f.mu.Lock()
+	delete(f.children, strings.Join(values, keySep))
+	f.mu.Unlock()
+}
+
+// sortedKeys returns the child keys in deterministic (sorted) order.
+// Callers hold f.mu.
+func (f *family) sortedKeys() []string {
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Registry is a named collection of metric families. The zero value is
+// not usable; construct with NewRegistry. All methods are safe for
+// concurrent use; instrument lookups after first registration take one
+// mutex acquisition, and the instruments themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the named family, creating it on first use, and panics
+// when the name is re-registered with conflicting metadata.
+func (r *Registry) lookup(name, help, kind string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind,
+			labels:   append([]string(nil), labels...),
+			bounds:   append([]float64(nil), bounds...),
+			children: make(map[string]any),
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind || !equalStrings(f.labels, labels) || !equalFloats(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v", name, kind, labels, f.kind, f.labels))
+	}
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the named unlabeled counter, registering it on first
+// use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, kindCounter, nil, nil)
+	return f.child(nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the named unlabeled gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	return f.child(nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the named unlabeled histogram, registering it on
+// first use. bounds are ascending upper bucket edges (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	checkBounds(name, bounds)
+	f := r.lookup(name, help, kindHistogram, nil, bounds)
+	return f.child(nil, func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the named labeled counter family, registering it on
+// first use.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// Delete drops the counter for the given label values (stale children of
+// a bounded-lifetime label, e.g. a torn-down session).
+func (v *CounterVec) Delete(values ...string) { v.f.delete(values) }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the named labeled gauge family, registering it on
+// first use.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Delete drops the gauge for the given label values.
+func (v *GaugeVec) Delete(values ...string) { v.f.delete(values) }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the named labeled histogram family, registering
+// it on first use. bounds are ascending upper bucket edges
+// (nil = DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	checkBounds(name, bounds)
+	return &HistogramVec{r.lookup(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// Delete drops the histogram for the given label values.
+func (v *HistogramVec) Delete(values ...string) { v.f.delete(values) }
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func checkBounds(name string, bounds []float64) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q: bucket bounds not strictly ascending at %d: %v", name, i, bounds))
+		}
+	}
+}

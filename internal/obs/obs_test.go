@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentObserveMatchesSerialTotals is the registry property test:
+// hammering one counter, one gauge and one histogram from many
+// goroutines must yield exactly the totals the same observations produce
+// serially — the instruments are atomics, so no update may be lost.
+func TestConcurrentObserveMatchesSerialTotals(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops")
+	g := reg.Gauge("test_level", "level")
+	h := reg.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Add(2)
+				g.Add(0.5)
+				h.Observe(float64(j%3) * 0.05) // 0, 0.05, 0.1
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if want := uint64(goroutines * perG * 2); c.Value() != want {
+		t.Errorf("counter = %d, want %d", c.Value(), want)
+	}
+	if want := float64(goroutines*perG) * 0.5; math.Abs(g.Value()-want) > 1e-6 {
+		t.Errorf("gauge = %v, want %v", g.Value(), want)
+	}
+	if want := uint64(goroutines * perG); h.Count() != want {
+		t.Errorf("histogram count = %d, want %d", h.Count(), want)
+	}
+	// Bucket placement: 0 and 0.05 land in le=0.1's cumulative count via
+	// le=0.01 (0 only); 0.1 lands in le=0.1 too (inclusive upper bound).
+	sh := newHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < goroutines; i++ {
+		for j := 0; j < perG; j++ {
+			sh.Observe(float64(j%3) * 0.05)
+		}
+	}
+	for i := range sh.buckets {
+		if got, want := h.buckets[i].Load(), sh.buckets[i].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if math.Abs(h.Sum()-sh.Sum()) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), sh.Sum())
+	}
+}
+
+// TestGetOrCreateReturnsSameInstrument: registering a name twice yields
+// the identical instrument, and label-distinguished children are stable
+// per value set.
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a_total", "a") != reg.Counter("a_total", "a") {
+		t.Error("unlabeled counter not stable across lookups")
+	}
+	v := reg.CounterVec("b_total", "b", "worker")
+	if v.With("x") != v.With("x") {
+		t.Error("labeled child not stable across lookups")
+	}
+	if v.With("x") == v.With("y") {
+		t.Error("distinct label values share a child")
+	}
+	v.With("x").Add(3)
+	v.Delete("x")
+	if got := v.With("x").Value(); got != 0 {
+		t.Errorf("deleted child came back with value %d", got)
+	}
+}
+
+// TestKindMismatchPanics: re-registering a name as a different kind is a
+// programming error and must fail loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "x")
+}
+
+// expositionLine matches one Prometheus text sample:
+// name{k="v",...} value — the format /metrics must emit. Label values
+// are quoted strings (escapes allowed), so a "}" inside a value — mux
+// patterns contain them — does not end the label set.
+var expositionLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)` +
+		`(\{[a-zA-Z0-9_]+="(?:[^"\\]|\\.)*"(?:,[a-zA-Z0-9_]+="(?:[^"\\]|\\.)*")*\})?` +
+		` (-?[0-9.e+\-Inf]+)$`)
+
+// parseExposition is the test-side exposition parser: it validates every
+// line is a comment or a well-formed sample and returns samples keyed by
+// "name{labels}".
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := expositionLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+// TestPrometheusExposition exercises the text exporter end to end:
+// counters, gauges, labeled families and histograms must all round-trip
+// through the parser with the observed values, cumulative buckets must
+// be monotone, and HELP/TYPE must precede each family.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "jobs").Add(7)
+	reg.Gauge("depth", "queue depth").Set(2.5)
+	reg.CounterVec("rpc_total", "rpcs", "worker", "code").With("w1", "200").Add(3)
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP jobs_total jobs\n# TYPE jobs_total counter\njobs_total 7\n",
+		"# TYPE lat_seconds histogram\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	s := parseExposition(t, text)
+	checks := map[string]float64{
+		"jobs_total":                        7,
+		"depth":                             2.5,
+		`rpc_total{worker="w1",code="200"}`: 3,
+		`lat_seconds_bucket{le="0.1"}`:      1,
+		`lat_seconds_bucket{le="1"}`:        2,
+		`lat_seconds_bucket{le="+Inf"}`:     3,
+		"lat_seconds_count":                 3,
+	}
+	for key, want := range checks {
+		if got, ok := s[key]; !ok || got != want {
+			t.Errorf("sample %q = %v (present %v), want %v", key, got, ok, want)
+		}
+	}
+	if math.Abs(s["lat_seconds_sum"]-5.55) > 1e-9 {
+		t.Errorf("lat_seconds_sum = %v, want 5.55", s["lat_seconds_sum"])
+	}
+}
+
+// TestJSONExport: the expvar-style exporter must produce valid JSON with
+// bare numbers for unlabeled instruments, label-keyed objects for
+// families, and cumulative buckets for histograms.
+func TestJSONExport(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "jobs").Add(4)
+	reg.GaugeVec("load", "load", "worker").With("w2").Set(1.5)
+	reg.Histogram("lat_seconds", "latency", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got := out["jobs_total"].(float64); got != 4 {
+		t.Errorf("jobs_total = %v, want 4", got)
+	}
+	if got := out["load"].(map[string]any)["worker=w2"].(float64); got != 1.5 {
+		t.Errorf(`load["worker=w2"] = %v, want 1.5`, got)
+	}
+	hist := out["lat_seconds"].(map[string]any)
+	if got := hist["count"].(float64); got != 1 {
+		t.Errorf("lat_seconds count = %v, want 1", got)
+	}
+	if got := hist["buckets"].(map[string]any)["1"].(float64); got != 1 {
+		t.Errorf("lat_seconds le=1 bucket = %v, want 1", got)
+	}
+}
+
+// TestExpBuckets: bounds grow geometrically and stay strictly ascending
+// (the histogram constructor's invariant).
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 4, 5)
+	if len(b) != 5 || b[0] != 0.001 || math.Abs(b[4]-0.256) > 1e-12 {
+		t.Errorf("ExpBuckets = %v", b)
+	}
+	checkBounds("test", b)
+}
+
+// TestRequestIDsUnique: IDs must be distinct under concurrency — they
+// correlate coordinator and worker access logs, so collisions would
+// merge unrelated requests.
+func TestRequestIDsUnique(t *testing.T) {
+	const n = 64
+	ids := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func() { ids <- NewRequestID() }()
+	}
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		select {
+		case id := <-ids:
+			if seen[id] {
+				t.Fatalf("duplicate request ID %q", id)
+			}
+			seen[id] = true
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for IDs")
+		}
+	}
+}

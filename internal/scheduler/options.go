@@ -1,6 +1,9 @@
 package scheduler
 
-import "repro/internal/schedule"
+import (
+	"repro/internal/obs"
+	"repro/internal/schedule"
+)
 
 // Config collects every tunable a registered scheduler understands. Each
 // algorithm reads the fields that apply to it and ignores the rest; zero
@@ -72,6 +75,21 @@ type Config struct {
 	// round advances every region by this many generations in one RPC
 	// (0/1 = one generation per round, matching se-shard's Step exactly).
 	RoundBatch int
+
+	// Observer, when non-nil, is called once per executed Step with that
+	// iteration's observation — the same Progress Budget.OnProgress sees,
+	// delivered regardless of how the search is driven (a Schedule budget
+	// loop or external Step calls). It is an observation-only tap: it
+	// cannot stop the run, it runs after the iteration's state is
+	// computed, and it must not mutate search state. The serving layer
+	// adapts it into per-session steps/s and best-makespan gauges.
+	Observer func(Progress)
+	// Metrics, when non-nil, is the registry engines with runtime
+	// instruments export into (se-dist's coordinator registers its
+	// transport counters and per-worker gauges there). Purely
+	// observational: a nil registry changes nothing about what any
+	// algorithm computes.
+	Metrics *obs.Registry
 }
 
 // Option configures a scheduler at Get time.
@@ -145,3 +163,12 @@ func WithWorkerURLs(urls ...string) Option {
 // WithRoundBatch sets se-dist's generations-per-round count (the number of
 // region generations executed per worker RPC).
 func WithRoundBatch(n int) Option { return func(c *Config) { c.RoundBatch = n } }
+
+// WithObserver taps every executed Step's Progress observation (see
+// Config.Observer). Observation-only: it never perturbs rng streams,
+// effort ledgers or any other search state.
+func WithObserver(fn func(Progress)) Option { return func(c *Config) { c.Observer = fn } }
+
+// WithMetrics points engines that export runtime instruments (se-dist's
+// coordinator) at a shared obs.Registry (see Config.Metrics).
+func WithMetrics(reg *obs.Registry) Option { return func(c *Config) { c.Metrics = reg } }

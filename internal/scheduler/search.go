@@ -70,10 +70,11 @@ type Search interface {
 // search is the registry's Search implementation: a Stepper plus the
 // envelope metadata Snapshot/Restore frame it with.
 type search struct {
-	name string
-	g    *taskgraph.Graph
-	sys  *platform.System
-	st   Stepper
+	name    string
+	g       *taskgraph.Graph
+	sys     *platform.System
+	st      Stepper
+	observe func(Progress) // Config.Observer; nil = no tap
 }
 
 func (s *search) Name() string { return s.name }
@@ -83,6 +84,9 @@ func (s *search) Step(ctx context.Context) (Progress, bool) {
 		return Progress{}, false
 	}
 	pr := s.st.Step()
+	if s.observe != nil {
+		s.observe(pr)
+	}
 	return pr, !s.st.Done()
 }
 
@@ -130,7 +134,7 @@ func Open(name string, g *taskgraph.Graph, sys *platform.System, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	return &search{name: name, g: g, sys: sys, st: st}, nil
+	return &search{name: name, g: g, sys: sys, st: st, observe: cfg.Observer}, nil
 }
 
 // Restore rebuilds the named algorithm's Search from a Snapshot taken on
@@ -139,7 +143,13 @@ func Open(name string, g *taskgraph.Graph, sys *platform.System, opts ...Option)
 // observations, same final best string and makespan. Snapshots from a
 // different algorithm, workload shape or format version — and truncated
 // or corrupted bytes — surface as errors, never panics.
-func Restore(name string, snapshot []byte, g *taskgraph.Graph, sys *platform.System) (Search, error) {
+//
+// Restore hooks rebuild engines purely from snapshot bytes, so of the
+// options only the observation taps apply here: WithObserver attaches to
+// the revived search (the serving layer re-hangs its gauges on revived
+// sessions this way); every state-shaping option is ignored — that state
+// lives in the snapshot.
+func Restore(name string, snapshot []byte, g *taskgraph.Graph, sys *platform.System, opts ...Option) (Search, error) {
 	e, err := lookup(name)
 	if err != nil {
 		return nil, err
@@ -169,7 +179,11 @@ func Restore(name string, snapshot []byte, g *taskgraph.Graph, sys *platform.Sys
 	if err != nil {
 		return nil, err
 	}
-	return &search{name: name, g: g, sys: sys, st: st}, nil
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &search{name: name, g: g, sys: sys, st: st, observe: cfg.Observer}, nil
 }
 
 // Envelope frames an engine payload in the same versioned envelope
@@ -327,6 +341,6 @@ func (a *algoScheduler) Schedule(ctx context.Context, g *taskgraph.Graph, sys *p
 	if err != nil {
 		return nil, err
 	}
-	s := &search{name: a.info.Name, g: g, sys: sys, st: st}
+	s := &search{name: a.info.Name, g: g, sys: sys, st: st, observe: a.cfg.Observer}
 	return drive(ctx, s, b, a.cfg.Trace)
 }

@@ -11,7 +11,31 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// reqIDKey carries a caller-chosen request ID in a context (see
+// WithRequestID).
+type reqIDKey struct{}
+
+// WithRequestID returns a context that makes every Client request issued
+// under it carry id in the X-Request-ID header, so the caller's logs and
+// the daemon's access logs correlate. The distributed coordinator stamps
+// one ID per region-round: retries, re-placements and hedge replicas all
+// trace back to the round that caused them. Without it each request gets
+// a fresh generated ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// requestID extracts the context's request ID, generating one otherwise.
+func requestID(ctx context.Context) string {
+	if id, ok := ctx.Value(reqIDKey{}).(string); ok && id != "" {
+		return id
+	}
+	return obs.NewRequestID()
+}
 
 // sharedTransport pools TCP connections across every Client in the
 // process: the distributed coordinator issues one small JSON RPC per
@@ -103,6 +127,7 @@ func (c *Client) DeleteSession(ctx context.Context, id string) error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set(obs.RequestIDHeader, requestID(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -135,6 +160,7 @@ func (c *Client) RunStream(ctx context.Context, id string, req RunRequest, onPro
 		return Result{}, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(obs.RequestIDHeader, requestID(ctx))
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return Result{}, err
@@ -204,6 +230,7 @@ func (c *Client) Gantt(ctx context.Context, id string, width int) (string, error
 	if err != nil {
 		return "", err
 	}
+	req.Header.Set(obs.RequestIDHeader, requestID(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
@@ -281,6 +308,7 @@ func (c *Client) get(ctx context.Context, path string, dst any) error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set(obs.RequestIDHeader, requestID(ctx))
 	return c.doJSON(req, dst)
 }
 
@@ -296,6 +324,7 @@ func (c *Client) post(ctx context.Context, path string, body, dst any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, requestID(ctx))
 	return c.doJSON(req, dst)
 }
 

@@ -1,0 +1,84 @@
+package serve
+
+// The serving layer's instrument set: session-lifecycle gauges and
+// counters on the Manager, plus a per-session observer that adapts the
+// scheduler's Progress tap into live steps/s and best-makespan gauges.
+// Everything here is observation-only — no instrument touches rng
+// streams, effort ledgers or any other scheduling state, so every
+// bit-identity suite passes with instrumentation enabled.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scheduler"
+)
+
+// managerMetrics are the Manager's registry instruments.
+type managerMetrics struct {
+	sessionsLive    *obs.Gauge
+	sessionsCreated *obs.Counter
+	sessionsEvicted *obs.CounterVec // {reason}: idle, lru, delete, close
+	runs            *obs.Counter
+	searchSteps     *obs.Counter
+	snapshotBytes   *obs.Counter
+	searchBest      *obs.GaugeVec // {session}
+	searchRate      *obs.GaugeVec // {session}
+}
+
+// newManagerMetrics registers the serving layer's instruments on reg.
+func newManagerMetrics(reg *obs.Registry) *managerMetrics {
+	return &managerMetrics{
+		sessionsLive: reg.Gauge("serve_sessions_live",
+			"Sessions currently pinned in the manager."),
+		sessionsCreated: reg.Counter("serve_sessions_created_total",
+			"Sessions created (revivals included)."),
+		sessionsEvicted: reg.CounterVec("serve_sessions_evicted_total",
+			"Sessions torn down, by reason (idle, lru, delete, close).", "reason"),
+		runs: reg.Counter("serve_runs_total",
+			"Completed one-shot algorithm runs."),
+		searchSteps: reg.Counter("serve_search_steps_total",
+			"Search iterations executed on behalf of clients (one-shot runs and stepped searches)."),
+		snapshotBytes: reg.Counter("serve_search_snapshot_bytes_total",
+			"Serialized search snapshot bytes handed to clients."),
+		searchBest: reg.GaugeVec("serve_search_best_makespan",
+			"Best-so-far makespan of the session's search.", "session"),
+		searchRate: reg.GaugeVec("serve_search_steps_per_sec",
+			"Smoothed (EWMA) search step rate of the session.", "session"),
+	}
+}
+
+// sessionDown records one session teardown and drops the session's
+// labeled gauges, so label cardinality stays bounded by the live set.
+func (mm *managerMetrics) sessionDown(id, reason string) {
+	mm.sessionsLive.Add(-1)
+	mm.sessionsEvicted.With(reason).Inc()
+	mm.searchBest.Delete(id)
+	mm.searchRate.Delete(id)
+}
+
+// observer builds the session's Progress tap: every executed search
+// iteration — a stepped search's Step or a one-shot run's inner loop —
+// bumps the global step counter and refreshes the session's best and
+// steps/s gauges. The closure's rate state is touched only on the
+// session's worker goroutine (requests serialize there); the instruments
+// themselves are atomics.
+func (m *Manager) observer(s *Session) func(scheduler.Progress) {
+	var last time.Time
+	return func(p scheduler.Progress) {
+		m.met.searchSteps.Inc()
+		m.met.searchBest.With(s.id).Set(p.Best)
+		now := time.Now()
+		if !last.IsZero() {
+			if dt := now.Sub(last).Seconds(); dt > 0 {
+				rate := 1 / dt
+				g := m.met.searchRate.With(s.id)
+				if old := g.Value(); old > 0 {
+					rate = 0.75*old + 0.25*rate
+				}
+				g.Set(rate)
+			}
+		}
+		last = now
+	}
+}

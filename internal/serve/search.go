@@ -17,8 +17,10 @@ const MaxStepsPerRequest = 10_000
 
 // searchOptions maps a request's tunables onto scheduler options — shared
 // by Run and OpenSearch so a served search is configured exactly like a
-// served one-shot run.
-func searchOptions(req RunRequest, s *Session) []scheduler.Option {
+// served one-shot run. The two observation options ride along on every
+// search: the session's Progress tap and the manager's registry (which
+// se-dist's coordinator exports its transport instruments into).
+func (m *Manager) searchOptions(req RunRequest, s *Session) []scheduler.Option {
 	opts := []scheduler.Option{
 		scheduler.WithSeed(req.Seed),
 		scheduler.WithWorkers(req.Workers),
@@ -27,6 +29,8 @@ func searchOptions(req RunRequest, s *Session) []scheduler.Option {
 		scheduler.WithPopulation(req.Population),
 		scheduler.WithShards(req.Shards),
 		scheduler.WithRoundBatch(req.RoundBatch),
+		scheduler.WithObserver(s.observe),
+		scheduler.WithMetrics(m.reg),
 	}
 	if len(req.WorkerURLs) > 0 {
 		opts = append(opts, scheduler.WithWorkerURLs(req.WorkerURLs...))
@@ -68,7 +72,7 @@ func (m *Manager) OpenSearch(id string, req RunRequest) (SearchInfo, error) {
 		if _, ok := scheduler.Describe(req.Algorithm); !ok {
 			return fmt.Errorf("%w: unknown algorithm %q (registered: %v)", ErrBadRequest, req.Algorithm, scheduler.Names())
 		}
-		search, err := scheduler.Open(req.Algorithm, s.w.Graph, s.w.System, searchOptions(req, s)...)
+		search, err := scheduler.Open(req.Algorithm, s.w.Graph, s.w.System, m.searchOptions(req, s)...)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
@@ -139,6 +143,7 @@ func (m *Manager) StepSearch(id string, req StepRequest) (StepResponse, error) {
 			if err != nil {
 				return err
 			}
+			m.met.snapshotBytes.Add(uint64(len(data)))
 			out.Snapshot = &SearchSnapshot{Algorithm: s.searchAlgo, Seed: s.searchSeed, Snapshot: data}
 		}
 		if res.Makespan < s.bestMs {
@@ -181,6 +186,7 @@ func (m *Manager) SearchSnapshot(id string) (SearchSnapshot, error) {
 		if err != nil {
 			return err
 		}
+		m.met.snapshotBytes.Add(uint64(len(data)))
 		out = SearchSnapshot{Algorithm: s.searchAlgo, Seed: s.searchSeed, Snapshot: data}
 		return nil
 	})
@@ -202,7 +208,8 @@ func (m *Manager) ResumeSearch(id string, req SearchSnapshot) (SearchInfo, error
 			}
 			algo = a
 		}
-		search, err := scheduler.Restore(algo, req.Snapshot, s.w.Graph, s.w.System)
+		search, err := scheduler.Restore(algo, req.Snapshot, s.w.Graph, s.w.System,
+			scheduler.WithObserver(s.observe))
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
@@ -244,6 +251,7 @@ func (m *Manager) Evict(id string) (SessionSnapshot, error) {
 			if err != nil {
 				return err
 			}
+			m.met.snapshotBytes.Add(uint64(len(data)))
 			out.Search = &SearchSnapshot{Algorithm: s.searchAlgo, Seed: s.searchSeed, Snapshot: data}
 		}
 		return nil
@@ -287,7 +295,8 @@ func (m *Manager) Revive(snapshot SessionSnapshot) (SessionInfo, error) {
 		}
 		if snapshot.Search != nil {
 			algo := snapshot.Search.Algorithm
-			search, err := scheduler.Restore(algo, snapshot.Search.Snapshot, s.w.Graph, s.w.System)
+			search, err := scheduler.Restore(algo, snapshot.Search.Snapshot, s.w.Graph, s.w.System,
+				scheduler.WithObserver(s.observe))
 			if err != nil {
 				return fmt.Errorf("%w: search: %v", ErrBadRequest, err)
 			}

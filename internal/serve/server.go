@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 )
 
@@ -48,14 +52,24 @@ const progressInterval = 100 * time.Millisecond
 //	POST   /v1/sessions/{id}/search/resume    restore from a snapshot
 //	POST   /v1/sessions/{id}/evict            session → SessionSnapshot (destroys it)
 //	POST   /v1/sessions/revive                SessionSnapshot → fresh session
+//
+// Observability routes (see internal/obs): every request passes through
+// one metrics-and-access-log middleware labeled by matched route pattern,
+// and the manager's registry is exported at:
+//
+//	GET    /metrics        Prometheus text exposition
+//	GET    /debug/vars     expvar-style JSON
 type Server struct {
-	m   *Manager
-	mux *http.ServeMux
+	m       *Manager
+	mux     *http.ServeMux
+	handler http.Handler
+	httpMet *obs.HTTPMetrics
+	start   time.Time
 }
 
 // NewServer wraps m in an HTTP handler.
 func NewServer(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
+	s := &Server{m: m, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -75,7 +89,18 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/search/resume", s.handleSearchResume)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/evict", s.handleEvict)
 	s.mux.HandleFunc("POST /v1/sessions/revive", s.handleRevive)
+	s.mux.Handle("GET /metrics", m.Registry().Handler())
+	s.mux.Handle("GET /debug/vars", m.Registry().VarsHandler())
+	s.httpMet = obs.NewHTTPMetrics(m.Registry(), "serve")
+	s.handler = obs.Instrument(s.httpMet, nil, s.mux)
 	return s
+}
+
+// SetAccessLog turns on structured access logging through log (nil turns
+// it off). Call before serving traffic — the handler is swapped, not
+// locked.
+func (s *Server) SetAccessLog(log *slog.Logger) {
+	s.handler = obs.Instrument(s.httpMet, log, s.mux)
 }
 
 func (s *Server) handleSearchOpen(w http.ResponseWriter, r *http.Request) {
@@ -168,11 +193,29 @@ func (s *Server) handleRevive(w http.ResponseWriter, r *http.Request) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": s.m.Len()})
+	resp := HealthResponse{
+		OK:        true,
+		Sessions:  s.m.Len(),
+		UptimeSec: time.Since(s.start).Seconds(),
+		GoVersion: runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				resp.Revision = kv.Value
+			case "vcs.time":
+				resp.BuildTime = kv.Value
+			case "vcs.modified":
+				resp.Modified = kv.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {

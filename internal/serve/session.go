@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/heuristics"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
 	"repro/internal/taskgraph"
@@ -56,6 +57,12 @@ type Options struct {
 	// 0 disables idle eviction.
 	IdleTimeout time.Duration
 
+	// Metrics is the registry the manager's instruments register on — and
+	// the one served searches export into (se-dist's coordinator gauges).
+	// Nil gets a private registry, so instrumentation is always on; pass
+	// the process registry to expose it on /metrics.
+	Metrics *obs.Registry
+
 	// now substitutes the clock in tests.
 	now func() time.Time
 }
@@ -63,6 +70,8 @@ type Options struct {
 // Manager owns the session table.
 type Manager struct {
 	opts Options
+	reg  *obs.Registry
+	met  *managerMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -94,6 +103,10 @@ type Session struct {
 	searchAlgo string
 	searchSeed int64
 
+	// observe is the session's Progress tap (see Manager.observer),
+	// attached to every search and run the session executes.
+	observe func(scheduler.Progress)
+
 	statMu sync.Mutex
 	stat   sessionStatus
 
@@ -123,8 +136,14 @@ func NewManager(opts Options) *Manager {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	m := &Manager{
 		opts:     opts,
+		reg:      reg,
+		met:      newManagerMetrics(reg),
 		sessions: make(map[string]*Session),
 	}
 	if opts.IdleTimeout > 0 {
@@ -173,11 +192,18 @@ func (m *Manager) EvictIdle() []string {
 	m.mu.Unlock()
 	ids := make([]string, 0, len(victims))
 	for _, s := range victims {
-		s.cancel()
-		<-s.done
+		m.finish(s, "idle")
 		ids = append(ids, s.id)
 	}
 	return ids
+}
+
+// finish completes a session teardown after its table entry is gone:
+// cancel, drain the worker, record the lifecycle metrics.
+func (m *Manager) finish(s *Session, reason string) {
+	s.cancel()
+	<-s.done
+	m.met.sessionDown(s.id, reason)
 }
 
 // Create builds a session from req's workload source, pins its base
@@ -233,12 +259,14 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	}
 	m.nextID++
 	s.id = fmt.Sprintf("s%d", m.nextID)
+	s.observe = m.observer(s)
 	m.sessions[s.id] = s
 	m.mu.Unlock()
+	m.met.sessionsCreated.Inc()
+	m.met.sessionsLive.Add(1)
 
 	for _, v := range victims {
-		v.cancel()
-		<-v.done
+		m.finish(v, "lru")
 	}
 
 	go s.loop()
@@ -360,7 +388,7 @@ func (m *Manager) Run(ctx context.Context, id string, req RunRequest, onProgress
 			req.MaxIterations <= 0 && req.TimeBudgetMS <= 0 && req.NoImprovement <= 0 {
 			return fmt.Errorf("%w: algorithm %q needs a stopping criterion (max_iterations, time_budget_ms or no_improvement)", ErrBadRequest, req.Algorithm)
 		}
-		sched, err := scheduler.Get(req.Algorithm, searchOptions(req, s)...)
+		sched, err := scheduler.Get(req.Algorithm, m.searchOptions(req, s)...)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
@@ -398,6 +426,7 @@ func (m *Manager) Run(ctx context.Context, id string, req RunRequest, onProgress
 		s.statMu.Lock()
 		s.stat.runs++
 		s.statMu.Unlock()
+		m.met.runs.Inc()
 		if res.Makespan < s.bestMs {
 			// Re-pin the evaluator on the improved solution: subsequent
 			// move queries and FromBase runs replay from its checkpoints.
@@ -548,6 +577,11 @@ func (m *Manager) Len() int {
 	return len(m.sessions)
 }
 
+// Registry returns the manager's metrics registry — the one its
+// lifecycle instruments live on and served searches export into. The
+// HTTP server mounts it on /metrics and /debug/vars.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
 // Delete tears one session down: its context is cancelled (stopping any
 // in-flight run at the next iteration boundary) and its worker drained.
 func (m *Manager) Delete(id string) error {
@@ -560,8 +594,7 @@ func (m *Manager) Delete(id string) error {
 	if !ok {
 		return fmt.Errorf("serve: %w: %q", ErrNotFound, id)
 	}
-	s.cancel()
-	<-s.done
+	m.finish(s, "delete")
 	return nil
 }
 
@@ -581,8 +614,7 @@ func (m *Manager) Close() {
 	m.sessions = map[string]*Session{}
 	m.mu.Unlock()
 	for _, s := range sessions {
-		s.cancel()
-		<-s.done
+		m.finish(s, "close")
 	}
 	if m.evictStop != nil {
 		close(m.evictStop)

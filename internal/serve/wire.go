@@ -22,6 +22,22 @@ type ErrorBody struct {
 	Error string `json:"error"`
 }
 
+// HealthResponse is GET /v1/healthz's body: liveness plus enough build
+// and process metadata to tell which binary is answering — uptime, the
+// Go toolchain it was built with, and the VCS state debug.ReadBuildInfo
+// stamped into the binary (empty outside a VCS build).
+type HealthResponse struct {
+	OK        bool    `json:"ok"`
+	Sessions  int     `json:"sessions"`
+	UptimeSec float64 `json:"uptime_s"`
+	GoVersion string  `json:"go_version"`
+	// Revision and BuildTime are the VCS commit and its timestamp;
+	// Modified reports a dirty working tree at build time.
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
 // CreateSessionRequest creates a session from exactly one workload source:
 // an uploaded workload document (the wlgen/workload.Encode schema), a
 // named deterministic preset, or explicit generator parameters.
