@@ -13,8 +13,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/perf -o BENCH_7.json -ledger 7     # write a full ledger
-//	go run ./cmd/perf -quick -check BENCH_7.json    # CI regression gate
+//	go run ./cmd/perf -o BENCH_9.json -ledger 9     # write a full ledger
+//	go run ./cmd/perf -quick -check BENCH_9.json    # CI regression gate
 //	go run ./cmd/perf -presets large -algos se,ga -cpuprofile cpu.out
 //
 // Determinism: every cell is driven by a fixed seed and a pinned shard

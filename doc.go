@@ -22,7 +22,9 @@
 // snapshots that continue bit-identically after a restore), a
 // session-pinned serving layer exposes it all — pinned live searches,
 // step/snapshot/resume and whole-session evict/revive included — as a
-// long-lived HTTP service, and a distributed coordinator fans the
+// long-lived HTTP service backed by an optional durable store that
+// recovers every session bit-identically after a crash, and a
+// distributed coordinator fans the
 // sharded sweep's regions out to a pool of those services, surviving
 // worker crashes bit-identically (see DESIGN.md).
 //
@@ -40,7 +42,8 @@
 //	internal/sa          simulated-annealing extension
 //	internal/tabu        tabu-search extension
 //	internal/scheduler   Scheduler interface, registry + resumable Search API
-//	internal/snap        versioned binary snapshot codec
+//	internal/snap        versioned binary snapshot codec + CRC record framing
+//	internal/store       durable write-behind session store (crash recovery)
 //	internal/xrand       draw-counting, restorable random source
 //	internal/runner      wall-clock races and parallel trials
 //	internal/serve       session-pinned batched serving layer + HTTP client

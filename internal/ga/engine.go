@@ -83,6 +83,10 @@ type Engine struct {
 	sinceImproved int
 	elapsed       time.Duration
 
+	// base carries the effort ledger accumulated before a snapshot/restore
+	// cut, so a restored search's counts continue instead of resetting.
+	base schedule.EvalCounts
+
 	evals    []*schedule.Evaluator      // one per worker (index 0 = serial path)
 	deltas   []*schedule.DeltaEvaluator // one per worker; nil under FullEval
 	bufs     []schedule.String
@@ -270,17 +274,24 @@ func (e *Engine) Result() *Result {
 		Generations:  e.gen,
 		Elapsed:      e.elapsed,
 	}
-	var counts schedule.EvalCounts
+	counts := e.counts()
+	res.Evaluations = counts.Full
+	res.DeltaEvaluations = counts.Delta
+	res.GenesEvaluated = counts.Genes
+	return res
+}
+
+// counts sums the search's effort ledger across every worker evaluator,
+// on top of the pre-restore base.
+func (e *Engine) counts() schedule.EvalCounts {
+	counts := e.base
 	for _, ev := range e.evals {
 		counts = counts.Add(ev.Counts())
 	}
 	for _, d := range e.deltas {
 		counts = counts.Add(d.Counts())
 	}
-	res.Evaluations = counts.Full
-	res.DeltaEvaluations = counts.Delta
-	res.GenesEvaluated = counts.Genes
-	return res
+	return counts
 }
 
 // evaluate computes every chromosome's schedule length, optionally fanned

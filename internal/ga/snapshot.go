@@ -13,8 +13,10 @@ import (
 
 // Snapshot format: magic + version gate the layout; bump on field changes.
 const (
-	engineSnapMagic   = "GAEN"
-	engineSnapVersion = 1
+	engineSnapMagic = "GAEN"
+	// engineSnapVersion 2 added the effort ledger, so restored searches
+	// report cumulative evaluation counts.
+	engineSnapVersion = 2
 )
 
 // appendChromosomeSnap writes c in the combined schedule.String encoding —
@@ -59,6 +61,22 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.gen)
 	w.Int(e.sinceImproved)
 	w.I64(int64(e.elapsed))
+	counts := e.counts()
+	w.U64(counts.Full)
+	w.U64(counts.Delta)
+	w.U64(counts.Aborted)
+	w.U64(counts.Genes)
+	// Each delta worker's pinned base travels too: costOf's cheap paths
+	// (free elite, suffix replay) depend on what is pinned, so a restored
+	// engine must pin the identical strings to spend identical effort.
+	w.Int(len(e.deltas))
+	for _, d := range e.deltas {
+		base := d.Base()
+		w.Bool(base != nil)
+		if base != nil {
+			schedule.AppendSnap(w, base)
+		}
+	}
 	return w.Detach(), nil
 }
 
@@ -110,6 +128,18 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	gen := r.Int()
 	sinceImproved := r.Int()
 	elapsed := time.Duration(r.I64())
+	var base schedule.EvalCounts
+	base.Full = r.U64()
+	base.Delta = r.U64()
+	base.Aborted = r.U64()
+	base.Genes = r.U64()
+	numPins := r.Len(1)
+	pins := make([]schedule.String, numPins)
+	for i := range pins {
+		if r.Bool() {
+			pins[i] = schedule.ReadSnap(r)
+		}
+	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("ga: restore: %w", err)
 	}
@@ -130,5 +160,25 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	e.gen = gen
 	e.sinceImproved = sinceImproved
 	e.elapsed = elapsed
+	if numPins != len(e.deltas) {
+		return nil, fmt.Errorf("ga: restore: %d pinned bases for %d delta workers", numPins, len(e.deltas))
+	}
+	for i, p := range pins {
+		if p == nil {
+			continue
+		}
+		if err := schedule.Validate(p, g, sys); err != nil {
+			return nil, fmt.Errorf("ga: restore: worker %d pinned base: %w", i, err)
+		}
+		e.deltas[i].Pin(p)
+	}
+	// The snapshotted run already accounted its own pins in base; cancel
+	// the restore-time re-pins so the ledger continues exactly where the
+	// uninterrupted run's would be.
+	var repin schedule.EvalCounts
+	for _, d := range e.deltas {
+		repin = repin.Add(d.Counts())
+	}
+	e.base = base.Sub(repin)
 	return e, nil
 }

@@ -13,8 +13,10 @@ import (
 
 // Snapshot format: magic + version gate the layout; bump on field changes.
 const (
-	engineSnapMagic   = "SAEN"
-	engineSnapVersion = 1
+	engineSnapMagic = "SAEN"
+	// engineSnapVersion 2 added the effort ledger, so restored walks
+	// report cumulative evaluation counts.
+	engineSnapVersion = 2
 )
 
 // Snapshot encodes the walk's complete state — options, rng stream
@@ -41,6 +43,11 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.blocks)
 	w.Int(e.sinceImproved)
 	w.I64(int64(e.elapsed))
+	counts := e.counts()
+	w.U64(counts.Full)
+	w.U64(counts.Delta)
+	w.U64(counts.Aborted)
+	w.U64(counts.Genes)
 	return w.Detach(), nil
 }
 
@@ -68,6 +75,11 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	blocks := r.Int()
 	sinceImproved := r.Int()
 	elapsed := time.Duration(r.I64())
+	var base schedule.EvalCounts
+	base.Full = r.U64()
+	base.Delta = r.U64()
+	base.Aborted = r.U64()
+	base.Genes = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("sa: restore: %w", err)
 	}
@@ -99,8 +111,13 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	e.blocks = blocks
 	e.sinceImproved = sinceImproved
 	e.elapsed = elapsed
+	e.base = base
 	if e.inc != nil {
 		e.inc.Pin(e.cur)
+		// The snapshotted walk already accounted its own construction pin
+		// in base; cancel the restore-time re-pin so the ledger continues
+		// exactly where the uninterrupted walk's would be.
+		e.base = e.base.Sub(e.inc.Counts())
 	}
 	e.cur.Positions(e.pos)
 	return e, nil

@@ -39,6 +39,25 @@ func (c EvalCounts) Add(o EvalCounts) EvalCounts {
 	}
 }
 
+// Sub returns the field-wise difference of c and o, saturating at zero.
+// Snapshot restores use it to cancel the cost of a restore-time re-pin
+// that the snapshotted run already accounted; saturation keeps hostile
+// snapshot counters from wrapping.
+func (c EvalCounts) Sub(o EvalCounts) EvalCounts {
+	sub := func(a, b uint64) uint64 {
+		if b > a {
+			return 0
+		}
+		return a - b
+	}
+	return EvalCounts{
+		Full:    sub(c.Full, o.Full),
+		Delta:   sub(c.Delta, o.Delta),
+		Aborted: sub(c.Aborted, o.Aborted),
+		Genes:   sub(c.Genes, o.Genes),
+	}
+}
+
 // NoBound disables the early-exit abort when passed as a bound argument
 // of MoveMakespan or SharedPrefixMakespan.
 var NoBound = math.Inf(1)

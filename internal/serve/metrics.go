@@ -24,6 +24,12 @@ type managerMetrics struct {
 	snapshotBytes   *obs.Counter
 	searchBest      *obs.GaugeVec // {session}
 	searchRate      *obs.GaugeVec // {session}
+
+	// Durable-store instruments: sessions revived from the store (boot
+	// replay and transparent on-demand revival) and how long the boot
+	// replay took.
+	sessionsRecovered *obs.Counter
+	replaySeconds     *obs.Gauge
 }
 
 // newManagerMetrics registers the serving layer's instruments on reg.
@@ -45,6 +51,10 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 			"Best-so-far makespan of the session's search.", "session"),
 		searchRate: reg.GaugeVec("serve_search_steps_per_sec",
 			"Smoothed (EWMA) search step rate of the session.", "session"),
+		sessionsRecovered: reg.Counter("serve_sessions_recovered_total",
+			"Sessions revived from the durable store (boot replay and on-demand revival)."),
+		replaySeconds: reg.Gauge("serve_store_replay_seconds",
+			"Wall-clock duration of the last boot replay of the durable store."),
 	}
 }
 
@@ -52,6 +62,16 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 // labeled gauges, so label cardinality stays bounded by the live set.
 func (mm *managerMetrics) sessionDown(id, reason string) {
 	mm.sessionsLive.Add(-1)
+	mm.sessionsEvicted.With(reason).Inc()
+	mm.searchBest.Delete(id)
+	mm.searchRate.Delete(id)
+}
+
+// storedDown accounts the teardown of a session that lives only in the
+// durable store (spilled, not currently live): the eviction reason is
+// recorded and any per-session gauge children are swept, but the live
+// gauge — which the spill already decremented — is left alone.
+func (mm *managerMetrics) storedDown(id, reason string) {
 	mm.sessionsEvicted.With(reason).Inc()
 	mm.searchBest.Delete(id)
 	mm.searchRate.Delete(id)

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 
-	"repro/internal/schedule"
 	"repro/internal/scheduler"
 	"repro/internal/workload"
 )
@@ -80,6 +79,7 @@ func (m *Manager) OpenSearch(id string, req RunRequest) (SearchInfo, error) {
 		s.searchAlgo = req.Algorithm
 		s.searchSeed = req.Seed
 		out = s.searchInfo()
+		m.persist(s)
 		return nil
 	})
 	return out, err
@@ -154,6 +154,7 @@ func (m *Manager) StepSearch(id string, req StepRequest) (StepResponse, error) {
 			s.delta.Pin(s.best)
 		}
 		s.publishStatus()
+		m.persist(s)
 		return nil
 	})
 	return out, err
@@ -217,6 +218,7 @@ func (m *Manager) ResumeSearch(id string, req SearchSnapshot) (SearchInfo, error
 		s.searchAlgo = algo
 		s.searchSeed = req.Seed
 		out = s.searchInfo()
+		m.persist(s)
 		return nil
 	})
 	return out, err
@@ -279,37 +281,7 @@ func (m *Manager) Revive(snapshot SessionSnapshot) (SessionInfo, error) {
 		return SessionInfo{}, err
 	}
 	err = m.do(info.ID, func(s *Session) error {
-		if snapshot.Best != "" {
-			best, err := schedule.Parse(snapshot.Best)
-			if err != nil {
-				return fmt.Errorf("%w: best solution: %v", ErrBadRequest, err)
-			}
-			if err := schedule.Validate(best, s.w.Graph, s.w.System); err != nil {
-				return fmt.Errorf("%w: best solution: %v", ErrBadRequest, err)
-			}
-			ms := schedule.NewEvaluator(s.w.Graph, s.w.System).Makespan(best)
-			if ms < s.bestMs {
-				s.best = best
-				s.bestMs = ms
-			}
-		}
-		if snapshot.Search != nil {
-			algo := snapshot.Search.Algorithm
-			search, err := scheduler.Restore(algo, snapshot.Search.Snapshot, s.w.Graph, s.w.System,
-				scheduler.WithObserver(s.observe))
-			if err != nil {
-				return fmt.Errorf("%w: search: %v", ErrBadRequest, err)
-			}
-			s.search = search
-			s.searchAlgo = algo
-			s.searchSeed = snapshot.Search.Seed
-		}
-		s.statMu.Lock()
-		s.stat.runs += snapshot.Runs
-		s.stat.commits += snapshot.Commits
-		s.statMu.Unlock()
-		s.publishStatus()
-		return nil
+		return m.applySnapshot(s, snapshot)
 	})
 	if err != nil {
 		// The half-revived session must not linger.

@@ -198,10 +198,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{
-		OK:        true,
-		Sessions:  s.m.Len(),
-		UptimeSec: time.Since(s.start).Seconds(),
-		GoVersion: runtime.Version(),
+		OK:                true,
+		Sessions:          s.m.Len(),
+		UptimeSec:         time.Since(s.start).Seconds(),
+		GoVersion:         runtime.Version(),
+		RecoveredSessions: s.m.RecoveredSessions(),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		for _, kv := range bi.Settings {

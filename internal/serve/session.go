@@ -29,9 +29,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
+	"repro/internal/store"
 	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
+
+// errSessionExists is install's internal signal that the requested id is
+// already live; revival treats it as losing a benign race.
+var errSessionExists = errors.New("serve: session exists")
 
 // Sentinel errors the HTTP layer maps to status codes.
 var (
@@ -63,15 +68,27 @@ type Options struct {
 	// the process registry to expose it on /metrics.
 	Metrics *obs.Registry
 
+	// Store, when non-nil, makes sessions durable: every mutating request
+	// persists the session's state to it write-behind, eviction spills
+	// instead of discarding, NewManager replays it on boot, and requests
+	// against spilled sessions revive them transparently. The Manager
+	// borrows the store; the caller closes it after Close.
+	Store *store.Store
+
 	// now substitutes the clock in tests.
 	now func() time.Time
 }
 
 // Manager owns the session table.
 type Manager struct {
-	opts Options
-	reg  *obs.Registry
-	met  *managerMetrics
+	opts  Options
+	reg   *obs.Registry
+	met   *managerMetrics
+	store *store.Store
+
+	// recovered counts the sessions NewManager's boot replay revived;
+	// written before the manager serves and immutable afterwards.
+	recovered int
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -92,6 +109,11 @@ type Session struct {
 	w       *workload.Workload
 	lower   float64
 	created time.Time
+
+	// wdoc is the session's workload re-encoded as its canonical document,
+	// cached at build time: the workload is immutable, and the durable
+	// store re-persists the session on every mutating request.
+	wdoc []byte
 
 	delta  *schedule.DeltaEvaluator
 	best   schedule.String
@@ -144,7 +166,13 @@ func NewManager(opts Options) *Manager {
 		opts:     opts,
 		reg:      reg,
 		met:      newManagerMetrics(reg),
+		store:    opts.Store,
 		sessions: make(map[string]*Session),
+	}
+	if m.store != nil {
+		// Boot replay: revive what a previous process persisted before the
+		// manager serves its first request.
+		m.recoverSessions()
 	}
 	if opts.IdleTimeout > 0 {
 		m.evictStop = make(chan struct{})
@@ -192,7 +220,7 @@ func (m *Manager) EvictIdle() []string {
 	m.mu.Unlock()
 	ids := make([]string, 0, len(victims))
 	for _, s := range victims {
-		m.finish(s, "idle")
+		m.spill(s, "idle")
 		ids = append(ids, s.id)
 	}
 	return ids
@@ -229,10 +257,32 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 		base = heuristics.Best(w.Graph, w.System, 1).Solution
 	}
 
+	s, err := m.install("", w, base)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	// Read the info off the session directly: a concurrent LRU/idle
+	// eviction may already have removed it from the table, which must not
+	// turn a successful creation into a not-found error.
+	return s.info(), nil
+}
+
+// install builds and registers a session for w pinned at base, starting
+// its worker and persisting its initial state. An empty id takes the next
+// generated id; a non-empty id revives a stored session under its original
+// identity and fails with errSessionExists when that id is already live
+// (returning the live session). At the session cap, the least-recently-used
+// session is spilled first.
+func (m *Manager) install(id string, w *workload.Workload, base schedule.String) (*Session, error) {
+	var wdoc bytes.Buffer
+	if err := workload.Encode(&wdoc, w); err != nil {
+		return nil, err
+	}
 	now := m.opts.now()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Session{
 		w:        w,
+		wdoc:     wdoc.Bytes(),
 		lower:    schedule.LowerBound(w.Graph, w.System),
 		created:  now,
 		lastUsed: now,
@@ -246,7 +296,14 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	if m.closed {
 		m.mu.Unlock()
 		cancel()
-		return SessionInfo{}, fmt.Errorf("serve: manager %w", ErrClosed)
+		return nil, fmt.Errorf("serve: manager %w", ErrClosed)
+	}
+	if id != "" {
+		if live, ok := m.sessions[id]; ok {
+			m.mu.Unlock()
+			cancel()
+			return live, errSessionExists
+		}
 	}
 	var victims []*Session
 	for len(m.sessions) >= m.opts.MaxSessions {
@@ -257,8 +314,11 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 		delete(m.sessions, lru.id)
 		victims = append(victims, lru)
 	}
-	m.nextID++
-	s.id = fmt.Sprintf("s%d", m.nextID)
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("s%d", m.nextID)
+	}
+	s.id = id
 	s.observe = m.observer(s)
 	m.sessions[s.id] = s
 	m.mu.Unlock()
@@ -266,28 +326,26 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	m.met.sessionsLive.Add(1)
 
 	for _, v := range victims {
-		m.finish(v, "lru")
+		m.spill(v, "lru")
 	}
 
 	go s.loop()
 
 	// Pin inside the worker so the DeltaEvaluator is only ever touched on
 	// that goroutine.
-	err = m.do(s.id, func(s *Session) error {
+	err := m.do(s.id, func(s *Session) error {
 		s.delta = schedule.NewDeltaEvaluator(s.w.Graph, s.w.System)
 		ms, _ := s.delta.Pin(base)
 		s.best = base.Clone()
 		s.bestMs = ms
 		s.publishStatus()
+		m.persist(s)
 		return nil
 	})
 	if err != nil {
-		return SessionInfo{}, err
+		return nil, err
 	}
-	// Read the info off the session directly: a concurrent LRU/idle
-	// eviction may already have removed it from the table, which must not
-	// turn a successful creation into a not-found error.
-	return s.info(), nil
+	return s, nil
 }
 
 // lruLocked returns the least-recently-used session, preferring one with
@@ -335,30 +393,50 @@ func (s *Session) publishStatus() {
 	s.statMu.Unlock()
 }
 
+// acquire looks the session up and marks a request in flight against it.
+// A miss against a durable store revives the stored session transparently
+// — a spilled session is indistinguishable from a live one to clients —
+// with one retry in case the revived session is evicted again in the gap.
+func (m *Manager) acquire(id string) (*Session, error) {
+	for attempt := 0; ; attempt++ {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("serve: manager %w", ErrClosed)
+		}
+		if s, ok := m.sessions[id]; ok {
+			s.pending++
+			s.lastUsed = m.opts.now()
+			m.mu.Unlock()
+			return s, nil
+		}
+		m.mu.Unlock()
+		if m.store == nil || attempt > 0 {
+			return nil, fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+		}
+		if _, err := m.reviveFromStore(id); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// release ends an in-flight request accounted by acquire.
+func (m *Manager) release(s *Session) {
+	m.mu.Lock()
+	s.pending--
+	s.lastUsed = m.opts.now()
+	m.mu.Unlock()
+}
+
 // do queues fn on the session's worker and waits for it. Requests for one
 // session execute strictly in submission order; sessions never share a
 // worker, so distinct sessions proceed in parallel.
 func (m *Manager) do(id string, fn func(*Session) error) error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return fmt.Errorf("serve: manager %w", ErrClosed)
+	s, err := m.acquire(id)
+	if err != nil {
+		return err
 	}
-	s, ok := m.sessions[id]
-	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("serve: %w: %q", ErrNotFound, id)
-	}
-	s.pending++
-	s.lastUsed = m.opts.now()
-	m.mu.Unlock()
-
-	defer func() {
-		m.mu.Lock()
-		s.pending--
-		s.lastUsed = m.opts.now()
-		m.mu.Unlock()
-	}()
+	defer m.release(s)
 
 	errc := make(chan error, 1)
 	select {
@@ -435,6 +513,7 @@ func (m *Manager) Run(ctx context.Context, id string, req RunRequest, onProgress
 			s.delta.Pin(s.best)
 		}
 		s.publishStatus()
+		m.persist(s)
 		out = NewResult(req.Algorithm, req.Seed, res, cancelled)
 		return nil
 	})
@@ -482,6 +561,7 @@ func (m *Manager) Move(id string, req MoveRequest) (MoveResponse, error) {
 				s.bestMs = newMs
 			}
 			s.publishStatus()
+			m.persist(s)
 		}
 		return nil
 	})
@@ -530,7 +610,15 @@ func (m *Manager) Info(id string) (SessionInfo, error) {
 	s, ok := m.sessions[id]
 	m.mu.Unlock()
 	if !ok {
-		return SessionInfo{}, fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+		if m.store == nil {
+			return SessionInfo{}, fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+		}
+		// Status queries revive spilled sessions like evaluation requests do.
+		revived, err := m.reviveFromStore(id)
+		if err != nil {
+			return SessionInfo{}, err
+		}
+		s = revived
 	}
 	return s.info(), nil
 }
@@ -583,7 +671,10 @@ func (m *Manager) Len() int {
 func (m *Manager) Registry() *obs.Registry { return m.reg }
 
 // Delete tears one session down: its context is cancelled (stopping any
-// in-flight run at the next iteration boundary) and its worker drained.
+// in-flight run at the next iteration boundary), its worker drained, and —
+// with a durable store — its stored record removed, so a deleted session
+// does not come back on the next boot replay. Deleting a session that
+// lives only in the store (spilled, not revived) succeeds too.
 func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
@@ -592,14 +683,30 @@ func (m *Manager) Delete(id string) error {
 	}
 	m.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+		if m.store == nil {
+			return fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+		}
+		if _, stored := m.store.Get(id); !stored {
+			return fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+		}
+		m.store.Delete(id)
+		// The spill already tore the live metrics down; only the explicit
+		// deletion is left to account, plus a defensive sweep of any
+		// per-session gauge children (see sessionDown).
+		m.met.storedDown(id, "delete")
+		return nil
+	}
+	if m.store != nil {
+		m.store.Delete(id)
 	}
 	m.finish(s, "delete")
 	return nil
 }
 
-// Close tears every session down and stops the eviction loop. The Manager
-// accepts no requests afterwards.
+// Close tears every session down — spilling each one's final state to the
+// durable store, when one is configured — and stops the eviction loop. The
+// Manager accepts no requests afterwards. The caller still owns closing
+// the store itself (which flushes the spilled writes).
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -614,13 +721,44 @@ func (m *Manager) Close() {
 	m.sessions = map[string]*Session{}
 	m.mu.Unlock()
 	for _, s := range sessions {
-		m.finish(s, "close")
+		m.spill(s, "close")
 	}
 	if m.evictStop != nil {
 		close(m.evictStop)
 		<-m.evictDone
 	}
 }
+
+// Crash tears every session down WITHOUT the spill pass — the kill(-9)
+// seam for crash-recovery tests: whatever the write-behind store had not
+// flushed is lost, exactly as if the process died. Production shutdown is
+// Close.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.sessions = map[string]*Session{}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.cancel()
+		<-s.done
+	}
+	if m.evictStop != nil {
+		close(m.evictStop)
+		<-m.evictDone
+	}
+}
+
+// RecoveredSessions reports how many sessions NewManager's boot replay
+// revived from the durable store; /v1/healthz surfaces it.
+func (m *Manager) RecoveredSessions() int { return m.recovered }
 
 // buildWorkload resolves a CreateSessionRequest's workload source.
 func buildWorkload(req CreateSessionRequest) (*workload.Workload, error) {

@@ -1,0 +1,290 @@
+package serve
+
+// Durable sessions: the Manager's glue to internal/store. Every mutating
+// request re-encodes the session's state — workload document, pinned base
+// and best solutions, counters, and the live search's snapshot — into a
+// versioned session record and enqueues it on the write-behind store;
+// idle/LRU/close eviction spills the final state the same way instead of
+// losing it; NewManager replays the store on boot; and a request against
+// a session that is in the store but not in the table revives it
+// transparently under its original id. Because engine restores are
+// bit-identical, a recovered session resumes exactly where its last
+// persisted record left it — the recovery invariant CI's crash-smoke job
+// enforces end to end.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/scheduler"
+	"repro/internal/snap"
+	"repro/internal/workload"
+)
+
+// Session record format: the payload the Manager frames into store log
+// records. It is the binary twin of the wire SessionSnapshot, decoded
+// with the same hostile-input discipline — a store directory is as
+// untrusted as a client upload.
+const (
+	sessionRecMagic   = "MSSR"
+	sessionRecVersion = 1
+)
+
+// record encodes the session's durable state. Worker goroutine only —
+// it reads the evaluator's pinned base and snapshots the live search.
+func (s *Session) record() ([]byte, error) {
+	if s.delta == nil {
+		// Spilled before install's pin request ran; nothing worth keeping.
+		return nil, fmt.Errorf("serve: session %q not pinned yet", s.id)
+	}
+	w := snap.Borrow(sessionRecMagic, sessionRecVersion)
+	w.Blob(s.wdoc)
+	w.Str(s.delta.Base().Format())
+	w.Str(s.best.Format())
+	s.statMu.Lock()
+	runs, commits := s.stat.runs, s.stat.commits
+	s.statMu.Unlock()
+	w.Int(runs)
+	w.Int(commits)
+	if s.search != nil {
+		data, err := s.search.Snapshot()
+		if err != nil {
+			w.Release()
+			return nil, err
+		}
+		w.Bool(true)
+		w.Str(s.searchAlgo)
+		w.I64(s.searchSeed)
+		w.Blob(data)
+	} else {
+		w.Bool(false)
+	}
+	return w.Detach(), nil
+}
+
+// decodeSessionRecord decodes a stored session record into the same
+// SessionSnapshot shape the evict/revive endpoints exchange, so revival
+// reuses their validation path. Corrupt bytes error, never panic.
+func decodeSessionRecord(data []byte) (SessionSnapshot, error) {
+	r, err := snap.NewReader(data, sessionRecMagic, sessionRecVersion)
+	if err != nil {
+		return SessionSnapshot{}, err
+	}
+	var out SessionSnapshot
+	out.Workload = r.Blob()
+	out.Base = r.Str()
+	out.Best = r.Str()
+	out.Runs = r.Int()
+	out.Commits = r.Int()
+	if r.Bool() {
+		search := &SearchSnapshot{}
+		search.Algorithm = r.Str()
+		search.Seed = r.I64()
+		search.Snapshot = r.Blob()
+		out.Search = search
+	}
+	if err := r.Done(); err != nil {
+		return SessionSnapshot{}, err
+	}
+	if out.Runs < 0 || out.Commits < 0 {
+		return SessionSnapshot{}, fmt.Errorf("negative counters (%d runs, %d commits)", out.Runs, out.Commits)
+	}
+	return out, nil
+}
+
+// persist enqueues the session's current state on the write-behind store.
+// Called on the session's worker goroutine at the end of every mutating
+// request; a no-op without a store. Encoding failures keep the session
+// serving — the store's last good record simply stands.
+func (m *Manager) persist(s *Session) {
+	if m.store == nil {
+		return
+	}
+	rec, err := s.record()
+	if err != nil {
+		return
+	}
+	m.store.Put(s.id, rec)
+}
+
+// captureRecord runs record() on the session's worker goroutine from
+// outside the request path — the spill path, where the session has
+// already left the table, so do() cannot reach it.
+func (m *Manager) captureRecord(s *Session) ([]byte, error) {
+	type outcome struct {
+		rec []byte
+		err error
+	}
+	ch := make(chan outcome, 1)
+	select {
+	case s.reqs <- func() {
+		rec, err := s.record()
+		ch <- outcome{rec, err}
+	}:
+		o := <-ch
+		return o.rec, o.err
+	case <-s.ctx.Done():
+		return nil, fmt.Errorf("serve: session %q %w", s.id, ErrClosed)
+	}
+}
+
+// spill persists the session's final state to the store and tears it
+// down: with a store configured, idle/LRU eviction and manager shutdown
+// become migration to disk instead of loss — the next request for the
+// session revives it transparently.
+func (m *Manager) spill(s *Session, reason string) {
+	if m.store != nil {
+		if rec, err := m.captureRecord(s); err == nil {
+			m.store.Put(s.id, rec)
+		}
+	}
+	m.finish(s, reason)
+}
+
+// numericID parses the numeric suffix of a generated session id ("s12" →
+// 12), so boot replay can restart the id sequence above every stored id.
+func numericID(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	return n, err == nil
+}
+
+// recoverSessions is NewManager's boot replay: every stored session up to
+// the session cap is revived eagerly (the rest stay spilled and revive on
+// demand), and the id sequence resumes past the highest stored id so new
+// sessions never collide with recovered ones. Runs before the manager
+// serves any request.
+func (m *Manager) recoverSessions() {
+	start := time.Now()
+	ids := m.store.IDs()
+	sort.Slice(ids, func(i, j int) bool {
+		ni, iok := numericID(ids[i])
+		nj, jok := numericID(ids[j])
+		if iok && jok {
+			return ni < nj
+		}
+		if iok != jok {
+			return iok
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		if n, ok := numericID(id); ok && n > m.nextID {
+			m.nextID = n
+		}
+	}
+	for _, id := range ids {
+		if m.Len() >= m.opts.MaxSessions {
+			break
+		}
+		if _, err := m.reviveFromStore(id); err == nil {
+			m.recovered++
+		}
+	}
+	m.met.replaySeconds.Set(time.Since(start).Seconds())
+}
+
+// reviveFromStore rebuilds a session from its stored record under its
+// original id. The record crosses a trust boundary (a store directory can
+// be copied between hosts), so the workload, solutions and search
+// snapshot are validated exactly like a client-supplied revival. A lost
+// revival race returns the session the winner installed.
+func (m *Manager) reviveFromStore(id string) (*Session, error) {
+	rec, ok := m.store.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("serve: %w: %q", ErrNotFound, id)
+	}
+	snapshot, err := decodeSessionRecord(rec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: stored session %q: %v", ErrBadRequest, id, err)
+	}
+	w, err := workload.Decode(bytes.NewReader(snapshot.Workload))
+	if err != nil {
+		return nil, fmt.Errorf("%w: stored session %q: workload: %v", ErrBadRequest, id, err)
+	}
+	base, err := schedule.Parse(snapshot.Base)
+	if err == nil {
+		err = schedule.Validate(base, w.Graph, w.System)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: stored session %q: base solution: %v", ErrBadRequest, id, err)
+	}
+	s, err := m.install(id, w, base)
+	if err == errSessionExists {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := m.do(id, func(s *Session) error {
+		return m.applySnapshot(s, snapshot)
+	}); err != nil {
+		// The half-revived session must not linger in the table, but its
+		// stored record must survive — destroying data over a decode
+		// error would turn a bug into a loss.
+		m.evictFromTable(id, "error")
+		return nil, err
+	}
+	m.met.sessionsRecovered.Inc()
+	return s, nil
+}
+
+// evictFromTable removes a session from the live table and tears it down
+// without touching its stored record.
+func (m *Manager) evictFromTable(id, reason string) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if ok {
+		m.finish(s, reason)
+	}
+}
+
+// applySnapshot merges a SessionSnapshot's state — best solution, pinned
+// search, request counters — into a freshly installed session. Worker
+// goroutine only; shared by client revival (Revive) and store revival.
+func (m *Manager) applySnapshot(s *Session, snapshot SessionSnapshot) error {
+	if snapshot.Best != "" {
+		best, err := schedule.Parse(snapshot.Best)
+		if err != nil {
+			return fmt.Errorf("%w: best solution: %v", ErrBadRequest, err)
+		}
+		if err := schedule.Validate(best, s.w.Graph, s.w.System); err != nil {
+			return fmt.Errorf("%w: best solution: %v", ErrBadRequest, err)
+		}
+		ms := schedule.NewEvaluator(s.w.Graph, s.w.System).Makespan(best)
+		if ms < s.bestMs {
+			s.best = best
+			s.bestMs = ms
+		}
+	}
+	if snapshot.Search != nil {
+		algo := snapshot.Search.Algorithm
+		search, err := scheduler.Restore(algo, snapshot.Search.Snapshot, s.w.Graph, s.w.System,
+			scheduler.WithObserver(s.observe))
+		if err != nil {
+			return fmt.Errorf("%w: search: %v", ErrBadRequest, err)
+		}
+		s.search = search
+		s.searchAlgo = algo
+		s.searchSeed = snapshot.Search.Seed
+	}
+	s.statMu.Lock()
+	s.stat.runs += snapshot.Runs
+	s.stat.commits += snapshot.Commits
+	s.statMu.Unlock()
+	s.publishStatus()
+	m.persist(s)
+	return nil
+}

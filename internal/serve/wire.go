@@ -31,6 +31,9 @@ type HealthResponse struct {
 	Sessions  int     `json:"sessions"`
 	UptimeSec float64 `json:"uptime_s"`
 	GoVersion string  `json:"go_version"`
+	// RecoveredSessions counts the sessions boot replay revived from the
+	// durable store; omitted when the server runs without one.
+	RecoveredSessions int `json:"recovered_sessions,omitempty"`
 	// Revision and BuildTime are the VCS commit and its timestamp;
 	// Modified reports a dirty working tree at build time.
 	Revision  string `json:"revision,omitempty"`

@@ -1,0 +1,88 @@
+package snap
+
+// The store record envelope: the framing internal/store appends to its
+// per-session logs. Each record wraps one opaque payload (the serving
+// layer's encoded session state) in a fixed header carrying a magic, a
+// format version, the payload length and a CRC-32 of the payload, so a
+// recovery scan can walk a log that was torn mid-write by a crash and
+// keep exactly the records that made it to disk intact.
+//
+// The same hostile-input rules as the rest of the package apply: a scan
+// never panics, never allocates proportionally to an unverified declared
+// length, and treats anything it cannot prove intact as bad. Within one
+// log the failure modes differ in how much trust survives them:
+//
+//   - A record whose CRC does not match but whose header is intact is
+//     skipped — its declared length still locates the next record.
+//   - A truncated tail (header or payload cut short) ends the scan; the
+//     bytes before it are unaffected.
+//   - A wrong magic or an unknown version ends the scan too: without a
+//     trusted header layout there is no next-record offset to skip to.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Store record framing constants. RecordVersion gates layout changes the
+// way snapshot format versions do.
+const (
+	recordMagic = "MSRC"
+	// RecordVersion is the current store record layout version.
+	RecordVersion = 1
+	// recordHeaderSize is magic(4) + version(2) + reserved(2) +
+	// length(4) + crc(4).
+	recordHeaderSize = 16
+)
+
+// AppendRecord appends one framed record carrying payload to dst and
+// returns the extended slice — the write-side of the store log format.
+func AppendRecord(dst []byte, payload []byte) []byte {
+	dst = append(dst, recordMagic...)
+	dst = binary.LittleEndian.AppendUint16(dst, RecordVersion)
+	dst = append(dst, 0, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// RecordSize returns the encoded size of one record carrying a payload of
+// n bytes.
+func RecordSize(n int) int { return recordHeaderSize + n }
+
+// LastValidRecord scans a record stream — typically one store log file —
+// and returns the payload of the last record whose CRC verifies, along
+// with how many records scanned intact and how many were bad (corrupt
+// CRC, truncated tail, wrong magic or unknown version). ok is false when
+// no intact record exists. The returned payload aliases data; callers
+// that outlive data must copy it.
+func LastValidRecord(data []byte) (payload []byte, ok bool, valid, bad int) {
+	for len(data) > 0 {
+		if len(data) < recordHeaderSize {
+			// Torn header at the tail.
+			return payload, ok, valid, bad + 1
+		}
+		if string(data[:4]) != recordMagic ||
+			binary.LittleEndian.Uint16(data[4:6]) != RecordVersion ||
+			data[6] != 0 || data[7] != 0 {
+			// Untrusted header layout: no offset to resynchronize at.
+			return payload, ok, valid, bad + 1
+		}
+		n := int(binary.LittleEndian.Uint32(data[8:12]))
+		sum := binary.LittleEndian.Uint32(data[12:16])
+		rest := data[recordHeaderSize:]
+		if n > len(rest) {
+			// Torn payload at the tail.
+			return payload, ok, valid, bad + 1
+		}
+		body := rest[:n:n]
+		if crc32.ChecksumIEEE(body) != sum {
+			bad++
+		} else {
+			payload, ok = body, true
+			valid++
+		}
+		data = rest[n:]
+	}
+	return payload, ok, valid, bad
+}

@@ -1,0 +1,542 @@
+// Package store is the durable session store behind the serving layer's
+// crash recovery: a write-behind, append-only, per-session snapshot log
+// on local disk. Each session id owns one log file of CRC-framed records
+// (snap.AppendRecord); every Put appends the session's latest encoded
+// state, recovery replays each log and keeps the last record that
+// survived intact, and logs are compacted back to a single record once
+// they grow past a threshold — the append-only tail is what makes a
+// crash mid-write recoverable (the previous record is still there), the
+// compaction is what keeps that safety from costing unbounded disk.
+//
+// Writes are asynchronous and coalesced: Put replaces any queued state
+// for the same session, and a single writer goroutine drains the queue to
+// disk under the configured fsync policy. Get observes the queue, the
+// in-flight write and the disk in that order, so readers always see the
+// newest accepted state whether or not it has landed. Flush barriers the
+// queue for callers that need a durability point (graceful shutdown, the
+// kill-and-recover harness); Crash tears the store down without one,
+// simulating the process kill the recovery path exists for.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/snap"
+)
+
+// FsyncPolicy says when appended records are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the log file after every appended record — the
+	// default: a crash loses at most the write in flight.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncNever leaves syncing to the OS page cache. Faster; a crash of
+	// the machine (not just the process) can lose recent records.
+	FsyncNever
+)
+
+// ParseFsync maps the mshd -fsync flag values onto a policy.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always or never)", s)
+}
+
+// DefaultCompactBytes is the log-size threshold past which an append
+// rewrites the log as a single record instead of growing it.
+const DefaultCompactBytes = 1 << 20
+
+// Options configures a Store.
+type Options struct {
+	// Fsync is the durability policy for appended records.
+	Fsync FsyncPolicy
+	// CompactBytes compacts a session log once an append would grow it
+	// past this size. 0 = DefaultCompactBytes.
+	CompactBytes int64
+	// Metrics is the registry the store's instruments register on. Nil
+	// gets a private registry, so accounting is always on.
+	Metrics *obs.Registry
+}
+
+// Store is a durable session-id → latest-snapshot map. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	met  *storeMetrics
+
+	mu       sync.Mutex
+	drained  *sync.Cond               // broadcast by the writer after each applied entry
+	pending  map[string]*pendingWrite // newest accepted state per id, nil payload = delete
+	order    []string                 // FIFO of ids with queued state
+	inflight *pendingWrite            // entry the writer holds mid-write
+	err      error                    // first async write error, sticky
+	closed   bool
+	crashed  bool
+	wake     chan struct{}
+	done     chan struct{}
+}
+
+// pendingWrite is one queued state change: the session's latest payload,
+// or a tombstone (nil payload) for a delete.
+type pendingWrite struct {
+	id      string
+	payload []byte
+}
+
+// storeMetrics are the store's registry instruments — the store_* names
+// the serving layer's /metrics exposes when the store shares the process
+// registry.
+type storeMetrics struct {
+	writes      *obs.Counter
+	bytes       *obs.Counter
+	compactions *obs.Counter
+	badRecords  *obs.Counter
+	sessions    *obs.Gauge
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	return &storeMetrics{
+		writes: reg.Counter("store_writes_total",
+			"Session snapshot records appended to the durable store."),
+		bytes: reg.Counter("store_bytes_total",
+			"Bytes appended to the durable store's session logs."),
+		compactions: reg.Counter("store_compactions_total",
+			"Session logs rewritten to a single record at the compaction threshold."),
+		badRecords: reg.Counter("store_bad_records_total",
+			"Corrupt or truncated records skipped while reading session logs."),
+		sessions: reg.Gauge("store_sessions",
+			"Session logs currently present in the durable store."),
+	}
+}
+
+// Stats is a point-in-time snapshot of the store's accounting, mirroring
+// the store_* instruments for callers without a registry scrape.
+type Stats struct {
+	Writes      uint64
+	Bytes       uint64
+	Compactions uint64
+	BadRecords  uint64
+	Sessions    int
+}
+
+// validID matches the session ids the store accepts as file names —
+// anything else is rejected before it can traverse paths.
+var validID = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+const logSuffix = ".log"
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = DefaultCompactBytes
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		met:     newStoreMetrics(reg),
+		pending: make(map[string]*pendingWrite),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	s.drained = sync.NewCond(&s.mu)
+	ids, err := s.scanDir()
+	if err != nil {
+		return nil, err
+	}
+	s.met.sessions.Set(float64(len(ids)))
+	go s.writer()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// scanDir lists the session ids with a log file on disk.
+func (s *Store) scanDir() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, logSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, logSuffix)
+		if validID.MatchString(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// IDs returns every session id the store currently holds — logs on disk
+// plus queued writes, minus queued deletes — in sorted order.
+func (s *Store) IDs() []string {
+	onDisk, err := s.scanDir()
+	if err != nil {
+		onDisk = nil
+	}
+	s.mu.Lock()
+	set := make(map[string]bool, len(onDisk)+len(s.pending))
+	for _, id := range onDisk {
+		set[id] = true
+	}
+	if s.inflight != nil {
+		set[s.inflight.id] = s.inflight.payload != nil
+	}
+	for id, p := range s.pending {
+		set[id] = p.payload != nil
+	}
+	s.mu.Unlock()
+	ids := make([]string, 0, len(set))
+	for id, live := range set {
+		if live {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Put enqueues payload as the session's latest durable state. The write
+// happens behind the caller; any previously queued state for the same id
+// is superseded. The payload is copied. Invalid ids and puts after Close
+// surface through Err/Flush rather than a return value — Put is called on
+// serving hot paths that must not block on disk.
+func (s *Store) Put(id string, payload []byte) {
+	s.enqueue(id, append([]byte(nil), payload...))
+}
+
+// Delete enqueues removal of the session's log.
+func (s *Store) Delete(id string) {
+	s.enqueue(id, nil)
+}
+
+func (s *Store) enqueue(id string, payload []byte) {
+	if !validID.MatchString(id) {
+		s.fail(fmt.Errorf("store: invalid session id %q", id))
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.fail(errors.New("store: put after close"))
+		return
+	}
+	if p, ok := s.pending[id]; ok {
+		p.payload = payload // coalesce: keep queue position, replace state
+	} else {
+		s.pending[id] = &pendingWrite{id: id, payload: payload}
+		s.order = append(s.order, id)
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// fail latches the store's first async error.
+func (s *Store) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Get returns the session's latest accepted state: a queued write if one
+// exists, the in-flight write otherwise, the last intact record of the
+// on-disk log otherwise. ok is false for unknown (or deleted) sessions.
+func (s *Store) Get(id string) (payload []byte, ok bool) {
+	if !validID.MatchString(id) {
+		return nil, false
+	}
+	s.mu.Lock()
+	if p, queued := s.pending[id]; queued {
+		defer s.mu.Unlock()
+		if p.payload == nil {
+			return nil, false
+		}
+		return append([]byte(nil), p.payload...), true
+	}
+	if s.inflight != nil && s.inflight.id == id {
+		defer s.mu.Unlock()
+		if s.inflight.payload == nil {
+			return nil, false
+		}
+		return append([]byte(nil), s.inflight.payload...), true
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.logPath(id))
+	if err != nil {
+		return nil, false
+	}
+	rec, ok, _, bad := snap.LastValidRecord(data)
+	if bad > 0 {
+		s.met.badRecords.Add(uint64(bad))
+	}
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), rec...), true
+}
+
+// Flush blocks until every queued write has been applied to disk and
+// returns the store's first error, if any — the durability barrier
+// graceful shutdown and the recovery tests stand on.
+func (s *Store) Flush() error {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !(len(s.order) == 0 && s.inflight == nil) && !s.crashed {
+		s.drained.Wait()
+	}
+	return s.err
+}
+
+// Close flushes the queue and stops the writer. The store accepts no
+// writes afterwards.
+func (s *Store) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	<-s.done
+	if err == nil {
+		err = s.Err()
+	}
+	return err
+}
+
+// Crash tears the store down as a process kill would: queued writes are
+// dropped on the floor and nothing is synced. It exists for the
+// kill-and-recover harness — a test that wants "whatever made it to disk,
+// and not one byte more" calls Crash instead of Close.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.crashed = true
+	s.pending = make(map[string]*pendingWrite)
+	s.order = nil
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	<-s.done
+}
+
+// Err returns the store's first asynchronous write error, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats returns the store's current accounting.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Writes:      s.met.writes.Value(),
+		Bytes:       s.met.bytes.Value(),
+		Compactions: s.met.compactions.Value(),
+		BadRecords:  s.met.badRecords.Value(),
+		Sessions:    int(s.met.sessions.Value()),
+	}
+}
+
+func (s *Store) logPath(id string) string {
+	return filepath.Join(s.dir, id+logSuffix)
+}
+
+// writer is the single drain goroutine: it pops queue entries in FIFO
+// order and applies them to disk, holding each as inflight so Get never
+// observes a gap between "left the queue" and "landed on disk".
+func (s *Store) writer() {
+	defer close(s.done)
+	defer s.drained.Broadcast()
+	for {
+		s.mu.Lock()
+		if s.crashed {
+			s.pending = make(map[string]*pendingWrite)
+			s.order = nil
+			s.mu.Unlock()
+			return
+		}
+		if len(s.order) == 0 {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			<-s.wake
+			continue
+		}
+		id := s.order[0]
+		s.order = s.order[1:]
+		p := s.pending[id]
+		delete(s.pending, id)
+		s.inflight = p
+		s.mu.Unlock()
+
+		var err error
+		if p.payload == nil {
+			err = s.applyDelete(id)
+		} else {
+			err = s.applyPut(id, p.payload)
+		}
+		if err != nil {
+			s.fail(err)
+		}
+
+		s.mu.Lock()
+		s.inflight = nil
+		s.drained.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// applyPut appends one framed record to the session's log, compacting
+// first when the log has outgrown its threshold.
+func (s *Store) applyPut(id string, payload []byte) error {
+	path := s.logPath(id)
+	rec := snap.AppendRecord(nil, payload)
+
+	existing := int64(-1) // no log yet
+	if fi, err := os.Stat(path); err == nil {
+		existing = fi.Size()
+	}
+	if existing >= 0 && existing+int64(len(rec)) > s.opts.CompactBytes {
+		if err := s.compact(path, rec); err != nil {
+			return err
+		}
+		s.met.compactions.Inc()
+		s.met.writes.Inc()
+		s.met.bytes.Add(uint64(len(rec)))
+		return nil
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Fsync == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if existing < 0 {
+		s.met.sessions.Add(1)
+		s.syncDir()
+	}
+	s.met.writes.Inc()
+	s.met.bytes.Add(uint64(len(rec)))
+	return nil
+}
+
+// compact rewrites the session's log as exactly one record, through a
+// temp file and an atomic rename so a crash mid-compaction leaves either
+// the old log or the new one, never a mix.
+func (s *Store) compact(path string, rec []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Fsync == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.syncDir()
+	return nil
+}
+
+// applyDelete removes the session's log.
+func (s *Store) applyDelete(id string) error {
+	err := os.Remove(s.logPath(id))
+	if err == nil {
+		s.met.sessions.Add(-1)
+		s.syncDir()
+		return nil
+	}
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return fmt.Errorf("store: %w", err)
+}
+
+// syncDir fsyncs the store directory so file creations, renames and
+// removals are themselves durable. Best-effort under FsyncNever.
+func (s *Store) syncDir() {
+	if s.opts.Fsync != FsyncAlways {
+		return
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

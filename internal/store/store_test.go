@@ -1,0 +1,259 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/snap"
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T, dir string, opts store.Options) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetFlushRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, store.Options{})
+
+	s.Put("s1", []byte("state-1"))
+	// Get observes the queued write before it lands.
+	if got, ok := s.Get("s1"); !ok || string(got) != "state-1" {
+		t.Fatalf("Get before flush = %q ok=%v", got, ok)
+	}
+	s.Put("s1", []byte("state-2")) // supersedes
+	s.Put("s2", []byte("other"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("s1"); !ok || string(got) != "state-2" {
+		t.Fatalf("Get after flush = %q ok=%v, want state-2", got, ok)
+	}
+	if ids := s.IDs(); len(ids) != 2 || ids[0] != "s1" || ids[1] != "s2" {
+		t.Fatalf("IDs = %v, want [s1 s2]", ids)
+	}
+	if st := s.Stats(); st.Sessions != 2 || st.Writes < 2 {
+		t.Fatalf("Stats = %+v, want 2 sessions, >=2 writes", st)
+	}
+}
+
+func TestDeleteRemovesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, store.Options{})
+	s.Put("s1", []byte("x"))
+	s.Delete("s1")
+	if _, ok := s.Get("s1"); ok {
+		t.Fatal("Get after queued delete still returns state")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s1.log")); !os.IsNotExist(err) {
+		t.Fatalf("log file survives delete: %v", err)
+	}
+	if ids := s.IDs(); len(ids) != 0 {
+		t.Fatalf("IDs after delete = %v, want none", ids)
+	}
+}
+
+// TestRecoveryAcrossReopen: a second store on the same dir sees the first
+// one's flushed state — the boot-replay path.
+func TestRecoveryAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, store.Options{})
+	for i := 0; i < 5; i++ {
+		s.Put("s7", []byte(fmt.Sprintf("gen-%d", i)))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, store.Options{})
+	got, ok := s2.Get("s7")
+	if !ok || string(got) != "gen-4" {
+		t.Fatalf("recovered %q ok=%v, want gen-4", got, ok)
+	}
+}
+
+// TestRecoveryKeepsPreviousRecordOnTornTail: a crash that tears the last
+// appended record must fall back to the record before it — the reason the
+// log is append-only rather than overwrite-in-place.
+func TestRecoveryKeepsPreviousRecordOnTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, store.Options{})
+	s.Put("s1", []byte("durable"))
+	// The flush barrier keeps the second put from coalescing with the
+	// first — two distinct records must land in the log.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("s1", []byte("torn-away"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail of the log: drop the last 3 bytes.
+	path := filepath.Join(dir, "s1.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, store.Options{})
+	got, ok := s2.Get("s1")
+	if !ok || string(got) != "durable" {
+		t.Fatalf("recovered %q ok=%v, want fallback to previous record", got, ok)
+	}
+	if st := s2.Stats(); st.BadRecords == 0 {
+		t.Error("torn record not accounted in BadRecords")
+	}
+}
+
+// TestRecoverySkipsGarbageFile: a log that is all garbage recovers
+// nothing for that session and does not break the store.
+func TestRecoverySkipsGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "sbad.log"), []byte("not a record stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, dir, store.Options{})
+	if _, ok := s.Get("sbad"); ok {
+		t.Fatal("garbage log yielded a payload")
+	}
+	s.Put("sgood", []byte("fine"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("sgood"); !ok || string(got) != "fine" {
+		t.Fatalf("store unusable after garbage log: %q %v", got, ok)
+	}
+}
+
+// TestCompactionBoundsLogSize: with a small threshold, repeated puts must
+// keep the log near one record instead of growing without bound.
+func TestCompactionBoundsLogSize(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("p"), 100)
+	threshold := int64(3 * snap.RecordSize(len(payload)))
+	s := openStore(t, dir, store.Options{CompactBytes: threshold})
+	for i := 0; i < 20; i++ {
+		s.Put("s1", payload)
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(filepath.Join(dir, "s1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > threshold {
+		t.Fatalf("log size %d exceeds compaction threshold %d", fi.Size(), threshold)
+	}
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Error("no compactions recorded despite 20 over-threshold puts")
+	}
+	if got, ok := s.Get("s1"); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("compaction lost the latest record")
+	}
+}
+
+// TestCrashDropsQueuedWrites: Crash must preserve what Flush made durable
+// and drop what it did not — the contract the kill-and-recover property
+// test in internal/serve stands on.
+func TestCrashDropsQueuedWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("s1", []byte("landed"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+
+	s2 := openStore(t, dir, store.Options{})
+	if got, ok := s2.Get("s1"); !ok || string(got) != "landed" {
+		t.Fatalf("flushed state lost across crash: %q %v", got, ok)
+	}
+}
+
+func TestInvalidIDsRejected(t *testing.T) {
+	s := openStore(t, t.TempDir(), store.Options{})
+	for _, id := range []string{"", "../escape", "a/b", ".hidden"} {
+		if _, ok := s.Get(id); ok {
+			t.Errorf("Get(%q) succeeded", id)
+		}
+	}
+	s.Put("../escape", []byte("x"))
+	if s.Err() == nil {
+		t.Error("Put with a path-traversal id recorded no error")
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	if p, err := store.ParseFsync("always"); err != nil || p != store.FsyncAlways {
+		t.Errorf("ParseFsync(always) = %v, %v", p, err)
+	}
+	if p, err := store.ParseFsync("never"); err != nil || p != store.FsyncNever {
+		t.Errorf("ParseFsync(never) = %v, %v", p, err)
+	}
+	if _, err := store.ParseFsync("sometimes"); err == nil {
+		t.Error("ParseFsync(sometimes) accepted")
+	}
+}
+
+func TestFsyncNeverStillDurableAcrossClose(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, store.Options{Fsync: store.FsyncNever})
+	s.Put("s1", []byte("cached"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir, store.Options{})
+	if got, ok := s2.Get("s1"); !ok || string(got) != "cached" {
+		t.Fatalf("FsyncNever state lost across clean close: %q %v", got, ok)
+	}
+}
+
+// TestConcurrentPutsOneWriter: hammering Put from many goroutines must
+// coalesce cleanly — after a flush every session holds its last write.
+func TestConcurrentPutsOneWriter(t *testing.T) {
+	s := openStore(t, t.TempDir(), store.Options{Fsync: store.FsyncNever})
+	const sessions, gens = 8, 50
+	done := make(chan struct{}, sessions)
+	for i := 0; i < sessions; i++ {
+		go func(i int) {
+			id := fmt.Sprintf("s%d", i)
+			for g := 0; g < gens; g++ {
+				s.Put(id, []byte(fmt.Sprintf("%s-gen-%d", id, g)))
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < sessions; i++ {
+		<-done
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("s%d", i)
+		want := fmt.Sprintf("%s-gen-%d", id, gens-1)
+		if got, ok := s.Get(id); !ok || string(got) != want {
+			t.Fatalf("session %s = %q ok=%v, want %q", id, got, ok, want)
+		}
+	}
+}

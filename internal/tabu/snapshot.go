@@ -13,8 +13,10 @@ import (
 
 // Snapshot format: magic + version gate the layout; bump on field changes.
 const (
-	engineSnapMagic   = "TBEN"
-	engineSnapVersion = 1
+	engineSnapMagic = "TBEN"
+	// engineSnapVersion 2 added the effort ledger, so restored searches
+	// report cumulative evaluation counts.
+	engineSnapVersion = 2
 )
 
 // Snapshot encodes the search's complete state — options, rng stream
@@ -38,6 +40,11 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.Int(e.iter)
 	w.Int(e.sinceImproved)
 	w.I64(int64(e.elapsed))
+	counts := e.counts()
+	w.U64(counts.Full)
+	w.U64(counts.Delta)
+	w.U64(counts.Aborted)
+	w.U64(counts.Genes)
 	return w.Detach(), nil
 }
 
@@ -63,6 +70,11 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	iter := r.Int()
 	sinceImproved := r.Int()
 	elapsed := time.Duration(r.I64())
+	var base schedule.EvalCounts
+	base.Full = r.U64()
+	base.Delta = r.U64()
+	base.Aborted = r.U64()
+	base.Genes = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("tabu: restore: %w", err)
 	}
@@ -92,8 +104,13 @@ func RestoreEngine(data []byte, g *taskgraph.Graph, sys *platform.System) (*Engi
 	e.iter = iter
 	e.sinceImproved = sinceImproved
 	e.elapsed = elapsed
+	e.base = base
 	if e.inc != nil {
 		e.inc.Pin(e.cur)
+		// The snapshotted search already accounted its own construction
+		// pin in base; cancel the restore-time re-pin so the ledger
+		// continues exactly where the uninterrupted search's would be.
+		e.base = e.base.Sub(e.inc.Counts())
 	}
 	e.cur.Positions(e.pos)
 	return e, nil

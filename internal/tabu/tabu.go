@@ -103,6 +103,10 @@ type Engine struct {
 	sinceImproved int
 	elapsed       time.Duration
 
+	// base carries the effort ledger accumulated before a snapshot/restore
+	// cut, so a restored search's counts continue instead of resetting.
+	base schedule.EvalCounts
+
 	cand    schedule.String
 	applied schedule.String
 	pos     []int
@@ -288,14 +292,21 @@ func (e *Engine) Result() *Result {
 		Iterations:   e.iter,
 		Elapsed:      e.elapsed,
 	}
-	counts := e.eval.Counts()
-	if e.inc != nil {
-		counts = counts.Add(e.inc.Counts())
-	}
+	counts := e.counts()
 	res.Evaluations = counts.Full
 	res.DeltaEvaluations = counts.Delta
 	res.GenesEvaluated = counts.Genes
 	return res
+}
+
+// counts sums the search's effort ledger: live evaluator counters on top
+// of the pre-restore base.
+func (e *Engine) counts() schedule.EvalCounts {
+	counts := e.base.Add(e.eval.Counts())
+	if e.inc != nil {
+		counts = counts.Add(e.inc.Counts())
+	}
+	return counts
 }
 
 // Run executes tabu search on graph g over system sys: a budget loop over
