@@ -25,6 +25,14 @@
 //	mshc -algo ga -budget 5s -workload w.json -v
 //	mshc -algo se -figure1 -json
 //	mshc -algo se -iters 500 -workload w.json -server http://localhost:8037
+//	mshc -trace churn.json -v
+//	wlgen -trace 200 -preset small | mshc -trace - -json
+//
+// -trace replays a live churn trace (wlgen -trace) through the online
+// scheduling harness (internal/live): tasks arrive, machines join,
+// leave and change speed mid-run, and the engine warm-starts across
+// each amendment instead of restarting. -cold runs the cold-restart
+// ablation the warm-start win is measured against.
 //
 // Runs are resumable: -snapshot FILE serializes the search's complete
 // state (rng stream position included) after the budget, and -resume FILE
@@ -42,6 +50,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -51,6 +60,7 @@ import (
 	"time"
 
 	_ "repro/internal/dist" // registers se-dist
+	"repro/internal/live"
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
@@ -81,6 +91,10 @@ func main() {
 		gantt       = flag.Bool("gantt", false, "print a text Gantt chart of the best schedule")
 		snapshot    = flag.String("snapshot", "", "write the search's resumable snapshot to this file after the budget")
 		resume      = flag.String("resume", "", "resume the search snapshotted in this file (algorithm comes from the snapshot) for another budget")
+		tracePath   = flag.String("trace", "", "replay a live churn trace (JSON from wlgen -trace; \"-\" = stdin) instead of a static workload")
+		cold        = flag.Bool("cold", false, "with -trace: cold-restart ablation — re-open the search after each amendment instead of warm-starting")
+		stepsPT     = flag.Int("steps-per-tick", 0, "with -trace: search iterations interleaved per simulation tick (0 = default)")
+		tailTicks   = flag.Int("tail-ticks", 0, "with -trace: extra ticks after the last event (0 = default, negative = none)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address while the run executes (profile offline runs live); empty = off")
 	)
 	flag.Parse()
@@ -107,6 +121,29 @@ func main() {
 	}
 	if *listPresets {
 		fmt.Print(presetList())
+		return
+	}
+
+	if *tracePath != "" {
+		algoName := strings.TrimSpace(*algo)
+		algoSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				algoSet = true
+			}
+		})
+		if !algoSet {
+			algoName = "" // let live pick its default, se-live
+		}
+		if err := runTrace(*tracePath, live.Options{
+			Algo:         algoName,
+			Seed:         *seed,
+			StepsPerTick: *stepsPT,
+			TailTicks:    *tailTicks,
+			Cold:         *cold,
+		}, *jsonOut, *verbose); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -201,6 +238,53 @@ func main() {
 		fmt.Printf("\nbest (%s) Gantt chart:\n", best.Algorithm)
 		fmt.Print(schedule.Gantt(w.Graph, w.System, sol, 72))
 	}
+}
+
+// runTrace replays a churn trace (internal/live): a tick loop that
+// interleaves search iterations with event application, warm-starting
+// the engine across amendments (or cold-restarting with -cold). With
+// jsonOut the full deterministic Report is emitted — the CI live-smoke
+// job gates on its final makespan and solution fields bit-exactly.
+func runTrace(path string, opts live.Options, jsonOut, verbose bool) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := live.DecodeTrace(r)
+	if err != nil {
+		return err
+	}
+	rep, err := live.Replay(context.Background(), tr, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	mode := "warm"
+	if rep.Cold {
+		mode = "cold"
+	}
+	last := rep.Samples[len(rep.Samples)-1]
+	fmt.Printf("trace: %s\n", rep.Trace)
+	fmt.Printf("algo: %s (%s)  events: %d  tasks arrived: %d  reschedules: %d\n",
+		rep.Algo, mode, len(tr.Events), rep.TasksArrived, rep.Reschedules)
+	fmt.Printf("final: %d tasks on %d machines, makespan %.0f (regret %.0f) after %d iterations / %d evaluations\n",
+		last.Tasks, last.Machines, rep.FinalMakespan, last.Regret, last.Iterations, last.Evaluations)
+	if verbose {
+		fmt.Printf("\n%6s %6s %9s %12s %14s %14s\n", "tick", "tasks", "machines", "iterations", "evaluations", "best")
+		for _, s := range rep.Samples {
+			fmt.Printf("%6d %6d %9d %12d %14d %14.0f\n", s.Tick, s.Tasks, s.Machines, s.Iterations, s.Evaluations, s.Best)
+		}
+	}
+	return nil
 }
 
 // parseWorkers interprets the -workers flag: empty or an integer keeps

@@ -1,12 +1,16 @@
 // Command wlgen generates random MSHC workloads (DAG + execution-time
 // matrix E + transfer-time matrix Tr) in the repository's JSON format,
 // parameterized by the paper's three axes: connectivity, heterogeneity and
-// CCR.
+// CCR — plus churn traces for the online scheduling mode (internal/live).
 //
 // Usage:
 //
 //	wlgen -tasks 100 -machines 20 -connectivity 4 -het 16 -ccr 1 -seed 7 -o w.json
-//	wlgen -figure1 -o fig1.json   # the paper's worked example
+//	wlgen -preset medium -o w.json            # a named preset
+//	wlgen -preset medium -machines 6 -o w.json # preset at another size
+//	wlgen -figure1 -o fig1.json               # the paper's worked example
+//	wlgen -trace 200 -tasks 40 -machines 6 -o churn.json  # a live churn trace
+//	wlgen -trace 200 -preset small | mshc -trace -         # straight into replay
 package main
 
 import (
@@ -15,63 +19,110 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/live"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		tasks        = flag.Int("tasks", 100, "number of subtasks")
-		machines     = flag.Int("machines", 20, "number of machines")
+		machines     = flag.Int("machines", 20, "number of machines (with -preset: override the preset's count)")
 		connectivity = flag.Float64("connectivity", 2.5, "average data items per subtask (paper: low ≈ 1.3, high ≈ 4)")
 		het          = flag.Float64("het", 4, "heterogeneity range factor (low ≈ 1.25, medium ≈ 4, high ≈ 16)")
 		ccr          = flag.Float64("ccr", 0.5, "communication-to-cost ratio (0.1 light, 1 heavy)")
 		layers       = flag.Int("layers", 0, "DAG depth (0 = about sqrt(tasks))")
 		seed         = flag.Int64("seed", 1, "random seed")
+		preset       = flag.String("preset", "", fmt.Sprintf("emit a named preset instead of a random workload (presets: %v)", workload.PresetNames()))
 		figure1      = flag.Bool("figure1", false, "emit the paper's Figure-1 worked example instead of a random workload")
+		trace        = flag.Int("trace", 0, "emit a live churn trace with this many events instead of a workload (see internal/live)")
 		out          = flag.String("o", "", "output file (default stdout)")
 		dot          = flag.Bool("dot", false, "emit the DAG as Graphviz DOT instead of workload JSON")
 	)
 	flag.Parse()
 
+	machinesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "machines" {
+			machinesSet = true
+		}
+	})
+
+	params := workload.Params{
+		Tasks:         *tasks,
+		Machines:      *machines,
+		Connectivity:  *connectivity,
+		Heterogeneity: *het,
+		CCR:           *ccr,
+		Layers:        *layers,
+		Seed:          *seed,
+	}
+
 	var w *workload.Workload
-	if *figure1 {
+	switch {
+	case *figure1:
 		w = workload.Figure1()
-	} else {
+	case *preset != "":
 		var err error
-		w, err = workload.Generate(workload.Params{
-			Tasks:         *tasks,
-			Machines:      *machines,
-			Connectivity:  *connectivity,
-			Heterogeneity: *het,
-			CCR:           *ccr,
-			Layers:        *layers,
-			Seed:          *seed,
-		})
+		if machinesSet {
+			w, err = workload.PresetWithMachines(*preset, *machines)
+		} else {
+			w, err = workload.Preset(*preset)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		params = w.Params
+		if *trace > 0 && params.Validate() != nil {
+			fatal(fmt.Errorf("preset %q has no generator parameters to base a trace on", *preset))
+		}
+	default:
+		var err error
+		w, err = workload.Generate(params)
 		if err != nil {
 			fatal(err)
 		}
 	}
 
-	var dst io.Writer = os.Stdout
+	var dstW io.Writer = os.Stdout
+	closeDst := func() {}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer func() {
+		closeDst = func() {
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-		}()
-		dst = f
+		}
+		dstW = f
 	}
-	if *dot {
-		if err := w.Graph.WriteDOT(dst, w.Name); err != nil {
+
+	switch {
+	case *trace > 0:
+		if *figure1 {
+			fatal(fmt.Errorf("-trace needs generator parameters; -figure1 has none"))
+		}
+		tr, err := live.GenerateTrace(live.TraceParams{Base: params, Events: *trace, Seed: *seed})
+		if err != nil {
 			fatal(err)
 		}
-	} else if err := workload.Encode(dst, w); err != nil {
-		fatal(err)
+		if err := live.EncodeTrace(dstW, tr); err != nil {
+			fatal(err)
+		}
+		closeDst()
+		fmt.Fprintf(os.Stderr, "wrote trace %s: %d events over %d ticks\n", tr.Name, len(tr.Events), tr.LastTick())
+		return
+	case *dot:
+		if err := w.Graph.WriteDOT(dstW, w.Name); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := workload.Encode(dstW, w); err != nil {
+			fatal(err)
+		}
 	}
+	closeDst()
 	fmt.Fprintf(os.Stderr, "wrote %s\n", w)
 }
 

@@ -23,10 +23,13 @@
 // session-pinned serving layer exposes it all — pinned live searches,
 // step/snapshot/resume and whole-session evict/revive included — as a
 // long-lived HTTP service backed by an optional durable store that
-// recovers every session bit-identically after a crash, and a
+// recovers every session bit-identically after a crash, a
 // distributed coordinator fans the
 // sharded sweep's regions out to a pool of those services, surviving
-// worker crashes bit-identically (see DESIGN.md).
+// worker crashes bit-identically, and an online-scheduling harness
+// replays tick-stamped churn traces — task arrivals, machine joins,
+// leaves and speed changes — against a running engine, warm-starting it
+// across each amendment instead of restarting (see DESIGN.md).
 //
 // Package layout:
 //
@@ -37,6 +40,7 @@
 //	internal/core        the SE engine (the paper's contribution), steppable
 //	internal/shard       DAG region partitioning + parallel sharded SE
 //	internal/dist        distributed shard fan-out onto remote mshd workers
+//	internal/live        churn traces + tick-driven warm-start rescheduling
 //	internal/ga          the Wang et al. GA baseline
 //	internal/heuristics  HEFT, CPOP, Min-Min, Max-Min, Sufferage, MCT, random
 //	internal/sa          simulated-annealing extension

@@ -1,0 +1,56 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the live-mode instrument set. One set serves any number of
+// replays or amended serve sessions on the same registry; a nil *Metrics
+// is a valid no-op receiver, so instrumentation stays optional.
+type Metrics struct {
+	tasksArrived *obs.Counter
+	reschedules  *obs.Counter
+	events       *obs.CounterVec // by event kind
+	repairNs     *obs.Counter
+	regret       *obs.Gauge
+}
+
+// NewMetrics registers the live_* instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		tasksArrived: reg.Counter("live_tasks_arrived_total",
+			"Tasks that streamed into live problems after their creation."),
+		reschedules: reg.Counter("live_reschedules_total",
+			"Warm-start amendments (or cold restarts) applied to live searches."),
+		events: reg.CounterVec("live_events_total",
+			"Churn events applied to live problems, by event kind.", "kind"),
+		repairNs: reg.Counter("live_repair_ns_total",
+			"Nanoseconds spent amending problems and splicing/rebasing searches."),
+		regret: reg.Gauge("live_makespan_regret",
+			"Best live makespan minus the current problem's dependency lower bound."),
+	}
+}
+
+// Amended records one applied event and the time the amendment took
+// (problem surgery + splice + rebase or restart). Exported so the
+// serving layer can account its /events amendments on the same
+// instruments the replay harness uses.
+func (m *Metrics) Amended(ev Event, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.tasksArrived.Add(uint64(len(ev.Tasks)))
+	m.reschedules.Inc()
+	m.events.With(ev.Kind).Inc()
+	m.repairNs.Add(uint64(d.Nanoseconds()))
+}
+
+// Sampled mirrors the latest per-tick observation into the gauges.
+func (m *Metrics) Sampled(s Sample) {
+	if m == nil {
+		return
+	}
+	m.regret.Set(s.Regret)
+}

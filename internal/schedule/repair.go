@@ -5,9 +5,10 @@ import "repro/internal/taskgraph"
 // Repair returns a copy of s reordered into a valid topological string by
 // a stable Kahn pass: at every step the ready task with the smallest
 // original position is emitted. A string that is already a topological
-// order therefore comes back unchanged, and an invalid one keeps the
-// relative order of every task pair the DAG does not constrain. Machines
-// are preserved. s must contain every task exactly once.
+// order therefore comes back unchanged, and simultaneously ready tasks —
+// one level band — always keep their input order; only what the DAG
+// forces is disturbed. Machines are preserved. s must contain every task
+// exactly once.
 //
 // The sharded allocation layer (internal/shard) uses it as the
 // reconciliation safety net: level-band merges are precedence-valid by

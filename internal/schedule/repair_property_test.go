@@ -1,0 +1,205 @@
+package schedule_test
+
+// Property hardening for schedule.Repair — the splice safety net the
+// online amendment path (internal/live) leans on. The live harness hands
+// Repair strings that are arbitrarily wrong: freshly arrived tasks
+// appended at the end regardless of their dependencies, genes pulled out
+// and reinserted anywhere by machine-leave surgery. These properties pin
+// what Repair must guarantee no matter the input: topological validity,
+// exact multiset preservation, stability on already-valid strings, and
+// the stable-greedy band ordering — simultaneously ready tasks always
+// keep their input order — that the stable Kahn pass promises.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// checkRepair verifies every Repair guarantee for input s against g:
+// validity of the output, gene multiset preservation, and the
+// stable-greedy band ordering (each emitted task is the ready task with
+// the earliest input position).
+func checkRepair(t *testing.T, g *taskgraph.Graph, s schedule.String) schedule.String {
+	t.Helper()
+	in := s.Clone()
+	out := schedule.Repair(g, s)
+
+	// The input must not be mutated.
+	for i := range in {
+		if s[i] != in[i] {
+			t.Fatalf("Repair mutated its input at %d", i)
+		}
+	}
+	// Every (task, machine) gene survives exactly once.
+	if len(out) != len(in) {
+		t.Fatalf("Repair changed length: %d -> %d", len(in), len(out))
+	}
+	seen := make(map[taskgraph.TaskID]taskgraph.MachineID, len(in))
+	for _, gene := range in {
+		seen[gene.Task] = gene.Machine
+	}
+	for _, gene := range out {
+		m, ok := seen[gene.Task]
+		if !ok {
+			t.Fatalf("Repair duplicated or invented task s%d", gene.Task)
+		}
+		if m != gene.Machine {
+			t.Fatalf("Repair changed machine of s%d: m%d -> m%d", gene.Task, m, gene.Machine)
+		}
+		delete(seen, gene.Task)
+	}
+	// The output is a valid topological string.
+	pos := make([]int, len(out))
+	for i, gene := range out {
+		pos[gene.Task] = i
+	}
+	for ti := range pos {
+		task := taskgraph.TaskID(ti)
+		for _, a := range g.Preds(task) {
+			if pos[a.Task] >= pos[task] {
+				t.Fatalf("Repair output violates precedence: s%d at %d after s%d at %d",
+					a.Task, pos[a.Task], task, pos[task])
+			}
+		}
+	}
+	// Band ordering (the stable-greedy spec): at every output position,
+	// the emitted task is the ready task — all predecessors already
+	// emitted — with the earliest input position. This is what makes
+	// already-valid strings come back unchanged and keeps simultaneously
+	// ready tasks (one level band) in their input order.
+	inPos := make([]int, len(in))
+	for i, gene := range in {
+		inPos[gene.Task] = i
+	}
+	emitted := make([]bool, len(out))
+	for _, gene := range out {
+		for tj := range inPos {
+			task := taskgraph.TaskID(tj)
+			if emitted[task] || task == gene.Task {
+				continue
+			}
+			ready := true
+			for _, a := range g.Preds(task) {
+				if !emitted[a.Task] {
+					ready = false
+					break
+				}
+			}
+			if ready && inPos[task] < inPos[gene.Task] {
+				t.Fatalf("Repair emitted s%d (input pos %d) while ready s%d (input pos %d) waited — not the stable-greedy order",
+					gene.Task, inPos[gene.Task], task, inPos[task])
+			}
+		}
+		emitted[gene.Task] = true
+	}
+	return out
+}
+
+// TestPropertyRepairArbitraryPermutations feeds Repair uniformly random
+// permutations — almost all precedence-invalid — and checks every
+// guarantee on the output.
+func TestPropertyRepairArbitraryPermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x4e4e))
+		n := w.Graph.NumTasks()
+		s := make(schedule.String, n)
+		for i, ti := range rng.Perm(n) {
+			s[i] = schedule.Gene{
+				Task:    taskgraph.TaskID(ti),
+				Machine: taskgraph.MachineID(rng.Intn(w.System.NumMachines())),
+			}
+		}
+		out := checkRepair(t, w.Graph, s)
+		return schedule.Validate(out, w.Graph, w.System) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRepairStableOnValidStrings: a string that is already a
+// topological order must come back gene-for-gene unchanged — the
+// warm-start invariant that lets the live harness splice without
+// disturbing the engine's current solution.
+func TestPropertyRepairStableOnValidStrings(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x2b2b))
+		s := randomSolution(w, rng)
+		out := schedule.Repair(w.Graph, s)
+		for i := range s {
+			if out[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRepairSurvivesSpliceSurgery fuzzes the two surgeries the
+// live amendment path performs on valid strings — inserting freshly
+// arrived tasks at arbitrary positions, and removing genes and
+// reinserting them elsewhere (the machine-leave reassignment shape) —
+// and requires Repair to return a valid string every time.
+func TestPropertyRepairSurvivesSpliceSurgery(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x51c3))
+		s := randomSolution(w, rng)
+
+		// Grow the graph like a live arrival batch: new tasks whose
+		// dependencies point at arbitrary existing tasks.
+		nb := taskgraph.NewBuilder(w.Graph.NumTasks() + 4)
+		for ti := 0; ti < w.Graph.NumTasks(); ti++ {
+			nb.AddTask(w.Graph.Name(taskgraph.TaskID(ti)))
+		}
+		for _, it := range w.Graph.Items() {
+			nb.AddItem(it.Producer, it.Consumer, it.Size)
+		}
+		grown := w.Graph.NumTasks() + 1 + rng.Intn(4)
+		for ti := w.Graph.NumTasks(); ti < grown; ti++ {
+			id := nb.AddTask("")
+			for d := 0; d < 1+rng.Intn(2); d++ {
+				nb.AddItem(taskgraph.TaskID(rng.Intn(ti)), id, 1+rng.Float64())
+			}
+		}
+		g, err := nb.Build()
+		if err != nil {
+			t.Fatalf("grown graph: %v", err)
+		}
+
+		// Insert the new genes at arbitrary (usually invalid) positions.
+		for ti := w.Graph.NumTasks(); ti < grown; ti++ {
+			gene := schedule.Gene{
+				Task:    taskgraph.TaskID(ti),
+				Machine: taskgraph.MachineID(rng.Intn(w.System.NumMachines())),
+			}
+			at := rng.Intn(len(s) + 1)
+			s = append(s[:at], append(schedule.String{gene}, s[at:]...)...)
+		}
+		s = checkRepair(t, g, s)
+
+		// Remove random genes and reinsert them elsewhere, as leave
+		// surgery does, then repair again.
+		for trial := 0; trial < 5; trial++ {
+			from := rng.Intn(len(s))
+			gene := s[from]
+			s = append(s[:from], s[from+1:]...)
+			at := rng.Intn(len(s) + 1)
+			s = append(s[:at], append(schedule.String{gene}, s[at:]...)...)
+		}
+		s = checkRepair(t, g, s)
+		return g.IsTopological(s.Order())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

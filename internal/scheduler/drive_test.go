@@ -1,0 +1,82 @@
+package scheduler_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+// TestDriveExhaustedSearchNoPhantomProgress: driving a search that is
+// already exhausted must not fabricate an iteration. A constructive
+// heuristic finishes in one Step; a second Drive over the same search has
+// nothing left to execute, so it must deliver zero OnProgress callbacks
+// (historically it delivered one zero-valued Progress and counted a
+// phantom step). The live tick loop depends on this: a tick that lands on
+// an exhausted search must observe nothing, not a bogus iteration 0.
+func TestDriveExhaustedSearchNoPhantomProgress(t *testing.T) {
+	w := conformanceWorkload()
+	for _, name := range []string{"heft", "minmin"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := scheduler.Open(name, w.Graph, w.System, scheduler.WithSeed(3))
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			first := 0
+			res, err := scheduler.Drive(context.Background(), s, scheduler.Budget{
+				MaxIterations: 10,
+				OnProgress:    func(scheduler.Progress) bool { first++; return true },
+			})
+			if err != nil {
+				t.Fatalf("Drive: %v", err)
+			}
+			if first != 1 {
+				t.Fatalf("first Drive delivered %d progress callbacks, want 1", first)
+			}
+			want := res.Makespan
+
+			second := 0
+			res2, err := scheduler.Drive(context.Background(), s, scheduler.Budget{
+				MaxIterations: 10,
+				OnProgress: func(pr scheduler.Progress) bool {
+					second++
+					t.Errorf("phantom progress on exhausted search: %+v", pr)
+					return true
+				},
+			})
+			if err != nil {
+				t.Fatalf("second Drive: %v", err)
+			}
+			if second != 0 {
+				t.Fatalf("second Drive delivered %d progress callbacks, want 0", second)
+			}
+			if res2.Makespan != want {
+				t.Errorf("second Drive changed the result: %v != %v", res2.Makespan, want)
+			}
+		})
+	}
+}
+
+// TestDriveObserverOncePerExecutedIteration: across Drive calls that
+// resume the same search, the observer tap fires exactly once per
+// executed iteration — no drops at budget exhaustion, no duplicates when
+// the loop resumes.
+func TestDriveObserverOncePerExecutedIteration(t *testing.T) {
+	w := conformanceWorkload()
+	taps := 0
+	s, err := scheduler.Open("se", w.Graph, w.System,
+		scheduler.WithSeed(5),
+		scheduler.WithObserver(func(pr scheduler.Progress) { taps++ }),
+	)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i, budget := range []int{7, 1, 4} {
+		if _, err := scheduler.Drive(context.Background(), s, scheduler.Budget{MaxIterations: budget}); err != nil {
+			t.Fatalf("Drive %d: %v", i, err)
+		}
+	}
+	if taps != 7+1+4 {
+		t.Errorf("observer fired %d times across 12 executed iterations", taps)
+	}
+}

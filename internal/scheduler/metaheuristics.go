@@ -5,6 +5,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/platform"
 	"repro/internal/sa"
+	"repro/internal/schedule"
 	"repro/internal/shard"
 	"repro/internal/tabu"
 	"repro/internal/taskgraph"
@@ -22,6 +23,9 @@ func init() {
 			}
 			return openSE(cfg, g, sys)
 		}, restoreSE)
+	Register("se-live", Metaheuristic,
+		"SE with warm-start amendment for online scheduling under churn (internal/live)",
+		openSE, restoreSE)
 	Register("se-shard", Metaheuristic,
 		"SE over weakly-coupled DAG regions in parallel, with boundary reconciliation",
 		openSEShard, restoreSEShard)
@@ -91,6 +95,18 @@ func (s seStepper) Result() *Result {
 func (s seStepper) Snapshot() ([]byte, error)  { return s.e.Snapshot() }
 func (s seStepper) Stalled(noImprove int) bool { return s.e.SinceImproved() >= noImprove }
 func (s seStepper) Done() bool                 { return false }
+
+// Current and Rebase implement Rebaser: the SE engine is the warm-start
+// amendment engine behind se-live (and plain se) — see internal/live.
+func (s seStepper) Current() schedule.String { return s.e.Current() }
+
+func (s seStepper) Rebase(g *taskgraph.Graph, sys *platform.System, cur, best schedule.String) (Stepper, error) {
+	e, err := s.e.Rebase(g, sys, cur, best)
+	if err != nil {
+		return nil, err
+	}
+	return seStepper{e}, nil
+}
 
 // --- se-shard --------------------------------------------------------------
 

@@ -260,6 +260,14 @@ func drive(ctx context.Context, s Search, b Budget, trace bool) (*Result, error)
 			cancelled = true
 			break
 		}
+		if searchDone(s) {
+			// Already exhausted before this iteration — Step would skip
+			// without executing, so no observation is fabricated for it.
+			// Matters to re-driven searches: a finished constructive
+			// heuristic driven again must deliver zero OnProgress calls,
+			// not one zero-valued phantom.
+			break
+		}
 		pr, more := s.Step(ctx)
 		if !more && !searchDone(s) && ctx.Err() != nil {
 			// The context was cancelled between the loop-top check and

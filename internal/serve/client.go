@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/live"
 	"repro/internal/obs"
 )
 
@@ -193,6 +194,16 @@ func (c *Client) RunStream(ctx context.Context, id string, req RunRequest, onPro
 		return Result{}, err
 	}
 	return Result{}, fmt.Errorf("serve: stream ended without a result event")
+}
+
+// ApplyEvent feeds one live churn event (internal/live) into the session:
+// the workload is amended, the pinned solutions spliced, and any pinned
+// rebasable search warm-started across the amendment. Returns the
+// session's post-amendment info.
+func (c *Client) ApplyEvent(ctx context.Context, id string, ev live.Event) (SessionInfo, error) {
+	var out SessionInfo
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/events", ev, &out)
+	return out, err
 }
 
 // Move evaluates (and optionally commits) one move against the session's

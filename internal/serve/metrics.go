@@ -10,6 +10,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/live"
 	"repro/internal/obs"
 	"repro/internal/scheduler"
 )
@@ -30,6 +31,11 @@ type managerMetrics struct {
 	// replay took.
 	sessionsRecovered *obs.Counter
 	replaySeconds     *obs.Gauge
+
+	// live is the online-amendment instrument set (live_* series),
+	// shared with the replay harness's schema so served and offline
+	// churn handling read the same on a dashboard.
+	live *live.Metrics
 }
 
 // newManagerMetrics registers the serving layer's instruments on reg.
@@ -55,6 +61,7 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 			"Sessions revived from the durable store (boot replay and on-demand revival)."),
 		replaySeconds: reg.Gauge("serve_store_replay_seconds",
 			"Wall-clock duration of the last boot replay of the durable store."),
+		live: live.NewMetrics(reg),
 	}
 }
 

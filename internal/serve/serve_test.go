@@ -160,6 +160,39 @@ func TestStreamedRunMatchesUnstreamed(t *testing.T) {
 	}
 }
 
+// TestStreamedRunDeliversFinalProgress: the server throttles progress
+// events, but the last executed iteration must reach the client even
+// when it lands inside the throttle window — a client watching the
+// stream has to see where the run actually ended.
+func TestStreamedRunDeliversFinalProgress(t *testing.T) {
+	client, _ := newTestServer(t, serve.Options{})
+	ctx := context.Background()
+
+	info, err := client.CreateSession(ctx, serve.CreateSessionRequest{Preset: "small"})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	// A short fast run: nearly every iteration lands inside the 100ms
+	// throttle window, so without the final flush the stream would end on
+	// iteration 1.
+	const iters = 60
+	var last serve.ProgressEvent
+	var events int
+	res, err := client.RunStream(ctx, info.ID,
+		serve.RunRequest{Algorithm: "se", Seed: 8, MaxIterations: iters},
+		func(p serve.ProgressEvent) { last = p; events++ })
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("stream delivered no progress events")
+	}
+	// Progress iterations are 0-indexed, so the final one is count-1.
+	if last.Iteration != res.Iterations-1 {
+		t.Fatalf("last streamed progress is iteration %d, want the final iteration %d", last.Iteration, res.Iterations-1)
+	}
+}
+
 // TestConcurrentSessionsAreIsolatedAndDeterministic runs many sessions in
 // parallel — distinct workloads, interleaved requests — and requires every
 // one to match its own offline reference exactly.

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/live"
 	"repro/internal/obs"
 	"repro/internal/scheduler"
 )
@@ -34,6 +35,7 @@ const progressInterval = 100 * time.Millisecond
 //	GET    /v1/sessions/{id}            session info
 //	DELETE /v1/sessions/{id}            tear a session down
 //	POST   /v1/sessions/{id}/run        run an algorithm (?stream=1 → NDJSON)
+//	POST   /v1/sessions/{id}/events     apply a live churn event (internal/live)
 //	POST   /v1/sessions/{id}/move       query/commit a move
 //	GET    /v1/sessions/{id}/schedule   pinned base solution
 //	GET    /v1/sessions/{id}/analysis   schedule analysis
@@ -77,6 +79,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleApplyEvent)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/move", s.handleMove)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/analysis", s.handleAnalysis)
@@ -286,6 +289,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	var lastSent time.Time
+	var pending *ProgressEvent
 	emit := func(ev RunEvent) {
 		enc.Encode(ev)
 		if flusher != nil {
@@ -293,17 +297,38 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	res, err := s.m.Run(r.Context(), r.PathValue("id"), req, func(p ProgressEvent) {
+		ev := p
 		if now := time.Now(); now.Sub(lastSent) >= progressInterval {
 			lastSent = now
-			ev := p
+			pending = nil
 			emit(RunEvent{Progress: &ev})
+			return
 		}
+		// Throttled: hold the event so the final iteration still reaches
+		// the client even when it lands inside the throttle window.
+		pending = &ev
 	})
+	if pending != nil {
+		emit(RunEvent{Progress: pending})
+	}
 	if err != nil {
 		emit(RunEvent{Error: err.Error()})
 		return
 	}
 	emit(RunEvent{Result: &res})
+}
+
+func (s *Server) handleApplyEvent(w http.ResponseWriter, r *http.Request) {
+	var ev live.Event
+	if !decodeBody(w, r, &ev) {
+		return
+	}
+	info, err := s.m.ApplyEvent(r.PathValue("id"), ev)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {

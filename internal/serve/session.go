@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/heuristics"
+	"repro/internal/live"
 	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
@@ -118,6 +119,11 @@ type Session struct {
 	delta  *schedule.DeltaEvaluator
 	best   schedule.String
 	bestMs float64
+
+	// live is the session's amendable problem view, built lazily from the
+	// workload on the first churn event (see live.go). It always mirrors
+	// w: amendments replace both together.
+	live *live.Problem
 
 	// search is the session's pinned resumable search, when one is open
 	// (see search.go); searchAlgo/searchSeed label its wire results.

@@ -57,6 +57,30 @@ func Preset(name string) (*Workload, error) {
 	return build(), nil
 }
 
+// PresetWithMachines returns the named preset regenerated with the given
+// machine count — the knob machine join/leave scenarios (internal/live)
+// sweep. Only generated presets can change size; fixed examples
+// (figure1, recognizable by generator Params that do not validate)
+// reject any count other than their own.
+func PresetWithMachines(name string, machines int) (*Workload, error) {
+	w, err := Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	if machines < 1 {
+		return nil, fmt.Errorf("workload: preset %q: machines = %d, want >= 1", name, machines)
+	}
+	if machines == w.System.NumMachines() {
+		return w, nil
+	}
+	if w.Params.Validate() != nil {
+		return nil, fmt.Errorf("workload: preset %q is a fixed example; its machine count cannot be overridden", name)
+	}
+	p := w.Params
+	p.Machines = machines
+	return Generate(p)
+}
+
 // PresetNames returns every preset name, sorted.
 func PresetNames() []string {
 	names := make([]string, 0, len(presets))

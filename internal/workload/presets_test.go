@@ -45,6 +45,68 @@ func TestPresetUnknownName(t *testing.T) {
 	}
 }
 
+func TestPresetWithMachines(t *testing.T) {
+	cases := []struct {
+		name     string
+		preset   string
+		machines int
+		wantErr  bool
+		wantM    int
+	}{
+		{"small grown", "small", 9, false, 9},
+		{"small shrunk", "small", 2, false, 2},
+		{"medium unchanged", "medium", 12, false, 12},
+		{"large single machine", "large", 1, false, 1},
+		{"figure1 own count passes through", "figure1", 2, false, 2},
+		{"figure1 cannot resize", "figure1", 5, true, 0},
+		{"zero machines", "small", 0, true, 0},
+		{"negative machines", "small", -3, true, 0},
+		{"unknown preset", "no-such-preset", 4, true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := PresetWithMachines(tc.preset, tc.machines)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("PresetWithMachines(%q, %d) succeeded, want error", tc.preset, tc.machines)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("PresetWithMachines(%q, %d): %v", tc.preset, tc.machines, err)
+			}
+			if got := w.System.NumMachines(); got != tc.wantM {
+				t.Errorf("machines = %d, want %d", got, tc.wantM)
+			}
+			base, _ := Preset(tc.preset)
+			if got, want := w.Graph.NumTasks(), base.Graph.NumTasks(); got != want {
+				t.Errorf("task count changed: %d, preset has %d", got, want)
+			}
+		})
+	}
+}
+
+// TestPresetWithMachinesDeterministic: the override must stay on the
+// preset's seed, so a resized preset is as reproducible as the original.
+func TestPresetWithMachinesDeterministic(t *testing.T) {
+	a, err := PresetWithMachines("medium", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PresetWithMachines("medium", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.System.ExecMatrix(), b.System.ExecMatrix()
+	for m := range ae {
+		for k := range ae[m] {
+			if ae[m][k] != be[m][k] {
+				t.Fatalf("exec[%d][%d] differs across calls", m, k)
+			}
+		}
+	}
+}
+
 // TestPresetTableIntegrity hardens the untrusted-upload path the serving
 // layer leans on: every preset must be acyclic (a topological order
 // exists and covers every task), must survive Encode → Decode — the same

@@ -1,0 +1,250 @@
+// Online-scheduling acceptance tests: the warm-start claim README's
+// "Online scheduling" section makes for internal/live, pinned down on a
+// generated churn trace — warm rescheduling must beat the cold-restart
+// ablation on evaluation effort, replays must be bit-identical across
+// same-seed runs, and a served live session must survive a crash
+// mid-trace with its amended DAG intact.
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/live"
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// liveTrace generates the shared churn scenario: a small base workload
+// hit by events ticks of mixed churn, sized so a full warm+cold replay
+// pair stays in test-suite time.
+func liveTrace(t testing.TB, events int, seed int64) *live.Trace {
+	t.Helper()
+	tr, err := live.GenerateTrace(live.TraceParams{
+		Base: workload.Params{
+			Tasks:         24,
+			Machines:      5,
+			Connectivity:  2.5,
+			Heterogeneity: 6,
+			CCR:           0.5,
+			Seed:          seed,
+		},
+		Events: events,
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// segmentBounds turns a report's Segments index into half-open sample
+// ranges [start, end), one per re-convergence window. Several events can
+// land on one tick, so boundaries are deduplicated.
+func segmentBounds(rep *live.Report) [][2]int {
+	var bounds [][2]int
+	prev := -1
+	for _, s := range rep.Segments {
+		if s == prev {
+			continue
+		}
+		if prev >= 0 {
+			bounds = append(bounds, [2]int{prev, s})
+		}
+		prev = s
+	}
+	if prev >= 0 {
+		bounds = append(bounds, [2]int{prev, len(rep.Samples)})
+	}
+	return bounds
+}
+
+// evalsToTarget is the evaluation effort a run spends inside one segment
+// before its best makespan first reaches target; if the segment never
+// reaches it, the full segment spend is charged.
+func evalsToTarget(rep *live.Report, start, end int, target float64) uint64 {
+	var base uint64
+	if start > 0 {
+		base = rep.Samples[start-1].Evaluations
+	}
+	for i := start; i < end; i++ {
+		if rep.Samples[i].Best <= target {
+			return rep.Samples[i].Evaluations - base
+		}
+	}
+	return rep.Samples[end-1].Evaluations - base
+}
+
+// TestLiveWarmStartBeatsColdRestart enforces the headline claim: across
+// every re-convergence window of a churn trace, warm-starting the live
+// engine through the amendment must take strictly fewer total
+// evaluations to get within 1% of the cold restart's end-of-window
+// makespan than the cold restart itself spends.
+func TestLiveWarmStartBeatsColdRestart(t *testing.T) {
+	tr := liveTrace(t, 30, 7)
+	ctx := context.Background()
+
+	warm, err := live.Replay(ctx, tr, live.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := live.Replay(ctx, tr, live.Options{Seed: 1, Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Reschedules != cold.Reschedules || warm.Reschedules != len(tr.Events) {
+		t.Fatalf("reschedules warm=%d cold=%d, want both %d", warm.Reschedules, cold.Reschedules, len(tr.Events))
+	}
+	// Both replays walk the same ticks, so their segment structure agrees.
+	bounds := segmentBounds(cold)
+	if len(bounds) == 0 {
+		t.Fatal("trace produced no re-convergence segments")
+	}
+
+	var warmTotal, coldTotal uint64
+	for _, b := range bounds {
+		start, end := b[0], b[1]
+		// Target: within 1% of what the cold restart converges to by the
+		// end of this window.
+		target := cold.Samples[end-1].Best * 1.01
+		warmTotal += evalsToTarget(warm, start, end, target)
+		coldTotal += evalsToTarget(cold, start, end, target)
+	}
+	t.Logf("evaluations to re-reach within 1%% of cold's makespan, summed over %d segments: warm %d, cold %d (%.2fx)",
+		len(bounds), warmTotal, coldTotal, float64(coldTotal)/float64(warmTotal))
+	if warmTotal >= coldTotal {
+		t.Errorf("warm start spent %d evaluations re-converging, cold restart %d; warm must be strictly cheaper", warmTotal, coldTotal)
+	}
+}
+
+// TestLiveReplayBitIdentical: equal (trace, options) must produce
+// bit-identical reports — every sample, segment, and the final solution
+// string — in both warm and cold mode. This is the determinism contract
+// the CI live-smoke golden gate builds on.
+func TestLiveReplayBitIdentical(t *testing.T) {
+	tr := liveTrace(t, 30, 11)
+	ctx := context.Background()
+	for _, cold := range []bool{false, true} {
+		opts := live.Options{Seed: 5, Cold: cold}
+		a, err := live.Replay(ctx, tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := live.Replay(ctx, tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Errorf("cold=%v: two same-seed replays produced different reports:\n  first:  %.200s\n  second: %.200s", cold, aj, bj)
+		}
+	}
+}
+
+// TestLiveServedSessionSurvivesCrashMidTrace drives the first half of a
+// churn trace through a durable serve session — amendments interleaved
+// with search steps — crashes the manager and store mid-trace, and
+// requires boot replay to recover the session with the amended DAG
+// intact and the search still warm-steppable through the rest of the
+// trace.
+func TestLiveServedSessionSurvivesCrashMidTrace(t *testing.T) {
+	tr := liveTrace(t, 12, 19)
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := serve.NewManager(serve.Options{Store: st})
+
+	base := tr.Base
+	info, err := mgr.Create(serve.CreateSessionRequest{Params: &base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.OpenSearch(info.ID, serve.RunRequest{Algorithm: "se-live", Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	half := len(tr.Events) / 2
+	for _, ev := range tr.Events[:half] {
+		if _, err := mgr.ApplyEvent(info.ID, ev); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.StepSearch(info.ID, serve.StepRequest{Steps: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := mgr.Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searchBefore, err := mgr.SearchInfo(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Tasks <= info.Tasks {
+		t.Fatalf("half-trace session has %d tasks, want growth beyond the base %d", before.Tasks, info.Tasks)
+	}
+
+	// Land the write-behind queue, then kill everything without any
+	// graceful-shutdown path.
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Crash()
+	st.Crash()
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := serve.NewManager(serve.Options{Store: st2})
+	t.Cleanup(func() {
+		mgr2.Close()
+		st2.Close()
+	})
+	if got := mgr2.RecoveredSessions(); got != 1 {
+		t.Fatalf("boot replay recovered %d sessions, want 1", got)
+	}
+	after, err := mgr2.Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Tasks != before.Tasks || after.Machines != before.Machines {
+		t.Fatalf("recovered session shape %d tasks / %d machines, want the amended %d / %d",
+			after.Tasks, after.Machines, before.Tasks, before.Machines)
+	}
+	searchAfter, err := mgr2.SearchInfo(info.ID)
+	if err != nil {
+		t.Fatalf("recovered session lost its search: %v", err)
+	}
+	if searchAfter.Iterations != searchBefore.Iterations {
+		t.Fatalf("recovered search at %d iterations, want %d", searchAfter.Iterations, searchBefore.Iterations)
+	}
+
+	// The recovered session keeps absorbing the rest of the trace.
+	for _, ev := range tr.Events[half:] {
+		if _, err := mgr2.ApplyEvent(info.ID, ev); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr2.StepSearch(info.ID, serve.StepRequest{Steps: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, err := mgr2.SearchBest(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan <= 0 || best.Solution == "" {
+		t.Fatalf("post-recovery search best = %v %q, want a real schedule", best.Makespan, best.Solution)
+	}
+}
